@@ -1,0 +1,120 @@
+// Figure 7: temperature probes at three Eastern-Pacific locations,
+// Apr 2015 - Jun 2018.
+//
+// Paper result: HYCOM and POD-LSTM track the observed seasonal cycles
+// equally well at (-5, 210), (+5, 250) and (+10, 230); CESM makes slight
+// errors because of its long-horizon formulation. Reproduction: 1-week-
+// lead POD-LSTM point forecasts vs the comparator surrogates, reporting
+// per-probe RMSE and correlation over the HYCOM availability window.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/calendar.hpp"
+#include "data/comparators.hpp"
+#include "tensor/stats.hpp"
+
+int main() {
+  using namespace geonas;
+  const auto setup = core::ExperimentSetup::from_env();
+  bench::print_banner("Figure 7",
+                      "Point probes in the Eastern Pacific (2015-2018)",
+                      setup);
+
+  core::PODLSTMPipeline pipeline({.setup = setup});
+  pipeline.prepare();
+  const searchspace::StackedLSTMSpace space;
+  const searchspace::Architecture best =
+      bench::find_best_ae_architecture(space);
+  bench::Posttrained post =
+      bench::posttrain(pipeline, space, best, setup.posttrain_epochs);
+
+  const std::size_t k = setup.window;
+  const std::size_t w0 = data::HYCOMSurrogate::first_available_week();
+  // Clamp so every stride-1 window stays inside the record (the last K
+  // weeks of the record have no full target window).
+  const std::size_t w1 = std::min(data::HYCOMSurrogate::last_available_week(),
+                                  setup.total_snapshots - k - 1);
+  std::printf("probe window: weeks %zu..%zu (%s .. %s)\n\n", w0, w1,
+              data::date_of_week(w0).c_str(), data::date_of_week(w1).c_str());
+
+  // 1-week-lead coefficient forecasts covering [w0, w1].
+  const Tensor3 preds =
+      pipeline.lead_predictions(post.net, w0 - k, w1 + k + 1);
+  const std::size_t weeks = w1 - w0 + 1;
+
+  const auto& grid = pipeline.mask().grid();
+  const auto& cells = pipeline.mask().ocean_cells();
+  const data::HYCOMSurrogate hycom(pipeline.sst());
+  const data::CESMSurrogate cesm(pipeline.sst());
+
+  struct Probe {
+    double lat, lon;
+  };
+  const Probe probes[] = {{-5.0, 210.0}, {5.0, 250.0}, {10.0, 230.0}};
+
+  core::TextTable table({"probe (lat,lon)", "model", "RMSE (C)", "corr"});
+  bool shape_holds = true;
+  for (const Probe& probe : probes) {
+    const std::size_t cell = grid.index(grid.row_of_lat(probe.lat),
+                                        grid.col_of_lon(probe.lon));
+    const auto it = std::lower_bound(cells.begin(), cells.end(), cell);
+    if (it == cells.end() || *it != cell) {
+      std::printf("probe (%g, %g) fell on land in this mask; skipping\n",
+                  probe.lat, probe.lon);
+      continue;
+    }
+    const auto pos = static_cast<std::size_t>(it - cells.begin());
+
+    std::vector<double> truth_series, pod_series, hy_series, ce_series;
+    std::vector<double> scaled(setup.num_modes);
+    for (std::size_t i = 0; i < weeks; ++i) {
+      const std::size_t week = w0 + i;
+      truth_series.push_back(
+          pipeline.sst().value(probe.lat, probe.lon, week));
+      // 1-week-lead forecast: window starting at week - k (output step 0).
+      for (std::size_t m = 0; m < setup.num_modes; ++m) {
+        scaled[m] = preds(i, 0, m);
+      }
+      const auto coeffs = pipeline.unscale(scaled);
+      const auto field = pipeline.reconstruct_field(coeffs);
+      pod_series.push_back(field[pos]);
+      hy_series.push_back(hycom.value(probe.lat, probe.lon, week));
+      ce_series.push_back(cesm.value(probe.lat, probe.lon, week));
+    }
+    std::string name = "(";
+    name += core::TextTable::num(probe.lat, 0);
+    name += ",";
+    name += core::TextTable::num(probe.lon, 0);
+    name += ")";
+    auto add = [&](const char* model, const std::vector<double>& series) {
+      table.add_row({name, model,
+                     core::TextTable::num(rmse(truth_series, series), 2),
+                     core::TextTable::num(pearson(truth_series, series))});
+    };
+    add("POD-LSTM", pod_series);
+    add("HYCOM", hy_series);
+    add("CESM", ce_series);
+
+    // Paper claim: HYCOM and POD-LSTM perform equally well (both tracking
+    // the seasonal evolution) while CESM trails. At the region-edge probe
+    // the truncated eddy variance caps the achievable correlation, so the
+    // gate is on orderings plus a moderate correlation floor.
+    // Near the equator the synthetic seasonal cycle is weak (it scales
+    // with sin(lat)), so point correlations are modest for every model;
+    // the orderings are the meaningful check.
+    shape_holds = shape_holds &&
+                  pearson(truth_series, pod_series) > 0.4 &&
+                  pearson(truth_series, hy_series) > 0.4 &&
+                  rmse(truth_series, ce_series) >
+                      rmse(truth_series, hy_series) &&
+                  rmse(truth_series, ce_series) >
+                      rmse(truth_series, pod_series);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "paper reference: HYCOM and POD-LSTM perform equally well (seasonal "
+      "trends captured); CESM slightly off at short horizons.\n");
+  std::printf("shape check: %s\n", shape_holds ? "PASS" : "MISMATCH");
+  return shape_holds ? 0 : 1;
+}

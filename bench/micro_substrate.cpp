@@ -1,0 +1,159 @@
+// Google-benchmark microbenchmarks for the geonas substrates: dense
+// kernels, LSTM forward/BPTT, POD fitting, synthetic data generation,
+// search-space operations, and the surrogate evaluator.
+#include <benchmark/benchmark.h>
+
+#include "core/surrogate.hpp"
+#include "data/sst.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "pod/pod.hpp"
+#include "searchspace/space.hpp"
+#include "search/aging_evolution.hpp"
+#include "tensor/blas.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using namespace geonas;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (double& v : m.flat()) v = rng.normal();
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_MatmulAtB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 3);
+  const Matrix b = random_matrix(n, n, 4);
+  for (auto _ : state) {
+    Matrix c = matmul_at_b(a, b);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+}
+BENCHMARK(BM_MatmulAtB)->Arg(128)->Arg(427);
+
+void BM_LSTMForward(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  nn::LSTM lstm(5, units);
+  Rng rng(5);
+  lstm.init_params(rng);
+  Tensor3 x(64, 8, 5);
+  for (double& v : x.flat()) v = rng.normal();
+  const Tensor3* ptr = &x;
+  for (auto _ : state) {
+    Tensor3 y = lstm.forward({&ptr, 1}, false);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+}
+BENCHMARK(BM_LSTMForward)->Arg(16)->Arg(96);
+
+void BM_LSTMTrainStep(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  nn::LSTM lstm(5, units);
+  Rng rng(6);
+  lstm.init_params(rng);
+  Tensor3 x(64, 8, 5), target(64, 8, units);
+  for (double& v : x.flat()) v = rng.normal();
+  for (double& v : target.flat()) v = rng.normal();
+  const Tensor3* ptr = &x;
+  for (auto _ : state) {
+    lstm.zero_grad();
+    const Tensor3 y = lstm.forward({&ptr, 1}, true);
+    auto grads = lstm.backward(nn::mse_grad(target, y));
+    benchmark::DoNotOptimize(grads[0].flat().data());
+  }
+}
+BENCHMARK(BM_LSTMTrainStep)->Arg(16)->Arg(96);
+
+void BM_PodFit(benchmark::State& state) {
+  const auto ns = static_cast<std::size_t>(state.range(0));
+  const Matrix snaps = random_matrix(2000, ns, 7);
+  for (auto _ : state) {
+    pod::POD p;
+    p.fit(snaps, {.num_modes = 5});
+    benchmark::DoNotOptimize(p.basis().flat().data());
+  }
+}
+BENCHMARK(BM_PodFit)->Arg(64)->Arg(128);
+
+void BM_SyntheticSnapshot(benchmark::State& state) {
+  const data::Grid grid = data::Grid::reduced();
+  const data::SyntheticSST sst;
+  std::size_t week = 0;
+  for (auto _ : state) {
+    auto field = sst.field(grid, week++);
+    benchmark::DoNotOptimize(field.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.cells()));
+}
+BENCHMARK(BM_SyntheticSnapshot);
+
+void BM_SpaceMutate(benchmark::State& state) {
+  const searchspace::StackedLSTMSpace space;
+  Rng rng(8);
+  searchspace::Architecture arch = space.random_architecture(rng);
+  for (auto _ : state) {
+    arch = space.mutate(arch, rng);
+    benchmark::DoNotOptimize(arch.genes.data());
+  }
+}
+BENCHMARK(BM_SpaceMutate);
+
+void BM_SpaceBuild(benchmark::State& state) {
+  const searchspace::StackedLSTMSpace space;
+  Rng rng(9);
+  const searchspace::Architecture arch = space.random_architecture(rng);
+  for (auto _ : state) {
+    nn::GraphNetwork net = space.build(arch);
+    benchmark::DoNotOptimize(net.node_count());
+  }
+}
+BENCHMARK(BM_SpaceBuild);
+
+void BM_SurrogateEvaluate(benchmark::State& state) {
+  const searchspace::StackedLSTMSpace space;
+  core::SurrogateEvaluator oracle(space);
+  Rng rng(10);
+  const searchspace::Architecture arch = space.random_architecture(rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto out = oracle.evaluate(arch, seed++);
+    benchmark::DoNotOptimize(out.reward);
+  }
+}
+BENCHMARK(BM_SurrogateEvaluate);
+
+void BM_AgingEvolutionCycle(benchmark::State& state) {
+  const searchspace::StackedLSTMSpace space;
+  search::AgingEvolution ae(space, {.population_size = 100, .sample_size = 10,
+                                    .seed = 11});
+  core::SurrogateEvaluator oracle(space);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto arch = ae.ask();
+    const auto out = oracle.evaluate(arch, seed++);
+    ae.tell(arch, out.reward);
+    benchmark::DoNotOptimize(out.reward);
+  }
+}
+BENCHMARK(BM_AgingEvolutionCycle);
+
+}  // namespace

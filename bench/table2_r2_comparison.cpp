@@ -1,0 +1,146 @@
+// Table II: R^2 of data-driven forecasting methods on the SST dataset.
+//
+// Paper result (train 1981-89 / test 1990-2018):
+//   NAS-POD-LSTM 0.985 / 0.876 — the best test score
+//   Linear        0.801 / 0.172
+//   XGBoost       0.966 / -0.056  (memorizes, cannot extrapolate)
+//   RandomForest  0.823 / 0.002
+//   LSTM-40..200 (1/5 layers): ~0.90-0.96 train, 0.69-0.75 test
+// Reproduction: all models are actually trained on the windowed POD
+// coefficients; R^2 is evaluated over all training-period windows and all
+// test-period windows (scaled-coefficient space, identical for every
+// method).
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/gbt.hpp"
+#include "baselines/linear.hpp"
+#include "baselines/manual_lstm.hpp"
+#include "baselines/narx.hpp"
+#include "baselines/random_forest.hpp"
+#include "bench_common.hpp"
+#include "nn/loss.hpp"
+
+int main() {
+  using namespace geonas;
+  const auto setup = core::ExperimentSetup::from_env();
+  bench::print_banner("Table II", "R2 of data-driven forecasting methods",
+                      setup);
+
+  core::PODLSTMPipeline pipeline({.setup = setup});
+  pipeline.prepare();
+
+  // Identical evaluation windows for every method.
+  const data::WindowedDataset train_windows =
+      pipeline.windows(0, setup.train_snapshots);
+  const data::WindowedDataset test_windows =
+      pipeline.windows(setup.train_snapshots, setup.total_snapshots);
+  const auto& split = pipeline.split();
+
+  core::TextTable table({"model", "R2 1981-1989", "R2 1990-2018"});
+  struct Score {
+    std::string name;
+    double train, test;
+  };
+  std::vector<Score> scores;
+
+  auto eval_network = [&](const std::string& name, nn::GraphNetwork& net) {
+    const Tensor3 train_pred = nn::Trainer::predict(net, train_windows.x);
+    const Tensor3 test_pred = nn::Trainer::predict(net, test_windows.x);
+    scores.push_back({name, nn::r2_metric(train_windows.y, train_pred),
+                      nn::r2_metric(test_windows.y, test_pred)});
+  };
+  auto eval_regressor = [&](baselines::Regressor& model) {
+    baselines::NARXForecaster narx(model);
+    narx.fit(split.train.x, split.train.y);
+    const Tensor3 train_pred = narx.predict(train_windows.x);
+    const Tensor3 test_pred = narx.predict(test_windows.x);
+    scores.push_back({narx.name(),
+                      nn::r2_metric(train_windows.y, train_pred),
+                      nn::r2_metric(test_windows.y, test_pred)});
+  };
+
+  // NAS-POD-LSTM: the AE winner, post-trained.
+  const searchspace::StackedLSTMSpace space;
+  const searchspace::Architecture best_arch =
+      bench::find_best_ae_architecture(space);
+  std::printf("NAS winner: %s\nposttraining (%zu epochs)...\n",
+              best_arch.key().c_str(), setup.posttrain_epochs);
+  bench::Posttrained post =
+      bench::posttrain(pipeline, space, best_arch, setup.posttrain_epochs);
+  eval_network("NAS-POD-LSTM", post.net);
+
+  // Classical baselines (fireTS-style NARX, default-ish configs).
+  std::printf("fitting classical baselines...\n");
+  baselines::LinearForecaster linear;
+  eval_regressor(linear);
+  baselines::GradientBoosting xgboost;
+  eval_regressor(xgboost);
+  baselines::RandomForest forest;
+  eval_regressor(forest);
+
+  // Manually designed LSTMs (paper: 1- and 5-layer, width scan, 100-epoch
+  // training). On one core the epoch budget is tiered by parameter count
+  // so the multi-million-parameter variants stay tractable; their scores
+  // are under-trained accordingly (noted in EXPERIMENTS.md).
+  for (const auto& spec : baselines::table2_manual_grid(setup.num_modes)) {
+    nn::GraphNetwork net = baselines::build_manual_lstm(spec);
+    net.init_params(11 + spec.hidden_units + spec.hidden_layers);
+    std::size_t epochs = setup.posttrain_epochs;
+    if (setup.scale == core::Scale::kQuick) {
+      const double budget = 250000.0 * static_cast<double>(epochs) /
+                            static_cast<double>(net.param_count());
+      epochs = std::clamp<std::size_t>(static_cast<std::size_t>(budget), 15,
+                                       setup.posttrain_epochs);
+    }
+    std::printf("training %s (%zu params, %zu epochs)...\n",
+                spec.name().c_str(), net.param_count(), epochs);
+    (void)nn::Trainer({.epochs = epochs, .batch_size = 64, .seed = 13})
+        .fit(net, split.train.x, split.train.y, split.val.x, split.val.y);
+    eval_network(spec.name(), net);
+  }
+
+  std::printf("\n");
+  for (const auto& s : scores) {
+    table.add_row({s.name, core::TextTable::num(s.train),
+                   core::TextTable::num(s.test)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "paper reference: NAS 0.985/0.876; Linear 0.801/0.172; XGBoost "
+      "0.966/-0.056; RF 0.823/0.002; manual LSTMs ~0.9-0.96 train, "
+      "0.69-0.75 test.\n\n");
+  std::printf(
+      "known divergence (see EXPERIMENTS.md): on the synthetic substitute "
+      "the classical\nbaselines retain most of their skill, because the "
+      "substitute's stochastic content is\ncloser to linear-AR-predictable "
+      "than real SST variability and its test period stays\ncloser to the "
+      "training distribution; the paper's baseline collapse (linear 0.17,\n"
+      "trees ~0) is not reproduced. What is reproduced: the NAS winner "
+      "leads the manually\ndesigned LSTM family on both periods, every "
+      "model generalizes with a train-to-test\ndrop, and the boosted trees "
+      "show the largest overfitting gap of any model family.\n");
+
+  // Shape checks on the reproduced claims.
+  const Score& nas = scores[0];
+  double best_manual_lstm_test = -1e300;
+  double max_tree_gap = -1e300;
+  double linear_gap = 0.0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i].name.rfind("LSTM-", 0) == 0) {
+      best_manual_lstm_test = std::max(best_manual_lstm_test, scores[i].test);
+    } else if (scores[i].name == "Linear") {
+      linear_gap = scores[i].train - scores[i].test;
+    } else {
+      max_tree_gap =
+          std::max(max_tree_gap, scores[i].train - scores[i].test);
+    }
+  }
+  const bool shape_holds = nas.test >= best_manual_lstm_test - 0.02 &&
+                           nas.train > nas.test &&
+                           max_tree_gap > linear_gap + 0.03;
+  std::printf("shape check (NAS leads LSTM family; train > test; trees have "
+              "the largest overfit gap): %s\n",
+              shape_holds ? "PASS" : "MISMATCH");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// POD vs nonlinear autoencoder compression (the paper's §VI future work).
+//
+// Fits both compressors at the same latent dimension on a synthetic SST
+// training period and compares reconstruction errors on the training and
+// a held-out period — the quantitative starting point for "overcoming the
+// limitations of the POD by hybridizing compression and time evolution".
+#include <cstdio>
+
+#include "core/autoencoder.hpp"
+#include "core/reporting.hpp"
+#include "data/landmask.hpp"
+#include "data/sst.hpp"
+#include "pod/pod.hpp"
+
+int main() {
+  using namespace geonas;
+
+  const data::Grid grid{24, 48};
+  const data::LandMask mask(grid, 7);
+  const data::SyntheticSST sst;
+  const std::size_t train_weeks = 160, test_weeks = 80;
+  std::printf("generating %zu train + %zu test snapshots (%zu ocean cells)\n",
+              train_weeks, test_weeks, mask.ocean_count());
+  const Matrix train = sst.snapshots(mask, 0, train_weeks);
+  const Matrix test = sst.snapshots(mask, train_weeks, test_weeks);
+
+  core::TextTable table({"compressor", "latent", "train rel. error",
+                         "test rel. error"});
+  for (std::size_t latent : {2UL, 5UL}) {
+    pod::POD pod;
+    pod.fit(train, {.num_modes = latent});
+    table.add_row({"POD", core::TextTable::integer(latent),
+                   core::TextTable::num(pod.empirical_projection_error(train),
+                                        4),
+                   core::TextTable::num(pod.empirical_projection_error(test),
+                                        4)});
+
+    core::Autoencoder ae({.latent_dim = latent, .hidden = 48, .epochs = 120,
+                          .learning_rate = 2e-3, .seed = 3});
+    std::printf("training autoencoder (latent=%zu)...\n", latent);
+    (void)ae.fit(train);
+    table.add_row({"Autoencoder", core::TextTable::integer(latent),
+                   core::TextTable::num(ae.reconstruction_error(train), 4),
+                   core::TextTable::num(ae.reconstruction_error(test), 4)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf(
+      "POD is the optimal LINEAR compressor, so it sets a strong floor on "
+      "this quasi-linear field; the autoencoder's value appears on fields "
+      "with curved manifolds (sharp fronts, shocks — see paper SVI).\n");
+  return 0;
+}

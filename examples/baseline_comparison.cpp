@@ -1,0 +1,95 @@
+// Baseline comparison on the POD-coefficient forecasting task.
+//
+// Trains the classical fireTS-style baselines (linear, gradient-boosted
+// trees, random forest) and one manually designed stacked LSTM on the same
+// windowed dataset and prints train/test R^2 — a compact version of the
+// paper's Table II illustrating why recurrent models dominate on the
+// held-out decade.
+#include <cstdio>
+
+#include "baselines/gbt.hpp"
+#include "baselines/linear.hpp"
+#include "baselines/manual_lstm.hpp"
+#include "baselines/narx.hpp"
+#include "baselines/random_forest.hpp"
+#include "baselines/reference.hpp"
+#include "core/pipeline.hpp"
+#include "core/reporting.hpp"
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace geonas;
+
+  core::PipelineConfig config;
+  config.setup.grid = {30, 60};
+  config.setup.train_snapshots = 220;
+  config.setup.total_snapshots = 440;
+  core::PODLSTMPipeline pipeline(config);
+  pipeline.prepare();
+
+  const auto& split = pipeline.split();
+  const data::WindowedDataset train_w =
+      pipeline.windows(0, config.setup.train_snapshots);
+  const data::WindowedDataset test_w = pipeline.windows(
+      config.setup.train_snapshots, config.setup.total_snapshots);
+
+  core::TextTable table({"model", "train R2", "test R2"});
+
+  auto eval_regressor = [&](baselines::Regressor& model) {
+    baselines::NARXForecaster narx(model);
+    narx.fit(split.train.x, split.train.y);
+    table.add_row({narx.name(),
+                   core::TextTable::num(
+                       nn::r2_metric(train_w.y, narx.predict(train_w.x))),
+                   core::TextTable::num(
+                       nn::r2_metric(test_w.y, narx.predict(test_w.x)))});
+  };
+
+  // Reference anchors first: any useful model must beat persistence.
+  {
+    const std::size_t k = config.setup.window;
+    table.add_row({"Persistence",
+                   core::TextTable::num(nn::r2_metric(
+                       train_w.y, baselines::persistence_forecast(train_w.x, k))),
+                   core::TextTable::num(nn::r2_metric(
+                       test_w.y, baselines::persistence_forecast(test_w.x, k)))});
+    baselines::WindowClimatology clim;
+    clim.fit(split.train.x, split.train.y);
+    table.add_row({"Climatology (damped pers.)",
+                   core::TextTable::num(
+                       nn::r2_metric(train_w.y, clim.predict(train_w.x))),
+                   core::TextTable::num(
+                       nn::r2_metric(test_w.y, clim.predict(test_w.x)))});
+  }
+
+  std::printf("fitting classical baselines...\n");
+  baselines::LinearForecaster linear;
+  eval_regressor(linear);
+  baselines::GradientBoosting gbt;
+  eval_regressor(gbt);
+  baselines::RandomForest forest;
+  eval_regressor(forest);
+
+  std::printf("training LSTM-80 (1 hidden layer)...\n");
+  nn::GraphNetwork lstm = baselines::build_manual_lstm(
+      {.hidden_units = 80, .hidden_layers = 1,
+       .features = config.setup.num_modes});
+  lstm.init_params(5);
+  (void)nn::Trainer({.epochs = 60, .batch_size = 64, .seed = 5})
+      .fit(lstm, split.train.x, split.train.y, split.val.x, split.val.y);
+  table.add_row({"LSTM-80x1",
+                 core::TextTable::num(nn::r2_metric(
+                     train_w.y, nn::Trainer::predict(lstm, train_w.x))),
+                 core::TextTable::num(nn::r2_metric(
+                     test_w.y, nn::Trainer::predict(lstm, test_w.x)))});
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf(
+      "reading guide: persistence/climatology anchor the difficulty; any\n"
+      "useful model must clear them. On this small synthetic config the\n"
+      "tabular baselines stay strong (the substitute's dynamics are close\n"
+      "to linearly predictable — see EXPERIMENTS.md); the full Table II\n"
+      "comparison with the paper's settings is bench/table2_r2_comparison.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Sparse-sensor data assimilation with gappy POD.
+//
+// The paper's conclusion proposes using the POD-LSTM machinery "for
+// real-time data assimilation tasks"; this example shows the building
+// block: reconstructing the full sea-surface-temperature field from a
+// handful of in-situ sensors through the POD basis (gappy POD, as in the
+// paper's reference on robust flow reconstruction from limited
+// measurements).
+#include <cstdio>
+
+#include "core/reporting.hpp"
+#include "data/landmask.hpp"
+#include "data/sst.hpp"
+#include "pod/gappy.hpp"
+#include "pod/pod.hpp"
+#include "tensor/random.hpp"
+#include "tensor/stats.hpp"
+
+int main() {
+  using namespace geonas;
+
+  const data::Grid grid{30, 60};
+  const data::LandMask mask(grid, 7);
+  const data::SyntheticSST sst;
+  const std::size_t train_weeks = 200;
+
+  std::printf("fitting a 5-mode POD basis on %zu training weeks (%zu ocean "
+              "cells)...\n",
+              train_weeks, mask.ocean_count());
+  pod::POD pod;
+  pod.fit(sst.snapshots(mask, 0, train_weeks), {.num_modes = 5});
+
+  // Reconstruct held-out weeks from progressively denser "buoy networks".
+  core::TextTable table({"sensors", "field RMSE (C)", "field corr"});
+  Rng rng(11);
+  for (std::size_t sensors : {8UL, 25UL, 100UL}) {
+    const auto cells = rng.sample_without_replacement(mask.ocean_count(),
+                                                      sensors);
+    const pod::GappyPOD gappy(pod, cells, 1e-8);
+
+    RunningStats err, corr;
+    for (std::size_t week = train_weeks + 10; week < train_weeks + 60;
+         week += 10) {
+      const auto truth = mask.flatten(sst.field(grid, week));
+      const auto field = gappy.reconstruct(gappy.sample(truth));
+      err.add(rmse(truth, field));
+      corr.add(pearson(truth, field));
+    }
+    table.add_row({core::TextTable::integer(sensors),
+                   core::TextTable::num(err.mean(), 2),
+                   core::TextTable::num(corr.mean())});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("a few dozen well-placed buoys recover the global field to "
+              "within the POD truncation error — the assimilation hook for "
+              "coupling observations with the POD-LSTM forecast.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "baselines/linear.hpp"
+
+#include <stdexcept>
+
+#include "tensor/blas.hpp"
+#include "tensor/linalg.hpp"
+
+namespace geonas::baselines {
+
+void LinearForecaster::fit(const Matrix& x, const Matrix& y) {
+  check_fit_args(x, y, "LinearForecaster");
+  // Center both sides so the intercept absorbs the means — equivalent to
+  // appending a bias column but keeps the normal equations well scaled.
+  const std::size_t n = x.rows(), f = x.cols(), o = y.cols();
+  std::vector<double> x_mean(f, 0.0), y_mean(o, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < f; ++c) x_mean[c] += x(r, c);
+    for (std::size_t c = 0; c < o; ++c) y_mean[c] += y(r, c);
+  }
+  for (double& v : x_mean) v /= static_cast<double>(n);
+  for (double& v : y_mean) v /= static_cast<double>(n);
+
+  Matrix xc = x, yc = y;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < f; ++c) xc(r, c) -= x_mean[c];
+    for (std::size_t c = 0; c < o; ++c) yc(r, c) -= y_mean[c];
+  }
+
+  w_ = solve_normal_equations(xc, yc, lambda_);
+  intercept_.assign(o, 0.0);
+  for (std::size_t c = 0; c < o; ++c) {
+    double acc = y_mean[c];
+    for (std::size_t k = 0; k < f; ++k) acc -= x_mean[k] * w_(k, c);
+    intercept_[c] = acc;
+  }
+  fitted_ = true;
+}
+
+Matrix LinearForecaster::predict(const Matrix& x) const {
+  if (!fitted_) throw std::logic_error("LinearForecaster: predict before fit");
+  if (x.cols() != w_.rows()) {
+    throw std::invalid_argument("LinearForecaster: feature count mismatch");
+  }
+  Matrix out = matmul(x, w_);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += intercept_[c];
+  }
+  return out;
+}
+
+}  // namespace geonas::baselines

@@ -1,0 +1,34 @@
+// Linear (ordinary least squares / ridge) multi-output regression via the
+// regularized normal equations — the paper's "Linear" baseline
+// (scikit-learn LinearRegression defaults, i.e. lambda = 0, with
+// intercept).
+#pragma once
+
+#include "baselines/regressor.hpp"
+
+namespace geonas::baselines {
+
+class LinearForecaster final : public Regressor {
+ public:
+  explicit LinearForecaster(double ridge_lambda = 0.0)
+      : lambda_(ridge_lambda) {}
+
+  void fit(const Matrix& x, const Matrix& y) override;
+  [[nodiscard]] Matrix predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return lambda_ == 0.0 ? "Linear" : "Ridge";
+  }
+
+  [[nodiscard]] const Matrix& weights() const noexcept { return w_; }
+  [[nodiscard]] const std::vector<double>& intercept() const noexcept {
+    return intercept_;
+  }
+
+ private:
+  double lambda_;
+  Matrix w_;  // F x O
+  std::vector<double> intercept_;
+  bool fitted_ = false;
+};
+
+}  // namespace geonas::baselines

@@ -1,0 +1,36 @@
+#include "baselines/manual_lstm.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "nn/lstm.hpp"
+
+namespace geonas::baselines {
+
+nn::GraphNetwork build_manual_lstm(const ManualLSTMSpec& spec) {
+  if (spec.hidden_layers == 0 || spec.hidden_units == 0 || spec.features == 0) {
+    throw std::invalid_argument("build_manual_lstm: zero-sized spec");
+  }
+  nn::GraphNetwork net;
+  std::size_t prev = nn::GraphNetwork::input_id();
+  std::size_t width = spec.features;
+  for (std::size_t layer = 0; layer < spec.hidden_layers; ++layer) {
+    prev = net.add_node(std::make_unique<nn::LSTM>(width, spec.hidden_units),
+                        {prev});
+    width = spec.hidden_units;
+  }
+  net.add_node(std::make_unique<nn::LSTM>(width, spec.features), {prev});
+  return net;
+}
+
+std::vector<ManualLSTMSpec> table2_manual_grid(std::size_t features) {
+  std::vector<ManualLSTMSpec> grid;
+  for (std::size_t units : {40UL, 80UL, 120UL, 200UL}) {
+    for (std::size_t layers : {1UL, 5UL}) {
+      grid.push_back({units, layers, features});
+    }
+  }
+  return grid;
+}
+
+}  // namespace geonas::baselines

@@ -1,0 +1,36 @@
+// Manually designed stacked-LSTM baselines (paper Table II).
+//
+// The paper's manual variants scan the hidden width H over
+// {40, 80, 120, 200} with one or five stacked hidden layers, ending in the
+// same constant LSTM(Nr) output node used by the NAS space, and train for
+// 100 epochs. These networks demonstrate "the challenge of manual model
+// selection" against the NAS-found architecture.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace geonas::baselines {
+
+struct ManualLSTMSpec {
+  std::size_t hidden_units = 80;
+  std::size_t hidden_layers = 1;  // paper: 1 or 5
+  std::size_t features = 5;       // Nr in == out
+
+  [[nodiscard]] std::string name() const {
+    return "LSTM-" + std::to_string(hidden_units) + "x" +
+           std::to_string(hidden_layers);
+  }
+};
+
+/// Builds Input -> LSTM(H) x L -> LSTM(features). Uninitialized weights.
+[[nodiscard]] nn::GraphNetwork build_manual_lstm(const ManualLSTMSpec& spec);
+
+/// The paper's Table II grid: H in {40, 80, 120, 200} x L in {1, 5}.
+[[nodiscard]] std::vector<ManualLSTMSpec> table2_manual_grid(
+    std::size_t features = 5);
+
+}  // namespace geonas::baselines

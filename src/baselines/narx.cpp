@@ -1,0 +1,43 @@
+#include "baselines/narx.hpp"
+
+#include <stdexcept>
+
+namespace geonas::baselines {
+
+Matrix flatten_windows(const Tensor3& windows) {
+  Matrix out(windows.dim0(), windows.dim1() * windows.dim2());
+  for (std::size_t i = 0; i < windows.dim0(); ++i) {
+    const auto src = windows.block(i);
+    std::copy(src.begin(), src.end(), out.row_span(i).begin());
+  }
+  return out;
+}
+
+Tensor3 unflatten_windows(const Matrix& flat, std::size_t k, std::size_t nr) {
+  if (flat.cols() != k * nr) {
+    throw std::invalid_argument("unflatten_windows: column count != K*Nr");
+  }
+  Tensor3 out(flat.rows(), k, nr);
+  for (std::size_t i = 0; i < flat.rows(); ++i) {
+    const auto src = flat.row_span(i);
+    auto dst = out.block(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+void NARXForecaster::fit(const Tensor3& x, const Tensor3& y) {
+  if (x.dim0() != y.dim0() || x.dim0() == 0) {
+    throw std::invalid_argument("NARXForecaster: bad example counts");
+  }
+  k_ = y.dim1();
+  nr_ = y.dim2();
+  regressor_->fit(flatten_windows(x), flatten_windows(y));
+}
+
+Tensor3 NARXForecaster::predict(const Tensor3& x) const {
+  if (k_ == 0) throw std::logic_error("NARXForecaster: predict before fit");
+  return unflatten_windows(regressor_->predict(flatten_windows(x)), k_, nr_);
+}
+
+}  // namespace geonas::baselines

@@ -1,0 +1,41 @@
+// fireTS-style non-autoregressive NARX adaptation (paper §IV-C).
+//
+// The classical baselines are fitted "between an input space corresponding
+// to a historical sequence ... to forecast the next sequence": windowed
+// sequence tensors [N, K, Nr] are flattened to tabular [N, K*Nr] matrices,
+// a Regressor fits the direct multi-output mapping, and predictions are
+// folded back into sequence form. Past inputs always come from the true
+// measurements (non-autoregressive, no exogenous inputs).
+#pragma once
+
+#include "baselines/regressor.hpp"
+#include "tensor/matrix.hpp"
+
+namespace geonas::baselines {
+
+/// [N, K, Nr] -> [N, K*Nr], time-major within each row.
+[[nodiscard]] Matrix flatten_windows(const Tensor3& windows);
+
+/// [N, K*Nr] -> [N, K, Nr]; the inverse of flatten_windows.
+[[nodiscard]] Tensor3 unflatten_windows(const Matrix& flat, std::size_t k,
+                                        std::size_t nr);
+
+/// Wraps a tabular Regressor as a sequence-to-sequence forecaster.
+class NARXForecaster {
+ public:
+  explicit NARXForecaster(Regressor& regressor) : regressor_(&regressor) {}
+
+  /// Fits on windowed sequence data (x, y both [N, K, Nr]).
+  void fit(const Tensor3& x, const Tensor3& y);
+  /// Predicts target windows for inputs [N, K, Nr].
+  [[nodiscard]] Tensor3 predict(const Tensor3& x) const;
+
+  [[nodiscard]] std::string name() const { return regressor_->name(); }
+
+ private:
+  Regressor* regressor_;
+  std::size_t k_ = 0;
+  std::size_t nr_ = 0;
+};
+
+}  // namespace geonas::baselines

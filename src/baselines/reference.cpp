@@ -1,0 +1,91 @@
+#include "baselines/reference.hpp"
+
+#include <stdexcept>
+
+namespace geonas::baselines {
+
+Tensor3 persistence_forecast(const Tensor3& x, std::size_t out_steps) {
+  if (x.dim0() == 0 || x.dim1() == 0) {
+    throw std::invalid_argument("persistence_forecast: empty input");
+  }
+  Tensor3 out(x.dim0(), out_steps, x.dim2());
+  const std::size_t last = x.dim1() - 1;
+  for (std::size_t i = 0; i < x.dim0(); ++i) {
+    for (std::size_t t = 0; t < out_steps; ++t) {
+      for (std::size_t m = 0; m < x.dim2(); ++m) {
+        out(i, t, m) = x(i, last, m);
+      }
+    }
+  }
+  return out;
+}
+
+void WindowClimatology::fit(const Tensor3& x, const Tensor3& y) {
+  if (x.dim0() == 0 || x.dim0() != y.dim0() || x.dim2() != y.dim2()) {
+    throw std::invalid_argument("WindowClimatology: bad shapes");
+  }
+  const std::size_t n = x.dim0();
+  out_steps_ = y.dim1();
+  features_ = y.dim2();
+  const std::size_t last = x.dim1() - 1;
+
+  mean_last_.assign(features_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < features_; ++m) {
+      mean_last_[m] += x(i, last, m);
+    }
+  }
+  for (double& v : mean_last_) v /= static_cast<double>(n);
+
+  mean_y_.resize(out_steps_, features_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < out_steps_; ++t) {
+      for (std::size_t m = 0; m < features_; ++m) {
+        mean_y_(t, m) += y(i, t, m);
+      }
+    }
+  }
+  mean_y_ *= 1.0 / static_cast<double>(n);
+
+  // Per (lead, feature) least-squares slope against the last input value:
+  // the damped-persistence coefficient.
+  slope_.resize(out_steps_, features_, 0.0);
+  std::vector<double> var_last(features_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < features_; ++m) {
+      const double dx = x(i, last, m) - mean_last_[m];
+      var_last[m] += dx * dx;
+      for (std::size_t t = 0; t < out_steps_; ++t) {
+        slope_(t, m) += dx * (y(i, t, m) - mean_y_(t, m));
+      }
+    }
+  }
+  for (std::size_t m = 0; m < features_; ++m) {
+    if (var_last[m] > 1e-12) {
+      for (std::size_t t = 0; t < out_steps_; ++t) {
+        slope_(t, m) /= var_last[m];
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+Tensor3 WindowClimatology::predict(const Tensor3& x) const {
+  if (!fitted_) throw std::logic_error("WindowClimatology: predict before fit");
+  if (x.dim2() != features_) {
+    throw std::invalid_argument("WindowClimatology: feature mismatch");
+  }
+  Tensor3 out(x.dim0(), out_steps_, features_);
+  const std::size_t last = x.dim1() - 1;
+  for (std::size_t i = 0; i < x.dim0(); ++i) {
+    for (std::size_t t = 0; t < out_steps_; ++t) {
+      for (std::size_t m = 0; m < features_; ++m) {
+        out(i, t, m) = mean_y_(t, m) +
+                       slope_(t, m) * (x(i, last, m) - mean_last_[m]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geonas::baselines

@@ -1,0 +1,38 @@
+// Reference forecasters every geophysical-forecast comparison should
+// include (the paper omits them; we add them as sanity anchors):
+//
+//  * Persistence — the forecast for every lead is the last observed
+//    state. Unbeatable on very short horizons, decays with lead time.
+//  * WindowClimatology — the forecast is the training-period mean target
+//    window given the input window's position in the seasonal cycle,
+//    approximated here by the per-lead mean response learned from the
+//    training windows (a "mean of analogous windows" estimator).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace geonas::baselines {
+
+/// Seq-to-seq persistence: prediction[., lead, m] = input[., K-1, m].
+[[nodiscard]] Tensor3 persistence_forecast(const Tensor3& x,
+                                           std::size_t out_steps);
+
+/// Climatology-style reference fitted on training windows.
+class WindowClimatology {
+ public:
+  /// Learns the mean target window plus, per feature, the least-squares
+  /// linear response to the input window's last value — i.e. a damped
+  /// persistence toward climatology, the classical reference model.
+  void fit(const Tensor3& x, const Tensor3& y);
+  [[nodiscard]] Tensor3 predict(const Tensor3& x) const;
+
+ private:
+  std::size_t out_steps_ = 0;
+  std::size_t features_ = 0;
+  Matrix mean_y_;   // out_steps x features
+  Matrix slope_;    // out_steps x features (response to last input value)
+  std::vector<double> mean_last_;  // per-feature mean of the last input
+  bool fitted_ = false;
+};
+
+}  // namespace geonas::baselines

@@ -1,0 +1,17 @@
+#include "baselines/regressor.hpp"
+
+#include <stdexcept>
+
+namespace geonas::baselines {
+
+void check_fit_args(const Matrix& x, const Matrix& y, const char* who) {
+  if (x.rows() == 0 || x.rows() != y.rows()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": x/y row counts invalid for fit");
+  }
+  if (x.cols() == 0 || y.cols() == 0) {
+    throw std::invalid_argument(std::string(who) + ": empty feature/target");
+  }
+}
+
+}  // namespace geonas::baselines

@@ -1,0 +1,33 @@
+// Common interface for the classical (tabular) forecasting baselines.
+//
+// Table II compares the NAS-found POD-LSTM against linear, XGBoost-style
+// boosted-tree and random-forest regressors, all fitted in the fireTS
+// non-autoregressive scheme: X is a flattened window of past POD
+// coefficients, Y the flattened future window. These baselines consume
+// [N, F] -> [N, O] matrices; narx.hpp adapts windowed sequence data.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace geonas::baselines {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits on rows of x (N x F) against rows of y (N x O).
+  virtual void fit(const Matrix& x, const Matrix& y) = 0;
+
+  /// Predicts (N x O) for rows of x. Requires a prior fit().
+  [[nodiscard]] virtual Matrix predict(const Matrix& x) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Validates fit() inputs; throws std::invalid_argument.
+void check_fit_args(const Matrix& x, const Matrix& y, const char* who);
+
+}  // namespace geonas::baselines

@@ -1,0 +1,183 @@
+#include "baselines/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace geonas::baselines {
+
+void DecisionTree::fit(const Matrix& x, const Matrix& y) {
+  check_fit_args(x, y, "DecisionTree");
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  fit_rows(x, y, rows);
+}
+
+void DecisionTree::fit_rows(const Matrix& x, const Matrix& y,
+                            std::span<const std::size_t> row_set) {
+  check_fit_args(x, y, "DecisionTree");
+  if (row_set.empty()) {
+    throw std::invalid_argument("DecisionTree: empty row set");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  n_outputs_ = y.cols();
+  n_features_ = x.cols();
+  std::vector<std::size_t> rows(row_set.begin(), row_set.end());
+  Rng rng(seed_);
+  build(x, y, rows, 0, rows.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Matrix& x, const Matrix& y,
+                                 std::vector<std::size_t>& rows,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t level, Rng& rng) {
+  const std::size_t n = hi - lo;
+  depth_ = std::max(depth_, level);
+
+  // Leaf mean (always computed: used when no split improves).
+  std::vector<double> mean_y(n_outputs_, 0.0);
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t o = 0; o < n_outputs_; ++o) {
+      mean_y[o] += y(rows[i], o);
+    }
+  }
+  for (double& v : mean_y) v /= static_cast<double>(n);
+
+  auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.leaf = mean_y;
+    nodes_.push_back(std::move(leaf));
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (n < cfg_.min_samples_split || level >= cfg_.max_depth) {
+    return make_leaf();
+  }
+
+  // Feature subset (random forests use max_features < 1).
+  std::vector<std::size_t> features(n_features_);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t n_try = n_features_;
+  if (cfg_.max_features < 1.0) {
+    n_try = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.max_features *
+                                    static_cast<double>(n_features_)));
+    rng.shuffle(std::span<std::size_t>(features));
+  }
+
+  // Parent SSE for improvement checks.
+  double parent_sse = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t o = 0; o < n_outputs_; ++o) {
+      const double d = y(rows[i], o) - mean_y[o];
+      parent_sse += d * d;
+    }
+  }
+  if (parent_sse <= 1e-12) return make_leaf();
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_sse = parent_sse;
+
+  std::vector<std::pair<double, std::size_t>> order(n);  // (value, row)
+  std::vector<double> suml(n_outputs_), sumr(n_outputs_);
+  for (std::size_t fi = 0; fi < n_try; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = {x(rows[lo + i], f), rows[lo + i]};
+    }
+    std::sort(order.begin(), order.end());
+    if (order.front().first == order.back().first) continue;  // constant
+
+    // Incremental split scan: move rows left one at a time; SSE of each
+    // side from sums and squared sums.
+    std::fill(suml.begin(), suml.end(), 0.0);
+    double sql = 0.0;
+    double sqr = 0.0;
+    for (std::size_t o = 0; o < n_outputs_; ++o) {
+      sumr[o] = mean_y[o] * static_cast<double>(n);
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t o = 0; o < n_outputs_; ++o) {
+        const double v = y(rows[i], o);
+        sqr += v * v;
+      }
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const std::size_t row = order[i].second;
+      for (std::size_t o = 0; o < n_outputs_; ++o) {
+        const double v = y(row, o);
+        suml[o] += v;
+        sumr[o] -= v;
+        sql += v * v;
+        sqr -= v * v;
+      }
+      if (order[i].first == order[i + 1].first) continue;  // tied values
+      const auto nl = static_cast<double>(i + 1);
+      const auto nr = static_cast<double>(n - i - 1);
+      if (i + 1 < cfg_.min_samples_leaf ||
+          n - i - 1 < cfg_.min_samples_leaf) {
+        continue;
+      }
+      double sse = sql + sqr;
+      for (std::size_t o = 0; o < n_outputs_; ++o) {
+        sse -= suml[o] * suml[o] / nl + sumr[o] * sumr[o] / nr;
+      }
+      if (sse < best_sse - 1e-12) {
+        best_sse = sse;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (order[i].first + order[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition the row segment by the chosen split.
+  const auto mid_iter = std::stable_partition(
+      rows.begin() + static_cast<long>(lo), rows.begin() + static_cast<long>(hi),
+      [&](std::size_t r) {
+        return x(r, static_cast<std::size_t>(best_feature)) <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_iter - rows.begin());
+  if (mid == lo || mid == hi) return make_leaf();  // numerical ties
+
+  const std::size_t my_index = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[my_index].feature = best_feature;
+  nodes_[my_index].threshold = best_threshold;
+  const std::int32_t left = build(x, y, rows, lo, mid, level + 1, rng);
+  const std::int32_t right = build(x, y, rows, mid, hi, level + 1, rng);
+  nodes_[my_index].left = left;
+  nodes_[my_index].right = right;
+  return static_cast<std::int32_t>(my_index);
+}
+
+void DecisionTree::predict_row(std::span<const double> features,
+                               std::span<double> out) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: predict before fit");
+  std::size_t idx = 0;
+  while (nodes_[idx].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[idx].feature);
+    idx = static_cast<std::size_t>(features[f] <= nodes_[idx].threshold
+                                       ? nodes_[idx].left
+                                       : nodes_[idx].right);
+  }
+  const auto& leaf = nodes_[idx].leaf;
+  std::copy(leaf.begin(), leaf.end(), out.begin());
+}
+
+Matrix DecisionTree::predict(const Matrix& x) const {
+  if (x.cols() != n_features_) {
+    throw std::invalid_argument("DecisionTree: feature count mismatch");
+  }
+  Matrix out(x.rows(), n_outputs_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    predict_row(x.row_span(r), out.row_span(r));
+  }
+  return out;
+}
+
+}  // namespace geonas::baselines

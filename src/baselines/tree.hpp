@@ -1,0 +1,72 @@
+// Multi-output CART regression tree.
+//
+// Greedy binary splits minimizing the summed squared error across all
+// output dimensions (scikit-learn's multi-output "mse" criterion); leaves
+// predict the mean target vector. Supports bootstrap row sets and random
+// feature subsetting so RandomForest can reuse the builder, and
+// single-output use by GradientBoosting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/regressor.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas::baselines {
+
+struct TreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Fraction of features examined per split (1.0 = all, sklearn
+  /// regression default).
+  double max_features = 1.0;
+};
+
+class DecisionTree final : public Regressor {
+ public:
+  explicit DecisionTree(TreeConfig config = TreeConfig{},
+                        std::uint64_t seed = 0)
+      : cfg_(config), seed_(seed) {}
+
+  void fit(const Matrix& x, const Matrix& y) override;
+  /// Fit on a row subset (bootstrap sample); rows may repeat.
+  void fit_rows(const Matrix& x, const Matrix& y,
+                std::span<const std::size_t> rows);
+  [[nodiscard]] Matrix predict(const Matrix& x) const override;
+  /// Single-row prediction into `out`.
+  void predict_row(std::span<const double> features,
+                   std::span<double> out) const;
+  [[nodiscard]] std::string name() const override { return "DecisionTree"; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    // Internal: feature >= 0, threshold set, children indices.
+    // Leaf: feature == -1, `leaf` holds the mean target vector.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::vector<double> leaf;
+  };
+
+  std::int32_t build(const Matrix& x, const Matrix& y,
+                     std::vector<std::size_t>& rows, std::size_t lo,
+                     std::size_t hi, std::size_t level, Rng& rng);
+
+  TreeConfig cfg_;
+  std::uint64_t seed_;
+  std::vector<Node> nodes_;
+  std::size_t n_outputs_ = 0;
+  std::size_t n_features_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace geonas::baselines

@@ -1,0 +1,79 @@
+#include "core/nas_driver.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "tensor/random.hpp"
+
+namespace geonas::core {
+
+LocalSearchResult run_local_search(search::SearchMethod& method,
+                                   hpc::ArchitectureEvaluator& evaluator,
+                                   std::size_t evaluations,
+                                   std::uint64_t seed) {
+  LocalSearchResult result;
+  result.best_reward = -1e300;
+  for (std::size_t i = 0; i < evaluations; ++i) {
+    searchspace::Architecture arch = method.ask();
+    const auto outcome = evaluator.evaluate(arch, hash_combine(seed, i));
+    method.tell(arch, outcome.reward);
+    if (outcome.reward > result.best_reward) {
+      result.best_reward = outcome.reward;
+      result.best = arch;
+    }
+    result.history.push_back({std::move(arch), outcome.reward, outcome.params});
+  }
+  return result;
+}
+
+LocalSearchResult run_local_search_parallel(
+    search::SearchMethod& method, hpc::ArchitectureEvaluator& evaluator,
+    std::size_t evaluations, std::size_t workers, std::uint64_t seed) {
+  if (!evaluator.thread_safe()) {
+    throw std::invalid_argument(
+        "run_local_search_parallel: evaluator is not thread-safe");
+  }
+  if (workers == 0) {
+    throw std::invalid_argument("run_local_search_parallel: zero workers");
+  }
+
+  LocalSearchResult result;
+  result.best_reward = -1e300;
+  std::mutex method_mutex;   // serializes ask/tell (the "coordinator")
+  std::mutex result_mutex;
+  std::size_t issued = 0;
+
+  hpc::ThreadPool pool(workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool.submit([&] {
+      for (;;) {
+        searchspace::Architecture arch;
+        std::uint64_t eval_seed = 0;
+        {
+          std::lock_guard lock(method_mutex);
+          if (issued >= evaluations) return;
+          eval_seed = hash_combine(seed, issued++);
+          arch = method.ask();
+        }
+        const auto outcome = evaluator.evaluate(arch, eval_seed);
+        {
+          std::lock_guard lock(method_mutex);
+          method.tell(arch, outcome.reward);
+        }
+        std::lock_guard lock(result_mutex);
+        if (outcome.reward > result.best_reward) {
+          result.best_reward = outcome.reward;
+          result.best = arch;
+        }
+        result.history.push_back({std::move(arch), outcome.reward,
+                                  outcome.params});
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  return result;
+}
+
+}  // namespace geonas::core

@@ -1,0 +1,43 @@
+// Local NAS campaign driver.
+//
+// Runs an ask/tell search against an evaluator on the local machine —
+// serially, or genuinely in parallel on a ThreadPool where each pool
+// thread behaves like an asynchronous Theta worker (ask -> evaluate ->
+// tell). Used by the examples and by benches that need "the best
+// architecture AE found" before post-training.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpc/evaluator.hpp"
+#include "hpc/thread_pool.hpp"
+#include "search/search_method.hpp"
+
+namespace geonas::core {
+
+struct LocalEval {
+  searchspace::Architecture arch;
+  double reward = 0.0;
+  std::size_t params = 0;
+};
+
+struct LocalSearchResult {
+  std::vector<LocalEval> history;  // completion order
+  searchspace::Architecture best;
+  double best_reward = 0.0;
+};
+
+/// Runs `evaluations` sequential ask/evaluate/tell cycles.
+[[nodiscard]] LocalSearchResult run_local_search(
+    search::SearchMethod& method, hpc::ArchitectureEvaluator& evaluator,
+    std::size_t evaluations, std::uint64_t seed = 0);
+
+/// Same, with `workers` concurrent evaluations (evaluator must be
+/// thread_safe()). ask/tell are serialized; evaluations overlap — the
+/// shared-memory equivalent of the paper's asynchronous AE/RS campaigns.
+[[nodiscard]] LocalSearchResult run_local_search_parallel(
+    search::SearchMethod& method, hpc::ArchitectureEvaluator& evaluator,
+    std::size_t evaluations, std::size_t workers, std::uint64_t seed = 0);
+
+}  // namespace geonas::core

@@ -1,0 +1,106 @@
+#include "core/reporting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace geonas::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width != header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << (c + 1 < row.size() ? " | " : " |\n");
+    }
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+std::string TextTable::integer(std::size_t value) {
+  return std::to_string(value);
+}
+
+std::string ascii_series(const std::vector<double>& values, std::size_t width,
+                         std::size_t height, double y_min, double y_max) {
+  if (values.empty() || width == 0 || height == 0) return "(empty series)\n";
+  double lo = y_min, hi = y_max;
+  if (lo == hi) {
+    lo = *std::min_element(values.begin(), values.end());
+    hi = *std::max_element(values.begin(), values.end());
+    if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+  // Downsample the series into `width` buckets (bucket mean).
+  std::vector<double> buckets(width, 0.0);
+  std::vector<std::size_t> counts(width, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t b =
+        std::min(width - 1, i * width / std::max<std::size_t>(1, values.size()));
+    buckets[b] += values[i];
+    ++counts[b];
+  }
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  double last = values.front();
+  for (std::size_t b = 0; b < width; ++b) {
+    const double v = counts[b] > 0 ? buckets[b] / static_cast<double>(counts[b])
+                                   : last;
+    last = v;
+    const double frac = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    const auto row = static_cast<std::size_t>(
+        std::round((1.0 - frac) * static_cast<double>(height - 1)));
+    canvas[row][b] = '*';
+  }
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double axis = hi - (hi - lo) * static_cast<double>(r) /
+                                 static_cast<double>(height - 1);
+    os << (r == 0 || r + 1 == height ? TextTable::num(axis, 3)
+                                     : std::string(5, ' '))
+       << " |" << canvas[r] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace geonas::core

@@ -1,0 +1,36 @@
+// Fixed-width text tables for bench output.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// plain text; TextTable keeps the rows aligned and ASCII-pipe formatted so
+// the output reads like the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geonas::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders the table with a header separator line.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Formats a double with fixed precision.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+  [[nodiscard]] static std::string integer(std::size_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a crude ASCII sparkline of a series (for trajectory "figures").
+[[nodiscard]] std::string ascii_series(const std::vector<double>& values,
+                                       std::size_t width = 72,
+                                       std::size_t height = 12,
+                                       double y_min = 0.0, double y_max = 0.0);
+
+}  // namespace geonas::core

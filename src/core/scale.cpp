@@ -1,0 +1,28 @@
+#include "core/scale.hpp"
+
+#include <cstdlib>
+
+namespace geonas::core {
+
+Scale detect_scale() {
+  const char* env = std::getenv("GEONAS_SCALE");
+  if (env != nullptr && std::string(env) == "full") return Scale::kFull;
+  return Scale::kQuick;
+}
+
+const char* scale_name(Scale scale) noexcept {
+  return scale == Scale::kFull ? "full" : "quick";
+}
+
+ExperimentSetup ExperimentSetup::make(Scale scale) {
+  ExperimentSetup setup;
+  setup.scale = scale;
+  // Quick scale reduces only the grid resolution; the training protocol
+  // (epochs, lr, batch size, snapshot counts) stays at the paper's values,
+  // which a single core handles comfortably at 4-degree resolution.
+  setup.grid =
+      scale == Scale::kFull ? data::Grid::paper() : data::Grid::reduced();
+  return setup;
+}
+
+}  // namespace geonas::core

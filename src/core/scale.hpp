@@ -1,0 +1,41 @@
+// Experiment scaling: quick single-core defaults vs paper-scale runs.
+//
+// Every bench binary reads GEONAS_SCALE from the environment:
+//   (unset) / "quick"  — 4-degree grid, reduced training epochs; every
+//                        experiment finishes in seconds-to-minutes on one
+//                        core while preserving the paper's qualitative
+//                        shape.
+//   "full"             — the paper's 1-degree 360 x 180 grid and full
+//                        epoch counts (hours of CPU time).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "data/grid.hpp"
+
+namespace geonas::core {
+
+enum class Scale { kQuick, kFull };
+
+[[nodiscard]] Scale detect_scale();
+[[nodiscard]] const char* scale_name(Scale scale) noexcept;
+
+/// Canonical experiment dimensions for a scale.
+struct ExperimentSetup {
+  Scale scale = Scale::kQuick;
+  data::Grid grid;                   // quick: 45 x 90; full: 180 x 360
+  std::size_t train_snapshots = 427;   // paper §II-A
+  std::size_t total_snapshots = 1914;  // paper §II-A
+  std::size_t search_epochs = 20;      // NAS evaluation epochs (paper: 20)
+  std::size_t posttrain_epochs = 100;  // paper: 100
+  std::size_t num_modes = 5;           // Nr (paper: 5)
+  std::size_t window = 8;              // K (paper: 8)
+
+  [[nodiscard]] static ExperimentSetup make(Scale scale);
+  [[nodiscard]] static ExperimentSetup from_env() {
+    return make(detect_scale());
+  }
+};
+
+}  // namespace geonas::core

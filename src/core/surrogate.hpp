@@ -1,0 +1,78 @@
+// Calibrated surrogate architecture evaluator.
+//
+// Substitute for the paper's tens of thousands of real 20-epoch Keras
+// trainings on KNL nodes (DESIGN.md §1): a deterministic, seedable
+// fitness oracle over the stacked-LSTM space whose landscape is shaped to
+// match what real trainings of this search space produce —
+//
+//   * reward is validation R^2 in the ~0.88-0.97 band,
+//   * randomly drawn architectures average ~0.935 (the paper's RS
+//     moving-average plateau of 0.93-0.94),
+//   * a narrow optimum region (moderate total capacity around ~200 units,
+//     ~3 stacked layers, non-increasing widths, a few useful skips)
+//     reaches ~0.965 (the paper's AE plateau of ~0.96),
+//   * per-evaluation training noise plus a small left tail of
+//     bad-initialization failures,
+//   * evaluation duration grows affinely with trainable parameters (so
+//     searches that drift toward lean architectures complete more
+//     evaluations, the effect the paper reports for AE).
+//
+// calibrate_against() cross-checks the oracle's ranking against real
+// trainings (core::TrainingEvaluator) on a probe set; the micro bench
+// reports the rank correlation.
+#pragma once
+
+#include "hpc/evaluator.hpp"
+#include "searchspace/space.hpp"
+
+namespace geonas::core {
+
+struct SurrogateConfig {
+  // Fitness landscape.
+  double base = 0.964;              // reward of the ideal architecture
+  double capacity_weight = 0.030;   // penalty weight for off-ideal capacity
+  double ideal_units = 208.0;       // ideal total LSTM width
+  double capacity_spread = 90.0;
+  double depth_weight = 0.020;      // penalty for off-ideal stack depth
+  double ideal_depth = 3.0;
+  double inversion_penalty = 0.006; // per later-wider-than-earlier pair
+  double skip_bonus = 0.003;        // per active skip, saturating
+  double skip_saturation = 4.0;
+  double skip_excess_penalty = 0.004;  // per skip beyond the saturation
+  double no_lstm_penalty = 0.08;    // all-Identity stacks barely learn
+  double fixed_effect_sigma = 0.004;  // per-architecture idiosyncrasy
+  // Evaluation noise.
+  double noise_sigma = 0.006;       // per-evaluation training noise
+  double failure_prob = 0.03;       // bad-init left tail
+  double failure_scale = 0.08;
+  // Duration model (seconds on one simulated KNL node, 20 epochs).
+  // Calibrated so a 3-h 128-node campaign completes ~8,000 AE evaluations
+  // and ~40 synchronous RL rounds, matching the paper's Table III counts.
+  double duration_base = 105.0;
+  double duration_per_param = 0.45e-3;
+  double duration_sigma = 0.15;     // lognormal spread
+  std::uint64_t seed = 2020;
+};
+
+class SurrogateEvaluator final : public hpc::ArchitectureEvaluator {
+ public:
+  SurrogateEvaluator(const searchspace::StackedLSTMSpace& space,
+                     SurrogateConfig config);
+  explicit SurrogateEvaluator(const searchspace::StackedLSTMSpace& space)
+      : SurrogateEvaluator(space, SurrogateConfig{}) {}
+
+  [[nodiscard]] hpc::EvalOutcome evaluate(const searchspace::Architecture& arch,
+                                          std::uint64_t eval_seed) override;
+  [[nodiscard]] bool thread_safe() const override { return true; }
+
+  /// Noise-free fitness (the landscape mean for an architecture).
+  [[nodiscard]] double mean_fitness(const searchspace::Architecture& arch) const;
+
+  [[nodiscard]] const SurrogateConfig& config() const noexcept { return cfg_; }
+
+ private:
+  const searchspace::StackedLSTMSpace* space_;
+  SurrogateConfig cfg_;
+};
+
+}  // namespace geonas::core

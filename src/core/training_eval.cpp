@@ -1,0 +1,39 @@
+#include "core/training_eval.hpp"
+
+namespace geonas::core {
+
+TrainingEvaluator::TrainingEvaluator(const searchspace::StackedLSTMSpace& space,
+                                     const Tensor3& x_train,
+                                     const Tensor3& y_train,
+                                     const Tensor3& x_val, const Tensor3& y_val,
+                                     nn::TrainConfig train_config)
+    : space_(&space),
+      x_train_(&x_train),
+      y_train_(&y_train),
+      x_val_(&x_val),
+      y_val_(&y_val),
+      cfg_(train_config) {}
+
+hpc::EvalOutcome TrainingEvaluator::evaluate(
+    const searchspace::Architecture& arch, std::uint64_t eval_seed) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  nn::GraphNetwork net = space_->build(arch);
+  net.init_params(eval_seed);
+  nn::TrainConfig cfg = cfg_;
+  cfg.seed = eval_seed;
+  const nn::TrainHistory history =
+      nn::Trainer(cfg).fit(net, *x_train_, *y_train_, *x_val_, *y_val_);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  ++count_;
+  hpc::EvalOutcome outcome;
+  // Reward: the R^2 reached on the validation set at the end of the
+  // evaluation budget (the metric DeepHyper returns to the search).
+  outcome.reward = history.val_r2.empty() ? 0.0 : history.val_r2.back();
+  outcome.duration_seconds = std::chrono::duration<double>(t1 - t0).count();
+  outcome.params = net.param_count();
+  return outcome;
+}
+
+}  // namespace geonas::core

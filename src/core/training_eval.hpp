@@ -1,0 +1,43 @@
+// Real-training architecture evaluator.
+//
+// Exactly what one Theta worker did in the paper: build the architecture,
+// train it on the windowed POD-coefficient dataset with the paper's
+// hyperparameters (MSE, Adam, lr 1e-3, batch 64) for the search epoch
+// budget, and return the validation R^2 as the reward. Duration is the
+// measured wall-clock of the training.
+#pragma once
+
+#include <chrono>
+
+#include "hpc/evaluator.hpp"
+#include "nn/trainer.hpp"
+#include "searchspace/space.hpp"
+
+namespace geonas::core {
+
+class TrainingEvaluator final : public hpc::ArchitectureEvaluator {
+ public:
+  /// Holds references to the dataset tensors; the caller keeps them alive.
+  TrainingEvaluator(const searchspace::StackedLSTMSpace& space,
+                    const Tensor3& x_train, const Tensor3& y_train,
+                    const Tensor3& x_val, const Tensor3& y_val,
+                    nn::TrainConfig train_config);
+
+  [[nodiscard]] hpc::EvalOutcome evaluate(const searchspace::Architecture& arch,
+                                          std::uint64_t eval_seed) override;
+  /// Each evaluate() builds its own network; safe from multiple threads.
+  [[nodiscard]] bool thread_safe() const override { return true; }
+
+  [[nodiscard]] std::size_t evaluations() const noexcept { return count_; }
+
+ private:
+  const searchspace::StackedLSTMSpace* space_;
+  const Tensor3* x_train_;
+  const Tensor3* y_train_;
+  const Tensor3* x_val_;
+  const Tensor3* y_val_;
+  nn::TrainConfig cfg_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace geonas::core

@@ -1,0 +1,48 @@
+#include "data/calendar.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace geonas::data {
+
+long days_from_civil(int year, int month, int day) noexcept {
+  // Howard Hinnant's civil-from-days inverse; valid over the full range of
+  // interest.
+  year -= month <= 2;
+  const long era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 +
+                            day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<long>(doe) - 719468;
+}
+
+long week_of_date(int year, int month, int day) noexcept {
+  const long epoch = days_from_civil(kEpochYear, kEpochMonth, kEpochDay);
+  const long delta = days_from_civil(year, month, day) - epoch;
+  // Floor division for dates before the record start.
+  return delta >= 0 ? delta / 7 : -((-delta + 6) / 7);
+}
+
+std::string date_of_week(std::size_t week) {
+  long days = days_from_civil(kEpochYear, kEpochMonth, kEpochDay) +
+              static_cast<long>(week) * 7;
+  // civil_from_days (Hinnant).
+  days += 719468;
+  const long era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long y = static_cast<long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  const long year = y + (m <= 2);
+
+  std::array<char, 48> buf{};
+  std::snprintf(buf.data(), buf.size(), "%04ld-%02u-%02u", year, m, d);
+  return std::string(buf.data());
+}
+
+}  // namespace geonas::data

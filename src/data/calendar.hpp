@@ -1,0 +1,37 @@
+// Calendar bookkeeping for the weekly SST snapshots.
+//
+// The NOAA OI SST V2 weekly record starts on October 22, 1981 and the
+// paper uses 1,914 snapshots through June 30, 2018; snapshot week indices
+// therefore map to civil dates. We reproduce that mapping so the
+// evaluation sub-ranges (Table I: Apr 5 2015 - Jun 24 2018; Fig 6: week of
+// Jun 14 2015) are selected by date exactly as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace geonas::data {
+
+/// First snapshot date (week 0): 1981-10-22.
+inline constexpr int kEpochYear = 1981;
+inline constexpr int kEpochMonth = 10;
+inline constexpr int kEpochDay = 22;
+
+/// Total weekly snapshots in the record used by the paper.
+inline constexpr std::size_t kTotalSnapshots = 1914;
+/// Training + validation snapshots (1981-10-22 .. 1989-12-31).
+inline constexpr std::size_t kTrainSnapshots = 427;
+/// Test snapshots (1990 .. 2018).
+inline constexpr std::size_t kTestSnapshots = kTotalSnapshots - kTrainSnapshots;
+
+/// Days since civil epoch 1970-01-01 (proleptic Gregorian).
+[[nodiscard]] long days_from_civil(int year, int month, int day) noexcept;
+
+/// Week index (0-based snapshot number) of the snapshot week containing the
+/// given date. Negative results mean the date precedes the record.
+[[nodiscard]] long week_of_date(int year, int month, int day) noexcept;
+
+/// Civil date string "YYYY-MM-DD" of the first day of snapshot `week`.
+[[nodiscard]] std::string date_of_week(std::size_t week);
+
+}  // namespace geonas::data

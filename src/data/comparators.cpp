@@ -1,0 +1,140 @@
+#include "data/comparators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/random.hpp"
+
+namespace geonas::data {
+
+namespace {
+double hash_normal(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                   std::uint64_t c) {
+  std::uint64_t h = hash_combine(hash_combine(seed, a), hash_combine(b, c));
+  std::uint64_t s1 = splitmix64(h);
+  std::uint64_t s2 = splitmix64(h);
+  double u1 = static_cast<double>(s1 >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(s2 >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Matrix collect_snapshots(const auto& model, const LandMask& mask,
+                         std::size_t week0, std::size_t count) {
+  Matrix s(mask.ocean_count(), count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto full = model.field(mask.grid(), week0 + c);
+    s.set_col(c, mask.flatten(full));
+  }
+  return s;
+}
+}  // namespace
+
+CESMSurrogate::CESMSurrogate(const SyntheticSST& truth, CESMOptions options)
+    : truth_(&truth), opts_(options) {}
+
+double CESMSurrogate::bias(double lat, double lon) const noexcept {
+  // Smooth, fixed-in-time regional bias from coarse-grid interpolation,
+  // plus the well-documented uniform warm bias of coupled-model tropical
+  // SSTs (~1 C).
+  const double u = lat * std::numbers::pi / 180.0;
+  const double v = lon * std::numbers::pi / 180.0;
+  return opts_.bias_amplitude *
+             (0.55 * std::sin(2.0 * u + 0.4) * std::cos(1.5 * v + 1.1) +
+              0.45 * std::sin(3.1 * u - 0.8) * std::sin(2.3 * v + 0.2)) +
+         1.0;
+}
+
+double CESMSurrogate::value(double lat, double lon, std::size_t week) const {
+  const auto t = static_cast<double>(week);
+  const SyntheticSST& truth = *truth_;
+  const double enso_own =
+      opts_.enso_damping * truth.options().enso_amplitude *
+      truth.enso_index(t + opts_.enso_phase_offset) * truth.enso_pattern(lat, lon);
+  // The climate run's internal variability modes evolve on their own
+  // (time-offset) trajectories, damped as coupled models typically are.
+  const double tele_own =
+      opts_.enso_damping * truth.options().tele_amplitude *
+      truth.tele_index(t + opts_.enso_phase_offset) * truth.tele_pattern(lat, lon);
+  double temp = truth.climatology(lat) +
+                truth.seasonal(lat, lon, t, opts_.seasonal_phase_error_weeks) +
+                truth.trend(lat, t) + enso_own + tele_own +
+                truth.eddy(lat, lon, t, opts_.seed) + bias(lat, lon);
+  const auto qlat = static_cast<std::uint64_t>((lat + 90.0) * 16.0);
+  const auto qlon = static_cast<std::uint64_t>(lon * 16.0);
+  temp += opts_.noise_sigma * hash_normal(opts_.seed, week, qlat, qlon);
+  return std::max(temp, -1.9);
+}
+
+std::vector<double> CESMSurrogate::field(const Grid& grid,
+                                         std::size_t week) const {
+  std::vector<double> out(grid.cells());
+  for (std::size_t i = 0; i < grid.nlat; ++i) {
+    const double lat = grid.lat_of(i);
+    for (std::size_t j = 0; j < grid.nlon; ++j) {
+      out[grid.index(i, j)] = value(lat, grid.lon_of(j), week);
+    }
+  }
+  return out;
+}
+
+Matrix CESMSurrogate::snapshots(const LandMask& mask, std::size_t week0,
+                                std::size_t count) const {
+  return collect_snapshots(*this, mask, week0, count);
+}
+
+HYCOMSurrogate::HYCOMSurrogate(const SyntheticSST& truth, HYCOMOptions options)
+    : truth_(&truth), opts_(options) {}
+
+double HYCOMSurrogate::value(double lat, double lon, std::size_t week) const {
+  const auto t = static_cast<double>(week);
+  // Forecast error: an independent smooth wave field (position/timing
+  // errors in the mesoscale forecast) plus interpolation noise and a small
+  // systematic bias.
+  const double err = truth_->eddy(lat, lon, t, opts_.seed) *
+                     (opts_.error_wave_amplitude /
+                      std::max(truth_->options().eddy_amplitude, 1e-9));
+  // Climate-mode mistiming: the forecast tracks the chaotic indices with a
+  // lag (its data assimilation trails the real evolution).
+  const double enso_err =
+      opts_.enso_error_fraction *
+      (truth_->options().enso_amplitude * truth_->enso_pattern(lat, lon) *
+           (truth_->enso_index(t - opts_.enso_lag_weeks) -
+            truth_->enso_index(t)) +
+       truth_->options().tele_amplitude * truth_->tele_pattern(lat, lon) *
+           (truth_->tele_index(t - opts_.enso_lag_weeks) -
+            truth_->tele_index(t)));
+  const auto qlat = static_cast<std::uint64_t>((lat + 90.0) * 16.0);
+  const auto qlon = static_cast<std::uint64_t>(lon * 16.0);
+  const double noise =
+      opts_.noise_sigma * hash_normal(opts_.seed, week, qlat, qlon);
+  return truth_->value(lat, lon, week) + err + enso_err + opts_.bias + noise;
+}
+
+std::vector<double> HYCOMSurrogate::field(const Grid& grid,
+                                          std::size_t week) const {
+  std::vector<double> out(grid.cells());
+  for (std::size_t i = 0; i < grid.nlat; ++i) {
+    const double lat = grid.lat_of(i);
+    for (std::size_t j = 0; j < grid.nlon; ++j) {
+      out[grid.index(i, j)] = value(lat, grid.lon_of(j), week);
+    }
+  }
+  return out;
+}
+
+Matrix HYCOMSurrogate::snapshots(const LandMask& mask, std::size_t week0,
+                                 std::size_t count) const {
+  return collect_snapshots(*this, mask, week0, count);
+}
+
+std::size_t HYCOMSurrogate::first_available_week() {
+  return static_cast<std::size_t>(week_of_date(2015, 4, 5));
+}
+
+std::size_t HYCOMSurrogate::last_available_week() {
+  return static_cast<std::size_t>(week_of_date(2018, 6, 24));
+}
+
+}  // namespace geonas::data

@@ -1,0 +1,144 @@
+#include "data/snapshot_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace geonas::data {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'G', 'E', 'O', 'S', 'N', 'A', 'P', 'S'};
+constexpr char kMaskMagic[8] = {'G', 'E', 'O', 'M', 'A', 'S', 'K', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t value) {
+  std::array<unsigned char, 8> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+  }
+  os.write(reinterpret_cast<const char*>(bytes.data()), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::array<unsigned char, 8> bytes{};
+  is.read(reinterpret_cast<char*>(bytes.data()), 8);
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | bytes[static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+void require_stream(const std::ios& stream, const char* what) {
+  if (!stream) {
+    throw std::runtime_error(std::string("snapshot_io: stream failure in ") +
+                             what);
+  }
+}
+
+}  // namespace
+
+void write_snapshots(const SnapshotRecord& record, std::ostream& os) {
+  os.write(kSnapshotMagic, 8);
+  write_u64(os, record.snapshots.rows());
+  write_u64(os, record.snapshots.cols());
+  write_u64(os, record.first_week);
+  // Column-major payload: one contiguous snapshot per column.
+  const std::size_t rows = record.snapshots.rows();
+  std::vector<double> column(rows);
+  for (std::size_t c = 0; c < record.snapshots.cols(); ++c) {
+    for (std::size_t r = 0; r < rows; ++r) column[r] = record.snapshots(r, c);
+    os.write(reinterpret_cast<const char*>(column.data()),
+             static_cast<std::streamsize>(rows * sizeof(double)));
+  }
+  require_stream(os, "write_snapshots");
+}
+
+SnapshotRecord read_snapshots(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  require_stream(is, "read_snapshots header");
+  if (std::memcmp(magic, kSnapshotMagic, 8) != 0) {
+    throw std::runtime_error("snapshot_io: bad snapshot magic");
+  }
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  SnapshotRecord record;
+  record.first_week = read_u64(is);
+  if (rows == 0 || cols == 0 || rows > (1ULL << 32) || cols > (1ULL << 32)) {
+    throw std::runtime_error("snapshot_io: implausible snapshot dimensions");
+  }
+  record.snapshots.resize(static_cast<std::size_t>(rows),
+                          static_cast<std::size_t>(cols));
+  std::vector<double> column(static_cast<std::size_t>(rows));
+  for (std::size_t c = 0; c < cols; ++c) {
+    is.read(reinterpret_cast<char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(double)));
+    for (std::size_t r = 0; r < rows; ++r) record.snapshots(r, c) = column[r];
+  }
+  require_stream(is, "read_snapshots payload");
+  return record;
+}
+
+void write_snapshots_file(const SnapshotRecord& record,
+                          const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("snapshot_io: cannot open " + path);
+  write_snapshots(record, os);
+}
+
+SnapshotRecord read_snapshots_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("snapshot_io: cannot open " + path);
+  return read_snapshots(is);
+}
+
+void write_mask(const MaskRecord& record, std::ostream& os) {
+  if (record.land.size() != record.grid.cells()) {
+    throw std::invalid_argument("snapshot_io: mask size != grid cells");
+  }
+  os.write(kMaskMagic, 8);
+  write_u64(os, record.grid.nlat);
+  write_u64(os, record.grid.nlon);
+  os.write(reinterpret_cast<const char*>(record.land.data()),
+           static_cast<std::streamsize>(record.land.size()));
+  require_stream(os, "write_mask");
+}
+
+MaskRecord read_mask(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  require_stream(is, "read_mask header");
+  if (std::memcmp(magic, kMaskMagic, 8) != 0) {
+    throw std::runtime_error("snapshot_io: bad mask magic");
+  }
+  MaskRecord record;
+  record.grid.nlat = static_cast<std::size_t>(read_u64(is));
+  record.grid.nlon = static_cast<std::size_t>(read_u64(is));
+  if (record.grid.cells() == 0 || record.grid.cells() > (1ULL << 32)) {
+    throw std::runtime_error("snapshot_io: implausible mask dimensions");
+  }
+  record.land.resize(record.grid.cells());
+  is.read(reinterpret_cast<char*>(record.land.data()),
+          static_cast<std::streamsize>(record.land.size()));
+  require_stream(is, "read_mask payload");
+  return record;
+}
+
+void write_mask_file(const MaskRecord& record, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("snapshot_io: cannot open " + path);
+  write_mask(record, os);
+}
+
+MaskRecord read_mask_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("snapshot_io: cannot open " + path);
+  return read_mask(is);
+}
+
+}  // namespace geonas::data

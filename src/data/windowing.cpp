@@ -1,0 +1,75 @@
+#include "data/windowing.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/random.hpp"
+
+namespace geonas::data {
+
+std::size_t window_count(std::size_t ns, const WindowConfig& config) {
+  const std::size_t width = 2 * config.window;
+  if (ns < width || config.window == 0) return 0;
+  return (ns - width) / std::max<std::size_t>(1, config.stride) + 1;
+}
+
+WindowedDataset make_windows(const Matrix& coefficients,
+                             const WindowConfig& config) {
+  const std::size_t nr = coefficients.rows();
+  const std::size_t ns = coefficients.cols();
+  const std::size_t k = config.window;
+  const std::size_t n = window_count(ns, config);
+  if (n == 0) {
+    throw std::invalid_argument(
+        "make_windows: series shorter than one 2K window");
+  }
+  WindowedDataset out{Tensor3(n, k, nr), Tensor3(n, k, nr)};
+  for (std::size_t e = 0; e < n; ++e) {
+    const std::size_t start = e * config.stride;
+    for (std::size_t t = 0; t < k; ++t) {
+      for (std::size_t m = 0; m < nr; ++m) {
+        out.x(e, t, m) = coefficients(m, start + t);
+        out.y(e, t, m) = coefficients(m, start + k + t);
+      }
+    }
+  }
+  return out;
+}
+
+SplitDataset train_val_split(const WindowedDataset& data,
+                             double train_fraction, std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction > 1.0) {
+    throw std::invalid_argument("train_val_split: bad fraction");
+  }
+  const std::size_t n = data.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(seed);
+  rng.shuffle(std::span<std::size_t>(order));
+
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(n) + 0.5);
+  const std::size_t k = data.x.dim1();
+  const std::size_t nr = data.x.dim2();
+
+  SplitDataset split;
+  split.train.x = Tensor3(n_train, k, nr);
+  split.train.y = Tensor3(n_train, k, nr);
+  split.val.x = Tensor3(n - n_train, k, nr);
+  split.val.y = Tensor3(n - n_train, k, nr);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = order[i];
+    Tensor3& dx = i < n_train ? split.train.x : split.val.x;
+    Tensor3& dy = i < n_train ? split.train.y : split.val.y;
+    const std::size_t dst = i < n_train ? i : i - n_train;
+    auto bx = dx.block(dst);
+    auto by = dy.block(dst);
+    const auto sx = data.x.block(src);
+    const auto sy = data.y.block(src);
+    std::copy(sx.begin(), sx.end(), bx.begin());
+    std::copy(sy.begin(), sy.end(), by.begin());
+  }
+  return split;
+}
+
+}  // namespace geonas::data

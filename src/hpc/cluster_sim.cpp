@@ -1,0 +1,206 @@
+#include "hpc/cluster_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "tensor/random.hpp"
+#include "tensor/stats.hpp"
+
+namespace geonas::hpc {
+
+namespace {
+constexpr double kCurveDt = 60.0;
+}
+
+std::pair<std::vector<double>, std::vector<double>>
+SimResult::reward_trajectory(std::size_t window) const {
+  std::vector<double> times(evals.size());
+  std::vector<double> rewards(evals.size());
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    times[i] = evals[i].completed_at;
+    rewards[i] = evals[i].reward;
+  }
+  return {std::move(times), moving_average(rewards, window)};
+}
+
+std::vector<double> SimResult::best_so_far() const {
+  std::vector<double> best(evals.size());
+  double cur = -1e300;
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    cur = std::max(cur, evals[i].reward);
+    best[i] = cur;
+  }
+  return best;
+}
+
+std::size_t SimResult::unique_high_performers(double threshold) const {
+  std::set<std::string> unique;
+  for (const auto& e : evals) {
+    if (e.reward > threshold) unique.insert(e.arch_key);
+  }
+  return unique.size();
+}
+
+std::vector<std::size_t> SimResult::unique_high_performer_curve(
+    double threshold) const {
+  std::vector<std::size_t> curve(evals.size());
+  std::set<std::string> unique;
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    if (evals[i].reward > threshold) unique.insert(evals[i].arch_key);
+    curve[i] = unique.size();
+  }
+  return curve;
+}
+
+SimResult simulate_async(search::SearchMethod& method,
+                         ArchitectureEvaluator& evaluator,
+                         const ClusterConfig& config) {
+  const ThetaPartition part = async_partition(config.nodes);
+  UtilizationTracker tracker(part.total_nodes, config.wall_time_seconds);
+  Rng rng(hash_combine(config.seed, 0xA51ULL));
+
+  // Event-driven loop. Each worker cycles: request -> (coordinator queue)
+  // -> launch overhead -> evaluate -> report. The coordinator serves
+  // requests FIFO with a fixed service time; ask()/tell() are invoked in
+  // simulated-time order so the search method sees exactly the information
+  // a real asynchronous campaign would provide.
+  struct Pending {
+    double completion;
+    std::size_t worker;
+    searchspace::Architecture arch;
+    EvalOutcome outcome;
+    bool operator>(const Pending& other) const {
+      return completion > other.completion;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> running;
+
+  SimResult result;
+  double coordinator_free = 0.0;
+  std::uint64_t eval_counter = 0;
+
+  auto launch = [&](std::size_t worker, double request_time) {
+    const double service_start = std::max(request_time, coordinator_free);
+    const double ask_done = service_start + config.coordinator_service;
+    coordinator_free = ask_done;
+    const double overhead =
+        config.launch_overhead_mean > 0.0
+            ? rng.exponential(1.0 / config.launch_overhead_mean)
+            : 0.0;
+    const double start = ask_done + overhead;
+    if (start >= config.wall_time_seconds) return;  // wall reached
+
+    searchspace::Architecture arch = method.ask();
+    const EvalOutcome outcome =
+        evaluator.evaluate(arch, hash_combine(config.seed, eval_counter++));
+    const double completion = start + outcome.duration_seconds;
+    // Busy until completion or the wall, whichever first; evaluations cut
+    // by the wall still occupied the node but return no result.
+    tracker.add_busy(start, completion);
+    if (completion <= config.wall_time_seconds) {
+      running.push({completion, worker, std::move(arch), outcome});
+    }
+  };
+
+  for (std::size_t w = 0; w < part.workers; ++w) launch(w, 0.0);
+
+  while (!running.empty()) {
+    Pending done = running.top();
+    running.pop();
+    method.tell(done.arch, done.outcome.reward);
+    result.evals.push_back({done.completion, done.outcome.reward,
+                            done.outcome.duration_seconds, done.outcome.params,
+                            done.arch.key()});
+    launch(done.worker, done.completion);
+  }
+
+  result.utilization = tracker.utilization_auc();
+  result.busy_curve = tracker.busy_fraction_curve(kCurveDt);
+  return result;
+}
+
+SimResult simulate_rl(const searchspace::StackedLSTMSpace& space,
+                      const search::PPOConfig& ppo,
+                      ArchitectureEvaluator& evaluator,
+                      const ClusterConfig& config) {
+  const ThetaPartition part = rl_partition(config.nodes);
+  UtilizationTracker tracker(part.total_nodes, config.wall_time_seconds);
+  Rng rng(hash_combine(config.seed, 0xAB5ULL));
+
+  std::vector<search::PPOAgent> agents;
+  agents.reserve(part.agents);
+  for (std::size_t a = 0; a < part.agents; ++a) {
+    agents.emplace_back(space, ppo, static_cast<std::uint64_t>(a));
+  }
+
+  SimResult result;
+  std::uint64_t eval_counter = 0;
+  double t = 0.0;
+
+  while (t < config.wall_time_seconds) {
+    // One synchronous round: every worker of every agent evaluates one
+    // policy sample. The batch size b equals workers-per-agent.
+    double round_max_completion = t;
+    std::vector<std::vector<search::PPOAgent::Sample>> batches(part.agents);
+    bool any_counted = false;
+
+    for (std::size_t a = 0; a < part.agents; ++a) {
+      for (std::size_t w = 0; w < part.workers_per_agent; ++w) {
+        const double overhead =
+            config.launch_overhead_mean > 0.0
+                ? rng.exponential(1.0 / config.launch_overhead_mean)
+                : 0.0;
+        const double start = t + config.coordinator_service + overhead;
+        if (start >= config.wall_time_seconds) continue;
+        searchspace::Architecture arch = agents[a].ask();
+        const EvalOutcome outcome =
+            evaluator.evaluate(arch, hash_combine(config.seed, eval_counter++));
+        const double completion = start + outcome.duration_seconds;
+        tracker.add_busy(start, completion);
+        round_max_completion = std::max(round_max_completion, completion);
+        if (completion <= config.wall_time_seconds) {
+          result.evals.push_back({completion, outcome.reward,
+                                  outcome.duration_seconds, outcome.params,
+                                  arch.key()});
+          batches[a].push_back({std::move(arch), outcome.reward});
+          any_counted = true;
+        }
+      }
+    }
+    if (!any_counted) break;  // the wall cut the whole round
+
+    // Intra-agent barrier happened implicitly (batch collection); now the
+    // inter-agent synchronous gradient all-reduce (paper §III-B2).
+    const double grad_start = round_max_completion;
+    const double grad_end = grad_start + config.rl_gradient_time;
+    for (std::size_t a = 0; a < part.agents; ++a) {
+      // Agent nodes are busy only while computing gradients.
+      tracker.add_busy(grad_start, grad_end);
+    }
+    std::vector<std::vector<Matrix>> grads;
+    grads.reserve(part.agents);
+    for (std::size_t a = 0; a < part.agents; ++a) {
+      if (!batches[a].empty()) {
+        grads.push_back(agents[a].compute_gradient(batches[a]));
+      }
+    }
+    if (!grads.empty()) {
+      const auto mean_grad = search::all_reduce_mean_gradients(grads);
+      for (auto& agent : agents) agent.apply_gradient(mean_grad);
+    }
+    t = grad_end + config.rl_allreduce_time;
+    ++result.rounds;
+  }
+
+  std::sort(result.evals.begin(), result.evals.end(),
+            [](const CompletedEval& a, const CompletedEval& b) {
+              return a.completed_at < b.completed_at;
+            });
+  result.utilization = tracker.utilization_auc();
+  result.busy_curve = tracker.busy_fraction_curve(kCurveDt);
+  return result;
+}
+
+}  // namespace geonas::hpc

@@ -1,0 +1,94 @@
+// Discrete-event simulator of NAS campaigns on a Theta-like cluster.
+//
+// Substitute for the paper's 33-512 KNL-node runs (DESIGN.md §1): the
+// simulator reproduces the two orchestration patterns whose contrast
+// drives every scaling result in the paper —
+//
+//  * Asynchronous (AE, RS): every node is an independent worker that asks
+//    the search method for an architecture through a central coordinator
+//    (FIFO service queue, modeling the DeepHyper/Balsam master), evaluates
+//    it for the duration the evaluator reports, tells the result back, and
+//    immediately asks again. No barriers; utilization stays high.
+//
+//  * Synchronous RL: 11 agents x W workers. Each round, every worker of
+//    every agent evaluates one policy sample; agents wait for their whole
+//    batch (intra-agent barrier), then all agents all-reduce policy
+//    gradients (inter-agent barrier) before the next round starts. The
+//    slowest evaluation in the whole cluster gates every node — the
+//    mechanism behind RL's ~0.5 node utilization (Table III).
+//
+// Simulated time is wholly decoupled from wall time: a 3-hour, 512-node
+// campaign with tens of thousands of surrogate evaluations replays in
+// milliseconds, deterministically for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpc/evaluator.hpp"
+#include "hpc/theta.hpp"
+#include "hpc/utilization.hpp"
+#include "search/ppo.hpp"
+#include "search/search_method.hpp"
+
+namespace geonas::hpc {
+
+struct ClusterConfig {
+  std::size_t nodes = 128;
+  double wall_time_seconds = 3.0 * 3600.0;  // paper: 3 h per search
+  /// Central coordinator service time per architecture request (s).
+  double coordinator_service = 0.15;
+  /// Mean per-evaluation launch/staging overhead on the worker (s),
+  /// exponentially distributed.
+  double launch_overhead_mean = 12.0;
+  /// Agent-side gradient computation time per RL round (s).
+  double rl_gradient_time = 2.0;
+  /// All-reduce latency per RL round (s).
+  double rl_allreduce_time = 0.5;
+  std::uint64_t seed = 7;
+};
+
+struct CompletedEval {
+  double completed_at = 0.0;  // simulated seconds
+  double reward = 0.0;
+  double duration = 0.0;
+  std::size_t params = 0;
+  std::string arch_key;
+};
+
+struct SimResult {
+  std::vector<CompletedEval> evals;  // ordered by completion time
+  double utilization = 0.0;          // trapezoidal AUC ratio
+  std::vector<double> busy_curve;    // busy fraction sampled every 60 s
+  std::size_t rounds = 0;            // RL only
+
+  [[nodiscard]] std::size_t num_evaluations() const noexcept {
+    return evals.size();
+  }
+  /// Window-100 moving average of rewards vs completion time (paper's
+  /// search-trajectory metric). Returns {times, averaged rewards}.
+  [[nodiscard]] std::pair<std::vector<double>, std::vector<double>>
+  reward_trajectory(std::size_t window = 100) const;
+  /// Best reward seen up to each completion time.
+  [[nodiscard]] std::vector<double> best_so_far() const;
+  /// Number of unique architectures with reward > threshold (Fig 8).
+  [[nodiscard]] std::size_t unique_high_performers(double threshold) const;
+  /// Same, cumulative at each completion time.
+  [[nodiscard]] std::vector<std::size_t> unique_high_performer_curve(
+      double threshold) const;
+};
+
+/// Runs an asynchronous search (AE or RS) on the simulated cluster.
+[[nodiscard]] SimResult simulate_async(search::SearchMethod& method,
+                                       ArchitectureEvaluator& evaluator,
+                                       const ClusterConfig& config);
+
+/// Runs the synchronous multi-agent PPO search. Agents are constructed
+/// internally per the Theta partition rules.
+[[nodiscard]] SimResult simulate_rl(const searchspace::StackedLSTMSpace& space,
+                                    const search::PPOConfig& ppo,
+                                    ArchitectureEvaluator& evaluator,
+                                    const ClusterConfig& config);
+
+}  // namespace geonas::hpc

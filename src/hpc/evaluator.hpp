@@ -1,0 +1,37 @@
+// Architecture evaluation interface.
+//
+// An evaluation maps an architecture to (reward, duration): the paper's
+// reward is the validation R^2 of a 20-epoch training; duration is the
+// wall-clock the evaluation occupies one compute node. Two implementations
+// exist: core::TrainingEvaluator (real trainings with geonas::nn) and
+// core::SurrogateEvaluator (the calibrated fitness oracle used for the
+// 10^4-evaluation scaling studies; see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+
+#include "searchspace/architecture.hpp"
+
+namespace geonas::hpc {
+
+struct EvalOutcome {
+  double reward = 0.0;            // validation R^2
+  double duration_seconds = 0.0;  // simulated (or measured) node time
+  std::size_t params = 0;         // trainable parameter count
+};
+
+class ArchitectureEvaluator {
+ public:
+  virtual ~ArchitectureEvaluator() = default;
+
+  /// Evaluates `arch`. `eval_seed` individualizes training noise so
+  /// repeated evaluations of one architecture differ, as real retraining
+  /// does. Implementations must be safe to call from multiple threads iff
+  /// they advertise thread_safe().
+  [[nodiscard]] virtual EvalOutcome evaluate(
+      const searchspace::Architecture& arch, std::uint64_t eval_seed) = 0;
+
+  [[nodiscard]] virtual bool thread_safe() const { return false; }
+};
+
+}  // namespace geonas::hpc

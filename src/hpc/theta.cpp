@@ -1,0 +1,34 @@
+#include "hpc/theta.hpp"
+
+#include <stdexcept>
+
+namespace geonas::hpc {
+
+ThetaPartition rl_partition(std::size_t total_nodes) {
+  if (total_nodes < kRLAgents + kRLAgents) {
+    throw std::invalid_argument(
+        "rl_partition: need at least one worker per agent");
+  }
+  ThetaPartition p;
+  p.total_nodes = total_nodes;
+  p.agents = kRLAgents;
+  p.workers_per_agent = (total_nodes - kRLAgents) / kRLAgents;
+  p.workers = p.workers_per_agent * kRLAgents;
+  p.idle_nodes = total_nodes - p.agents - p.workers;
+  return p;
+}
+
+ThetaPartition async_partition(std::size_t total_nodes) {
+  if (total_nodes == 0) {
+    throw std::invalid_argument("async_partition: zero nodes");
+  }
+  ThetaPartition p;
+  p.total_nodes = total_nodes;
+  p.agents = 0;
+  p.workers = total_nodes;
+  p.workers_per_agent = 0;
+  p.idle_nodes = 0;
+  return p;
+}
+
+}  // namespace geonas::hpc

@@ -1,0 +1,35 @@
+// Theta node-partitioning rules (paper §IV).
+//
+// The RL strategy reserves 11 nodes for agents and divides the remaining
+// nodes equally among them as workers; leftovers idle. AE and RS are fully
+// asynchronous, so every node is a worker. The worked examples in the
+// paper: 33 nodes -> 2 workers/agent (0 idle), 64 -> 4 (9 idle),
+// 128 -> 10 (7 idle), 256 -> 22 (3 idle), 512 -> 45 (6 idle).
+#pragma once
+
+#include <cstddef>
+
+namespace geonas::hpc {
+
+inline constexpr std::size_t kRLAgents = 11;
+
+struct ThetaPartition {
+  std::size_t total_nodes = 0;
+  std::size_t agents = 0;             // 0 for asynchronous methods
+  std::size_t workers_per_agent = 0;  // asynchronous: workers == total
+  std::size_t workers = 0;
+  std::size_t idle_nodes = 0;
+
+  [[nodiscard]] std::size_t used_nodes() const noexcept {
+    return agents + workers;
+  }
+};
+
+/// Partition for the synchronous RL method. Throws when fewer nodes than
+/// agents + one worker each are available.
+[[nodiscard]] ThetaPartition rl_partition(std::size_t total_nodes);
+
+/// Partition for AE/RS: all nodes are independent workers.
+[[nodiscard]] ThetaPartition async_partition(std::size_t total_nodes);
+
+}  // namespace geonas::hpc

@@ -1,0 +1,140 @@
+#include "hpc/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace geonas::hpc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+AllReduceMean::AllReduceMean(std::size_t ranks) : ranks_(ranks) {
+  if (ranks_ == 0) {
+    throw std::invalid_argument("AllReduceMean: need at least one rank");
+  }
+}
+
+void AllReduceMean::reduce(std::span<double> data) {
+  std::unique_lock lock(mutex_);
+  // Wait for the previous generation to fully drain before joining.
+  cv_.wait(lock, [this] { return departed_ == 0; });
+
+  if (arrived_ == 0) {
+    accumulator_.assign(data.begin(), data.end());
+  } else {
+    if (accumulator_.size() != data.size()) {
+      throw std::invalid_argument("AllReduceMean: length mismatch");
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) accumulator_[i] += data[i];
+  }
+  ++arrived_;
+
+  if (arrived_ == ranks_) {
+    for (double& v : accumulator_) v /= static_cast<double>(ranks_);
+    departed_ = ranks_;
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    const std::size_t my_generation = generation_;
+    cv_.wait(lock, [this, my_generation] { return generation_ != my_generation; });
+  }
+
+  std::copy(accumulator_.begin(), accumulator_.end(), data.begin());
+  --departed_;
+  if (departed_ == 0) cv_.notify_all();
+}
+
+Broadcast::Broadcast(std::size_t ranks) : ranks_(ranks) {
+  if (ranks_ == 0) {
+    throw std::invalid_argument("Broadcast: need at least one rank");
+  }
+}
+
+void Broadcast::broadcast(std::size_t rank, std::span<double> data) {
+  if (rank >= ranks_) {
+    throw std::invalid_argument("Broadcast: rank out of range");
+  }
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return departed_ == 0; });
+
+  if (rank == 0) {
+    buffer_.assign(data.begin(), data.end());
+    root_arrived_ = true;
+  }
+  ++arrived_;
+
+  if (arrived_ == ranks_) {
+    if (!root_arrived_) {
+      throw std::logic_error("Broadcast: rank 0 never arrived");
+    }
+    departed_ = ranks_;
+    arrived_ = 0;
+    root_arrived_ = false;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    const std::size_t my_generation = generation_;
+    cv_.wait(lock,
+             [this, my_generation] { return generation_ != my_generation; });
+  }
+
+  if (buffer_.size() != data.size()) {
+    throw std::invalid_argument("Broadcast: length mismatch");
+  }
+  std::copy(buffer_.begin(), buffer_.end(), data.begin());
+  --departed_;
+  if (departed_ == 0) cv_.notify_all();
+}
+
+Barrier::Barrier(std::size_t ranks) : ranks_(ranks) {
+  if (ranks_ == 0) {
+    throw std::invalid_argument("Barrier: need at least one rank");
+  }
+}
+
+void Barrier::arrive() {
+  std::unique_lock lock(mutex_);
+  if (++arrived_ == ranks_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const std::size_t my_generation = generation_;
+  cv_.wait(lock,
+           [this, my_generation] { return generation_ != my_generation; });
+}
+
+}  // namespace geonas::hpc

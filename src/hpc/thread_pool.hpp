@@ -1,0 +1,171 @@
+// Real shared-memory parallel primitives.
+//
+// Beyond the discrete-event simulator, geonas can run genuinely parallel
+// NAS campaigns on the local machine. The primitives follow the
+// message-passing model of the MPI guides: a ThreadPool of worker
+// "ranks", a bounded Channel for send/recv between ranks, and a
+// blocking all_reduce_mean mirroring MPI_Allreduce with MPI_SUM/size.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace geonas::hpc {
+
+/// Fixed-size pool executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Bounded multi-producer multi-consumer channel (MPI-style mailbox).
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Blocking send; returns false if the channel was closed.
+  bool send(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking receive; std::nullopt when closed and drained.
+  std::optional<T> recv() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  bool closed_ = false;
+};
+
+/// Rendezvous all-reduce: `ranks` participants each contribute a vector;
+/// every call blocks until all have arrived, then every participant's
+/// vector is replaced with the element-wise mean. Equivalent to
+/// MPI_Allreduce(..., MPI_SUM) / ranks.
+class AllReduceMean {
+ public:
+  explicit AllReduceMean(std::size_t ranks);
+
+  /// Contributes `data` (all participants must pass equal lengths) and
+  /// blocks until the reduction completes; `data` then holds the mean.
+  void reduce(std::span<double> data);
+
+ private:
+  std::size_t ranks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<double> accumulator_;
+  std::size_t arrived_ = 0;
+  std::size_t departed_ = 0;
+  std::size_t generation_ = 0;
+};
+
+/// Rendezvous broadcast: rank 0's vector is copied into every
+/// participant's buffer (MPI_Bcast).
+class Broadcast {
+ public:
+  explicit Broadcast(std::size_t ranks);
+
+  /// Rank `rank` contributes/receives `data`; blocks until all arrive.
+  void broadcast(std::size_t rank, std::span<double> data);
+
+ private:
+  std::size_t ranks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<double> buffer_;
+  bool root_arrived_ = false;
+  std::size_t arrived_ = 0;
+  std::size_t departed_ = 0;
+  std::size_t generation_ = 0;
+};
+
+/// Reusable barrier (MPI_Barrier): arrive() blocks until all ranks do.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t ranks);
+  void arrive();
+
+ private:
+  std::size_t ranks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace geonas::hpc

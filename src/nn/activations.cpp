@@ -1,0 +1,15 @@
+#include "nn/activations.hpp"
+
+namespace geonas::nn {
+
+const char* activation_name(Activation a) noexcept {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kReLU: return "relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+  }
+  return "unknown";
+}
+
+}  // namespace geonas::nn

@@ -1,0 +1,45 @@
+// Scalar activation functions and their derivatives.
+#pragma once
+
+#include <cmath>
+
+namespace geonas::nn {
+
+inline double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+/// Derivative expressed in terms of the activation value s = sigmoid(x).
+inline double sigmoid_grad_from_value(double s) noexcept { return s * (1.0 - s); }
+
+inline double tanh_act(double x) noexcept { return std::tanh(x); }
+/// Derivative in terms of the activation value t = tanh(x).
+inline double tanh_grad_from_value(double t) noexcept { return 1.0 - t * t; }
+
+inline double relu(double x) noexcept { return x > 0.0 ? x : 0.0; }
+inline double relu_grad_from_input(double x) noexcept { return x > 0.0 ? 1.0 : 0.0; }
+
+/// Supported activations for Dense layers.
+enum class Activation { kIdentity, kReLU, kTanh, kSigmoid };
+
+inline double apply_activation(Activation a, double x) noexcept {
+  switch (a) {
+    case Activation::kReLU: return relu(x);
+    case Activation::kTanh: return tanh_act(x);
+    case Activation::kSigmoid: return sigmoid(x);
+    case Activation::kIdentity: break;
+  }
+  return x;
+}
+
+/// d(activation)/dx given pre-activation x and activation value y.
+inline double activation_grad(Activation a, double x, double y) noexcept {
+  switch (a) {
+    case Activation::kReLU: return relu_grad_from_input(x);
+    case Activation::kTanh: return tanh_grad_from_value(y);
+    case Activation::kSigmoid: return sigmoid_grad_from_value(y);
+    case Activation::kIdentity: break;
+  }
+  return 1.0;
+}
+
+[[nodiscard]] const char* activation_name(Activation a) noexcept;
+
+}  // namespace geonas::nn

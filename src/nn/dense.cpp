@@ -1,0 +1,139 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/blas.hpp"
+
+namespace geonas::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             Activation activation, bool use_bias)
+    : in_(in_features),
+      out_(out_features),
+      activation_(activation),
+      use_bias_(use_bias),
+      w_(in_features, out_features),
+      b_(1, out_features),
+      w_grad_(in_features, out_features),
+      b_grad_(1, out_features) {
+  if (in_ == 0 || out_ == 0) {
+    throw std::invalid_argument("Dense: zero-sized feature dimension");
+  }
+}
+
+void Dense::init_params(Rng& rng) {
+  // Glorot/Xavier uniform — matches Keras's Dense default.
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_ + out_));
+  for (double& v : w_.flat()) v = rng.uniform(-limit, limit);
+  b_.fill(0.0);
+}
+
+Tensor3 Dense::forward(std::span<const Tensor3* const> inputs, bool training) {
+  const Tensor3& x = single_input(inputs, "Dense");
+  if (x.dim2() != in_) {
+    throw std::invalid_argument("Dense: input feature dim " +
+                                std::to_string(x.dim2()) + " != " +
+                                std::to_string(in_));
+  }
+  const std::size_t batch = x.dim0(), steps = x.dim1();
+  const std::size_t rows = batch * steps;
+
+  Tensor3 out(batch, steps, out_);
+  // Treat [B,T,F] as (B*T) x F; both tensors are contiguous row-major.
+  const double* xp = x.flat().data();
+  double* op = out.flat().data();
+  const double* wp = w_.flat().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* xrow = xp + r * in_;
+    double* orow = op + r * out_;
+    for (std::size_t j = 0; j < out_; ++j) orow[j] = use_bias_ ? b_(0, j) : 0.0;
+    for (std::size_t k = 0; k < in_; ++k) {
+      const double xv = xrow[k];
+      if (xv == 0.0) continue;
+      const double* wrow = wp + k * out_;
+      for (std::size_t j = 0; j < out_; ++j) orow[j] += xv * wrow[j];
+    }
+  }
+
+  if (training) {
+    input_cache_ = x;
+    preact_cache_ = out;
+  }
+  if (activation_ != Activation::kIdentity) {
+    for (double& v : out.flat()) v = apply_activation(activation_, v);
+  }
+  if (training) output_cache_ = out;
+  return out;
+}
+
+std::vector<Tensor3> Dense::backward(const Tensor3& grad_output) {
+  const std::size_t batch = input_cache_.dim0(), steps = input_cache_.dim1();
+  if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
+      grad_output.dim2() != out_) {
+    throw std::invalid_argument("Dense::backward: gradient shape mismatch");
+  }
+  const std::size_t rows = batch * steps;
+
+  // Gradient through the activation.
+  Tensor3 dz = grad_output;
+  if (activation_ != Activation::kIdentity) {
+    auto dzf = dz.flat();
+    const auto pre = preact_cache_.flat();
+    const auto post = output_cache_.flat();
+    for (std::size_t i = 0; i < dzf.size(); ++i) {
+      dzf[i] *= activation_grad(activation_, pre[i], post[i]);
+    }
+  }
+
+  Tensor3 dx(batch, steps, in_);
+  const double* dzp = dz.flat().data();
+  const double* xp = input_cache_.flat().data();
+  double* dxp = dx.flat().data();
+  double* wg = w_grad_.flat().data();
+  const double* wp = w_.flat().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* dzrow = dzp + r * out_;
+    const double* xrow = xp + r * in_;
+    double* dxrow = dxp + r * in_;
+    // dW[k,j] += x[k] * dz[j]; dx[k] = sum_j dz[j] * W[k,j].
+    for (std::size_t k = 0; k < in_; ++k) {
+      const double* wrow = wp + k * out_;
+      double* wgrow = wg + k * out_;
+      double acc = 0.0;
+      const double xv = xrow[k];
+      for (std::size_t j = 0; j < out_; ++j) {
+        wgrow[j] += xv * dzrow[j];
+        acc += dzrow[j] * wrow[j];
+      }
+      dxrow[k] = acc;
+    }
+    if (use_bias_) {
+      for (std::size_t j = 0; j < out_; ++j) b_grad_(0, j) += dzrow[j];
+    }
+  }
+
+  std::vector<Tensor3> grads;
+  grads.push_back(std::move(dx));
+  return grads;
+}
+
+std::vector<Matrix*> Dense::parameters() {
+  if (use_bias_) return {&w_, &b_};
+  return {&w_};
+}
+
+std::vector<Matrix*> Dense::gradients() {
+  if (use_bias_) return {&w_grad_, &b_grad_};
+  return {&w_grad_};
+}
+
+std::string Dense::name() const {
+  std::string n = "Dense(" + std::to_string(out_) + ")";
+  if (activation_ != Activation::kIdentity) {
+    n += std::string("[") + activation_name(activation_) + "]";
+  }
+  return n;
+}
+
+}  // namespace geonas::nn

@@ -1,0 +1,48 @@
+// Time-distributed dense (fully connected) layer.
+//
+// Applies y = act(x W + b) independently at every timestep: an input
+// [B, T, F] is treated as a (B*T) x F matrix. This is exactly Keras's
+// TimeDistributed(Dense(...)) semantics, which the paper uses to project
+// skip-connection tensors to the incumbent layer's width (§III-A; the
+// projection dense layers carry no activation).
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/layer.hpp"
+
+namespace geonas::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features,
+        Activation activation = Activation::kIdentity, bool use_bias = true);
+
+  Tensor3 forward(std::span<const Tensor3* const> inputs,
+                  bool training) override;
+  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void init_params(Rng& rng) override;
+  std::vector<Matrix*> parameters() override;
+  std::vector<Matrix*> gradients() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Activation activation_;
+  bool use_bias_;
+
+  Matrix w_;       // in x out
+  Matrix b_;       // 1 x out
+  Matrix w_grad_;
+  Matrix b_grad_;
+
+  // Forward cache (training mode).
+  Tensor3 input_cache_;
+  Tensor3 preact_cache_;
+  Tensor3 output_cache_;
+};
+
+}  // namespace geonas::nn

@@ -1,0 +1,46 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace geonas::nn {
+
+Dropout::Dropout(double rate) : rate_(rate), rng_(0xD120) {
+  if (rate_ < 0.0 || rate_ >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor3 Dropout::forward(std::span<const Tensor3* const> inputs,
+                         bool training) {
+  const Tensor3& x = single_input(inputs, "Dropout");
+  if (!training || rate_ == 0.0) return x;
+
+  Tensor3 out = x;
+  mask_ = Tensor3(x.dim0(), x.dim1(), x.dim2());
+  const double keep_scale = 1.0 / (1.0 - rate_);
+  auto mf = mask_.flat();
+  auto of = out.flat();
+  for (std::size_t i = 0; i < of.size(); ++i) {
+    mf[i] = rng_.bernoulli(rate_) ? 0.0 : keep_scale;
+    of[i] *= mf[i];
+  }
+  return out;
+}
+
+std::vector<Tensor3> Dropout::backward(const Tensor3& grad_output) {
+  if (rate_ == 0.0) return {grad_output};
+  if (grad_output.size() != mask_.size()) {
+    throw std::invalid_argument("Dropout::backward: shape mismatch");
+  }
+  Tensor3 dx = grad_output;
+  auto df = dx.flat();
+  const auto mf = mask_.flat();
+  for (std::size_t i = 0; i < df.size(); ++i) df[i] *= mf[i];
+  return {std::move(dx)};
+}
+
+std::string Dropout::name() const {
+  return "Dropout(" + std::to_string(rate_).substr(0, 4) + ")";
+}
+
+}  // namespace geonas::nn

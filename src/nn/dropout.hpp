@@ -1,0 +1,31 @@
+// Inverted dropout layer.
+//
+// During training each element is zeroed with probability p and the
+// survivors scaled by 1/(1-p); inference is the identity. The mask is
+// drawn from a per-layer deterministic stream reseeded by init_params, so
+// training runs stay reproducible.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace geonas::nn {
+
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double rate);
+
+  Tensor3 forward(std::span<const Tensor3* const> inputs,
+                  bool training) override;
+  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void init_params(Rng& rng) override { rng_ = rng.fork(); }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor3 mask_;  // keep-scale factors from the latest training forward
+};
+
+}  // namespace geonas::nn

@@ -1,0 +1,173 @@
+#include "nn/graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace geonas::nn {
+
+GraphNetwork::GraphNetwork() {
+  nodes_.emplace_back();  // node 0: the graph input placeholder
+}
+
+std::size_t GraphNetwork::add_node(std::unique_ptr<Layer> layer,
+                                   std::vector<std::size_t> input_ids) {
+  if (!layer) throw std::invalid_argument("GraphNetwork: null layer");
+  if (input_ids.empty()) {
+    throw std::invalid_argument("GraphNetwork: node needs at least one input");
+  }
+  for (std::size_t id : input_ids) {
+    if (id >= nodes_.size()) {
+      throw std::invalid_argument(
+          "GraphNetwork: input id refers to a node that does not exist yet");
+    }
+  }
+  if (layer->arity() != input_ids.size()) {
+    throw std::invalid_argument("GraphNetwork: layer arity " +
+                                std::to_string(layer->arity()) +
+                                " != input count " +
+                                std::to_string(input_ids.size()));
+  }
+  Node node;
+  node.layer = std::move(layer);
+  node.inputs = std::move(input_ids);
+  nodes_.push_back(std::move(node));
+  output_ = nodes_.size() - 1;
+  return output_;
+}
+
+void GraphNetwork::set_output(std::size_t node_id) {
+  if (node_id >= nodes_.size()) {
+    throw std::invalid_argument("GraphNetwork::set_output: bad node id");
+  }
+  output_ = node_id;
+}
+
+void GraphNetwork::init_params(std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& node : nodes_) {
+    if (node.layer) node.layer->init_params(rng);
+  }
+}
+
+Tensor3 GraphNetwork::forward(const Tensor3& input, bool training) {
+  if (nodes_.size() < 2 || output_ == 0) {
+    throw std::logic_error("GraphNetwork: no computational nodes");
+  }
+  nodes_[0].activation = input;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    std::vector<const Tensor3*> ins;
+    ins.reserve(node.inputs.size());
+    for (std::size_t id : node.inputs) ins.push_back(&nodes_[id].activation);
+    node.activation = node.layer->forward(ins, training);
+  }
+  Tensor3 out = nodes_[output_].activation;
+  if (!training) {
+    // Drop cached activations to keep inference memory flat.
+    for (auto& node : nodes_) node.activation = Tensor3{};
+  }
+  return out;
+}
+
+Tensor3 GraphNetwork::backward(const Tensor3& grad_output) {
+  for (auto& node : nodes_) {
+    node.grad = Tensor3{};
+    node.grad_set = false;
+  }
+  nodes_[output_].grad = grad_output;
+  nodes_[output_].grad_set = true;
+
+  for (std::size_t i = nodes_.size(); i-- > 1;) {
+    Node& node = nodes_[i];
+    if (!node.grad_set) continue;  // node not on a path to the output
+    std::vector<Tensor3> input_grads = node.layer->backward(node.grad);
+    if (input_grads.size() != node.inputs.size()) {
+      throw std::logic_error("GraphNetwork: layer returned wrong grad count");
+    }
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      Node& src = nodes_[node.inputs[k]];
+      if (!src.grad_set) {
+        src.grad = std::move(input_grads[k]);
+        src.grad_set = true;
+      } else {
+        auto dst = src.grad.flat();
+        const auto add = input_grads[k].flat();
+        if (dst.size() != add.size()) {
+          throw std::logic_error("GraphNetwork: fan-out gradient shape clash");
+        }
+        for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += add[j];
+      }
+    }
+    node.grad = Tensor3{};  // release as soon as propagated
+  }
+  if (!nodes_[0].grad_set) {
+    throw std::logic_error("GraphNetwork: input unreachable from output");
+  }
+  return std::move(nodes_[0].grad);
+}
+
+void GraphNetwork::zero_grad() {
+  for (auto& node : nodes_) {
+    if (node.layer) node.layer->zero_grad();
+  }
+}
+
+std::vector<Matrix*> GraphNetwork::parameters() {
+  std::vector<Matrix*> out;
+  for (auto& node : nodes_) {
+    if (!node.layer) continue;
+    for (Matrix* p : node.layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Matrix*> GraphNetwork::gradients() {
+  std::vector<Matrix*> out;
+  for (auto& node : nodes_) {
+    if (!node.layer) continue;
+    for (Matrix* g : node.layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t GraphNetwork::param_count() {
+  std::size_t n = 0;
+  for (auto& node : nodes_) {
+    if (node.layer) n += node.layer->param_count();
+  }
+  return n;
+}
+
+std::string GraphNetwork::to_dot(const std::string& graph_name) const {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"Helvetica\"];\n"
+     << "  n0 [label=\"Input\", style=filled, fillcolor=lightgray];\n";
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    os << "  n" << i << " [label=\"" << nodes_[i].layer->name() << "\"";
+    if (i == output_) os << ", style=filled, fillcolor=lightblue";
+    os << "];\n";
+  }
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    for (std::size_t src : nodes_[i].inputs) {
+      os << "  n" << src << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string GraphNetwork::describe() const {
+  std::ostringstream os;
+  os << "node 0: Input\n";
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    os << "node " << i << ": " << nodes_[i].layer->name() << " <- (";
+    for (std::size_t k = 0; k < nodes_[i].inputs.size(); ++k) {
+      os << nodes_[i].inputs[k] << (k + 1 < nodes_[i].inputs.size() ? ", " : "");
+    }
+    os << ")" << (i == output_ ? "  [output]" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace geonas::nn

@@ -1,0 +1,79 @@
+// GraphNetwork: a directed-acyclic-graph neural network executor.
+//
+// This is the runtime counterpart of the paper's NAS search space
+// (§III-A): nodes hold layers (LSTM / Dense / Identity / AddMerge), edges
+// route tensors, and skip connections simply appear as extra in-edges on
+// AddMerge nodes. Nodes must be added in topological order (every input id
+// must already exist), which the searchspace builder guarantees by
+// construction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace geonas::nn {
+
+class GraphNetwork {
+ public:
+  GraphNetwork();
+
+  GraphNetwork(const GraphNetwork&) = delete;
+  GraphNetwork& operator=(const GraphNetwork&) = delete;
+  GraphNetwork(GraphNetwork&&) = default;
+  GraphNetwork& operator=(GraphNetwork&&) = default;
+
+  /// Node id of the (single) graph input.
+  [[nodiscard]] static constexpr std::size_t input_id() { return 0; }
+
+  /// Adds a node computing layer(inputs...). Returns its id. All ids in
+  /// `input_ids` must already exist and input count must match the layer's
+  /// arity. The last node added becomes the output unless set_output() is
+  /// called.
+  std::size_t add_node(std::unique_ptr<Layer> layer,
+                       std::vector<std::size_t> input_ids);
+
+  void set_output(std::size_t node_id);
+  [[nodiscard]] std::size_t output_id() const noexcept { return output_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Initialize every layer's parameters from a single seed.
+  void init_params(std::uint64_t seed);
+
+  /// Forward pass; caches activations when `training` so backward() works.
+  Tensor3 forward(const Tensor3& input, bool training = false);
+
+  /// Backward pass for the latest training forward; returns the gradient
+  /// with respect to the network input and accumulates parameter grads.
+  Tensor3 backward(const Tensor3& grad_output);
+
+  void zero_grad();
+  [[nodiscard]] std::vector<Matrix*> parameters();
+  [[nodiscard]] std::vector<Matrix*> gradients();
+  [[nodiscard]] std::size_t param_count();
+
+  /// Multi-line structural description (one node per line).
+  [[nodiscard]] std::string describe() const;
+
+  /// Graphviz DOT rendering of the DAG (paper Fig. 4-style diagrams):
+  /// `dot -Tpng` turns it into the architecture figure.
+  [[nodiscard]] std::string to_dot(const std::string& graph_name = "net") const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;       // null for the input node
+    std::vector<std::size_t> inputs;
+    Tensor3 activation;                 // valid during a training pass
+    Tensor3 grad;                       // accumulated during backward
+    bool grad_set = false;
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t output_ = 0;
+};
+
+}  // namespace geonas::nn

@@ -1,0 +1,203 @@
+#include "nn/gru.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/activations.hpp"
+
+namespace geonas::nn {
+
+GRU::GRU(std::size_t in_features, std::size_t units)
+    : in_(in_features),
+      units_(units),
+      wx_(in_features, 3 * units),
+      wh_(units, 3 * units),
+      b_(1, 3 * units),
+      wx_grad_(in_features, 3 * units),
+      wh_grad_(units, 3 * units),
+      b_grad_(1, 3 * units) {
+  if (in_ == 0 || units_ == 0) {
+    throw std::invalid_argument("GRU: zero-sized dimension");
+  }
+}
+
+void GRU::init_params(Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_ + 3 * units_));
+  for (double& v : wx_.flat()) v = rng.uniform(-limit, limit);
+  const double rscale = 1.0 / std::sqrt(static_cast<double>(units_));
+  for (double& v : wh_.flat()) v = rng.normal(0.0, rscale);
+  b_.fill(0.0);
+}
+
+Tensor3 GRU::forward(std::span<const Tensor3* const> inputs, bool training) {
+  const Tensor3& x = single_input(inputs, "GRU");
+  if (x.dim2() != in_) {
+    throw std::invalid_argument("GRU: input feature dim " +
+                                std::to_string(x.dim2()) + " != " +
+                                std::to_string(in_));
+  }
+  const std::size_t batch = x.dim0(), steps = x.dim1();
+  const std::size_t g3 = 3 * units_;
+
+  Tensor3 h_seq(batch, steps + 1, units_);
+  Tensor3 gates(batch, steps, g3);
+  Tensor3 out(batch, steps, units_);
+
+  const double* wxp = wx_.flat().data();
+  const double* whp = wh_.flat().data();
+  std::vector<double> a(g3);
+
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      for (std::size_t j = 0; j < g3; ++j) a[j] = b_(0, j);
+      for (std::size_t k = 0; k < in_; ++k) {
+        const double xv = x(bi, t, k);
+        if (xv == 0.0) continue;
+        const double* wrow = wxp + k * g3;
+        for (std::size_t j = 0; j < g3; ++j) a[j] += xv * wrow[j];
+      }
+      // The z and r gate recurrent terms use the raw previous state; the
+      // candidate's recurrent term needs r, so it is added in a second
+      // sweep once r is known.
+      for (std::size_t k = 0; k < units_; ++k) {
+        const double hv = h_seq(bi, t, k);
+        if (hv == 0.0) continue;
+        const double* wrow = whp + k * g3;
+        for (std::size_t j = 0; j < 2 * units_; ++j) a[j] += hv * wrow[j];
+      }
+      for (std::size_t u = 0; u < units_; ++u) {
+        gates(bi, t, u) = sigmoid(a[u]);                    // z
+        gates(bi, t, units_ + u) = sigmoid(a[units_ + u]);  // r
+      }
+      for (std::size_t k = 0; k < units_; ++k) {
+        const double rh = gates(bi, t, units_ + k) * h_seq(bi, t, k);
+        if (rh == 0.0) continue;
+        const double* wrow = whp + k * g3 + 2 * units_;
+        for (std::size_t u = 0; u < units_; ++u) {
+          a[2 * units_ + u] += rh * wrow[u];
+        }
+      }
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double zg = gates(bi, t, u);
+        const double hh = tanh_act(a[2 * units_ + u]);
+        gates(bi, t, 2 * units_ + u) = hh;
+        const double h_new = (1.0 - zg) * h_seq(bi, t, u) + zg * hh;
+        h_seq(bi, t + 1, u) = h_new;
+        out(bi, t, u) = h_new;
+      }
+    }
+  }
+
+  if (training) {
+    input_cache_ = x;
+    h_cache_ = std::move(h_seq);
+    gates_cache_ = std::move(gates);
+  }
+  return out;
+}
+
+std::vector<Tensor3> GRU::backward(const Tensor3& grad_output) {
+  const std::size_t batch = input_cache_.dim0(), steps = input_cache_.dim1();
+  if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
+      grad_output.dim2() != units_) {
+    throw std::invalid_argument("GRU::backward: gradient shape mismatch");
+  }
+  const std::size_t g3 = 3 * units_;
+
+  Tensor3 dx(batch, steps, in_);
+  const double* wxp = wx_.flat().data();
+  const double* whp = wh_.flat().data();
+  double* wxg = wx_grad_.flat().data();
+  double* whg = wh_grad_.flat().data();
+
+  std::vector<double> dh(units_), da(g3), dh_next(units_), drh(units_);
+
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    std::fill(dh_next.begin(), dh_next.end(), 0.0);
+    for (std::size_t t = steps; t-- > 0;) {
+      for (std::size_t u = 0; u < units_; ++u) {
+        dh[u] = grad_output(bi, t, u) + dh_next[u];
+        dh_next[u] = 0.0;
+      }
+
+      // Through h_new = (1 - z) h_prev + z hh.
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double zg = gates_cache_(bi, t, u);
+        const double rg = gates_cache_(bi, t, units_ + u);
+        const double hh = gates_cache_(bi, t, 2 * units_ + u);
+        const double h_prev = h_cache_(bi, t, u);
+
+        const double dz = dh[u] * (hh - h_prev);
+        const double dhh = dh[u] * zg;
+        dh_next[u] += dh[u] * (1.0 - zg);
+
+        da[u] = dz * sigmoid_grad_from_value(zg);               // daz
+        da[2 * units_ + u] = dhh * tanh_grad_from_value(hh);    // dah
+        // dar is filled after d(r h_prev) is known.
+        (void)rg;
+      }
+
+      // d(r .* h_prev)[k] = sum_u dah[u] * Uh[k, u].
+      for (std::size_t k = 0; k < units_; ++k) {
+        const double* wrow = whp + k * g3 + 2 * units_;
+        double acc = 0.0;
+        for (std::size_t u = 0; u < units_; ++u) {
+          acc += da[2 * units_ + u] * wrow[u];
+        }
+        drh[k] = acc;
+      }
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double rg = gates_cache_(bi, t, units_ + u);
+        const double h_prev = h_cache_(bi, t, u);
+        const double dr = drh[u] * h_prev;
+        da[units_ + u] = dr * sigmoid_grad_from_value(rg);  // dar
+        dh_next[u] += drh[u] * rg;
+      }
+
+      // Parameter and input gradients.
+      for (std::size_t j = 0; j < g3; ++j) b_grad_(0, j) += da[j];
+      for (std::size_t k = 0; k < in_; ++k) {
+        const double xv = input_cache_(bi, t, k);
+        double* row = wxg + k * g3;
+        const double* wrow = wxp + k * g3;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < g3; ++j) {
+          row[j] += xv * da[j];
+          acc += da[j] * wrow[j];
+        }
+        dx(bi, t, k) = acc;
+      }
+      for (std::size_t k = 0; k < units_; ++k) {
+        const double h_prev = h_cache_(bi, t, k);
+        const double rg = gates_cache_(bi, t, units_ + k);
+        double* row = whg + k * g3;
+        const double* wrow = whp + k * g3;
+        double acc = 0.0;
+        // z and r recurrent kernels see h_prev; the candidate kernel sees
+        // r .* h_prev (its h_prev-gradient was accumulated via drh above).
+        for (std::size_t j = 0; j < 2 * units_; ++j) {
+          row[j] += h_prev * da[j];
+          acc += da[j] * wrow[j];
+        }
+        for (std::size_t u = 0; u < units_; ++u) {
+          row[2 * units_ + u] += rg * h_prev * da[2 * units_ + u];
+        }
+        dh_next[k] += acc;
+      }
+    }
+  }
+
+  std::vector<Tensor3> grads;
+  grads.push_back(std::move(dx));
+  return grads;
+}
+
+std::vector<Matrix*> GRU::parameters() { return {&wx_, &wh_, &b_}; }
+std::vector<Matrix*> GRU::gradients() {
+  return {&wx_grad_, &wh_grad_, &b_grad_};
+}
+
+std::string GRU::name() const { return "GRU(" + std::to_string(units_) + ")"; }
+
+}  // namespace geonas::nn

@@ -1,0 +1,50 @@
+// Gated recurrent unit layer with full backpropagation through time.
+//
+// The paper's related work (Ororbia et al., Rawal & Miikkulainen) explores
+// hybrid recurrent cells; geonas ships a GRU so the search space can mix
+// cell types (see searchspace::NodeOp::kind). Standard formulation
+// (Cho et al. 2014), Keras-compatible gate layout [z, r, h]:
+//   z_t = sigmoid(x_t Wz + h_{t-1} Uz + bz)      (update gate)
+//   r_t = sigmoid(x_t Wr + h_{t-1} Ur + br)      (reset gate)
+//   hh  = tanh(x_t Wh + (r_t .* h_{t-1}) Uh + bh)
+//   h_t = (1 - z_t) .* h_{t-1} + z_t .* hh
+// Always returns the full hidden sequence.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace geonas::nn {
+
+class GRU final : public Layer {
+ public:
+  GRU(std::size_t in_features, std::size_t units);
+
+  Tensor3 forward(std::span<const Tensor3* const> inputs,
+                  bool training) override;
+  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void init_params(Rng& rng) override;
+  std::vector<Matrix*> parameters() override;
+  std::vector<Matrix*> gradients() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t units() const noexcept { return units_; }
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+
+ private:
+  std::size_t in_;
+  std::size_t units_;
+
+  Matrix wx_;  // in x 3*units, gate blocks [z | r | h]
+  Matrix wh_;  // units x 3*units
+  Matrix b_;   // 1 x 3*units
+  Matrix wx_grad_;
+  Matrix wh_grad_;
+  Matrix b_grad_;
+
+  // BPTT caches.
+  Tensor3 input_cache_;   // [B, T, in]
+  Tensor3 h_cache_;       // [B, T+1, units]
+  Tensor3 gates_cache_;   // [B, T, 3*units] post-nonlinearity [z, r, hh]
+};
+
+}  // namespace geonas::nn

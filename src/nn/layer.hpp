@@ -1,0 +1,80 @@
+// Layer interface for the geonas neural-network library.
+//
+// Layers operate on batched sequences stored as Tensor3 [batch, time,
+// features] and implement explicit forward/backward passes (no tape
+// autodiff): each layer caches whatever activations its backward pass
+// needs during forward(). A layer therefore supports exactly one
+// outstanding forward-then-backward pair at a time, which is all the
+// mini-batch trainer requires.
+//
+// Multi-input layers (the skip-connection sum of paper §III-A) take all
+// their inputs at once and return one gradient per input from backward().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Number of inputs this layer consumes (1 for all but merge layers).
+  [[nodiscard]] virtual std::size_t arity() const { return 1; }
+
+  /// Forward pass. `inputs.size()` must equal arity() (merge layers accept
+  /// any count >= 1). Caches activations for backward when `training`.
+  virtual Tensor3 forward(std::span<const Tensor3* const> inputs,
+                          bool training) = 0;
+
+  /// Backward pass for the most recent training-mode forward. Returns one
+  /// gradient tensor per input, in the same order. Accumulates parameter
+  /// gradients (callers zero_grad() between batches).
+  virtual std::vector<Tensor3> backward(const Tensor3& grad_output) = 0;
+
+  /// Randomly (re-)initialize parameters.
+  virtual void init_params(Rng& /*rng*/) {}
+
+  /// Mutable views of parameters and their accumulated gradients; the two
+  /// lists are parallel.
+  virtual std::vector<Matrix*> parameters() { return {}; }
+  virtual std::vector<Matrix*> gradients() { return {}; }
+
+  void zero_grad() {
+    for (Matrix* g : gradients()) g->fill(0.0);
+  }
+
+  [[nodiscard]] std::size_t param_count() {
+    std::size_t n = 0;
+    for (const Matrix* p : parameters()) n += p->size();
+    return n;
+  }
+
+  /// Human-readable layer description, e.g. "LSTM(96)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Layer() = default;
+};
+
+/// Convenience for single-input layers.
+inline const Tensor3& single_input(std::span<const Tensor3* const> inputs,
+                                   const char* layer_name) {
+  if (inputs.size() != 1 || inputs[0] == nullptr) {
+    throw std::invalid_argument(std::string(layer_name) +
+                                ": expected exactly one input");
+  }
+  return *inputs[0];
+}
+
+}  // namespace geonas::nn

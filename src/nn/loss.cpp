@@ -1,0 +1,47 @@
+#include "nn/loss.hpp"
+
+#include <stdexcept>
+
+#include "tensor/stats.hpp"
+
+namespace geonas::nn {
+
+namespace {
+void require_same(const Tensor3& a, const Tensor3& b, const char* op) {
+  if (a.dim0() != b.dim0() || a.dim1() != b.dim1() || a.dim2() != b.dim2()) {
+    throw std::invalid_argument(std::string(op) + ": tensor shape mismatch");
+  }
+}
+}  // namespace
+
+double mse_loss(const Tensor3& truth, const Tensor3& predicted) {
+  require_same(truth, predicted, "mse_loss");
+  const auto tf = truth.flat();
+  const auto pf = predicted.flat();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    const double d = pf[i] - tf[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(tf.size());
+}
+
+Tensor3 mse_grad(const Tensor3& truth, const Tensor3& predicted) {
+  require_same(truth, predicted, "mse_grad");
+  Tensor3 grad(truth.dim0(), truth.dim1(), truth.dim2());
+  const auto tf = truth.flat();
+  const auto pf = predicted.flat();
+  auto gf = grad.flat();
+  const double scale = 2.0 / static_cast<double>(tf.size());
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    gf[i] = scale * (pf[i] - tf[i]);
+  }
+  return grad;
+}
+
+double r2_metric(const Tensor3& truth, const Tensor3& predicted) {
+  require_same(truth, predicted, "r2_metric");
+  return r2_score(truth.flat(), predicted.flat());
+}
+
+}  // namespace geonas::nn

@@ -1,0 +1,21 @@
+// Losses and sequence metrics.
+//
+// Training uses mean squared error (paper §IV); validation quality is the
+// coefficient of determination R^2, which is also the NAS reward.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace geonas::nn {
+
+/// MSE over all elements of the batched sequence tensors.
+[[nodiscard]] double mse_loss(const Tensor3& truth, const Tensor3& predicted);
+
+/// Gradient of mse_loss with respect to `predicted`:
+/// 2 * (pred - truth) / N where N is the total element count.
+[[nodiscard]] Tensor3 mse_grad(const Tensor3& truth, const Tensor3& predicted);
+
+/// R^2 over all elements (flattened).
+[[nodiscard]] double r2_metric(const Tensor3& truth, const Tensor3& predicted);
+
+}  // namespace geonas::nn

@@ -1,0 +1,190 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/activations.hpp"
+
+namespace geonas::nn {
+
+LSTM::LSTM(std::size_t in_features, std::size_t units)
+    : in_(in_features),
+      units_(units),
+      wx_(in_features, 4 * units),
+      wh_(units, 4 * units),
+      b_(1, 4 * units),
+      wx_grad_(in_features, 4 * units),
+      wh_grad_(units, 4 * units),
+      b_grad_(1, 4 * units) {
+  if (in_ == 0 || units_ == 0) {
+    throw std::invalid_argument("LSTM: zero-sized dimension");
+  }
+}
+
+void LSTM::init_params(Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_ + 4 * units_));
+  for (double& v : wx_.flat()) v = rng.uniform(-limit, limit);
+  // Scaled-normal recurrent init (a cheap stand-in for orthogonal init that
+  // keeps recurrent spectra near unit scale for the small units used here).
+  const double rscale = 1.0 / std::sqrt(static_cast<double>(units_));
+  for (double& v : wh_.flat()) v = rng.normal(0.0, rscale);
+  b_.fill(0.0);
+  // Unit forget-gate bias: the standard trick (and Keras default) that lets
+  // gradients flow through time early in training.
+  for (std::size_t j = units_; j < 2 * units_; ++j) b_(0, j) = 1.0;
+}
+
+Tensor3 LSTM::forward(std::span<const Tensor3* const> inputs, bool training) {
+  const Tensor3& x = single_input(inputs, "LSTM");
+  if (x.dim2() != in_) {
+    throw std::invalid_argument("LSTM: input feature dim " +
+                                std::to_string(x.dim2()) + " != " +
+                                std::to_string(in_));
+  }
+  const std::size_t batch = x.dim0(), steps = x.dim1();
+  const std::size_t g4 = 4 * units_;
+
+  Tensor3 h_seq(batch, steps + 1, units_);
+  Tensor3 c_seq(batch, steps + 1, units_);
+  Tensor3 gates(batch, steps, g4);
+  Tensor3 out(batch, steps, units_);
+
+  const double* wxp = wx_.flat().data();
+  const double* whp = wh_.flat().data();
+  std::vector<double> z(g4);
+
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      // z = x_t Wx + h_{t-1} Wh + b
+      for (std::size_t j = 0; j < g4; ++j) z[j] = b_(0, j);
+      for (std::size_t k = 0; k < in_; ++k) {
+        const double xv = x(bi, t, k);
+        if (xv == 0.0) continue;
+        const double* wrow = wxp + k * g4;
+        for (std::size_t j = 0; j < g4; ++j) z[j] += xv * wrow[j];
+      }
+      for (std::size_t k = 0; k < units_; ++k) {
+        const double hv = h_seq(bi, t, k);
+        if (hv == 0.0) continue;
+        const double* wrow = whp + k * g4;
+        for (std::size_t j = 0; j < g4; ++j) z[j] += hv * wrow[j];
+      }
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double ig = sigmoid(z[u]);
+        const double fg = sigmoid(z[units_ + u]);
+        const double gg = tanh_act(z[2 * units_ + u]);
+        const double og = sigmoid(z[3 * units_ + u]);
+        const double c_new = fg * c_seq(bi, t, u) + ig * gg;
+        const double h_new = og * tanh_act(c_new);
+        gates(bi, t, u) = ig;
+        gates(bi, t, units_ + u) = fg;
+        gates(bi, t, 2 * units_ + u) = gg;
+        gates(bi, t, 3 * units_ + u) = og;
+        c_seq(bi, t + 1, u) = c_new;
+        h_seq(bi, t + 1, u) = h_new;
+        out(bi, t, u) = h_new;
+      }
+    }
+  }
+
+  if (training) {
+    input_cache_ = x;
+    h_cache_ = std::move(h_seq);
+    c_cache_ = std::move(c_seq);
+    gates_cache_ = std::move(gates);
+  }
+  return out;
+}
+
+std::vector<Tensor3> LSTM::backward(const Tensor3& grad_output) {
+  const std::size_t batch = input_cache_.dim0(), steps = input_cache_.dim1();
+  if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
+      grad_output.dim2() != units_) {
+    throw std::invalid_argument("LSTM::backward: gradient shape mismatch");
+  }
+  const std::size_t g4 = 4 * units_;
+
+  Tensor3 dx(batch, steps, in_);
+  const double* wxp = wx_.flat().data();
+  const double* whp = wh_.flat().data();
+  double* wxg = wx_grad_.flat().data();
+  double* whg = wh_grad_.flat().data();
+
+  std::vector<double> dh(units_), dc(units_), dz(g4), dh_next(units_),
+      dc_next(units_);
+
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    std::fill(dh_next.begin(), dh_next.end(), 0.0);
+    std::fill(dc_next.begin(), dc_next.end(), 0.0);
+    for (std::size_t t = steps; t-- > 0;) {
+      for (std::size_t u = 0; u < units_; ++u) {
+        dh[u] = grad_output(bi, t, u) + dh_next[u];
+        dc[u] = dc_next[u];
+      }
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double ig = gates_cache_(bi, t, u);
+        const double fg = gates_cache_(bi, t, units_ + u);
+        const double gg = gates_cache_(bi, t, 2 * units_ + u);
+        const double og = gates_cache_(bi, t, 3 * units_ + u);
+        const double c_new = c_cache_(bi, t + 1, u);
+        const double tanh_c = tanh_act(c_new);
+
+        // h = o * tanh(c): route dh into o-gate and the cell state.
+        const double d_og = dh[u] * tanh_c;
+        dc[u] += dh[u] * og * tanh_grad_from_value(tanh_c);
+
+        const double c_prev = c_cache_(bi, t, u);
+        const double d_ig = dc[u] * gg;
+        const double d_fg = dc[u] * c_prev;
+        const double d_gg = dc[u] * ig;
+        dc_next[u] = dc[u] * fg;
+
+        dz[u] = d_ig * sigmoid_grad_from_value(ig);
+        dz[units_ + u] = d_fg * sigmoid_grad_from_value(fg);
+        dz[2 * units_ + u] = d_gg * tanh_grad_from_value(gg);
+        dz[3 * units_ + u] = d_og * sigmoid_grad_from_value(og);
+      }
+
+      // Parameter gradients and input/hidden gradients from dz.
+      for (std::size_t j = 0; j < g4; ++j) b_grad_(0, j) += dz[j];
+      for (std::size_t k = 0; k < in_; ++k) {
+        const double xv = input_cache_(bi, t, k);
+        double* row = wxg + k * g4;
+        const double* wrow = wxp + k * g4;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < g4; ++j) {
+          row[j] += xv * dz[j];
+          acc += dz[j] * wrow[j];
+        }
+        dx(bi, t, k) = acc;
+      }
+      for (std::size_t k = 0; k < units_; ++k) {
+        const double hv = h_cache_(bi, t, k);
+        double* row = whg + k * g4;
+        const double* wrow = whp + k * g4;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < g4; ++j) {
+          row[j] += hv * dz[j];
+          acc += dz[j] * wrow[j];
+        }
+        dh_next[k] = acc;
+      }
+    }
+  }
+
+  std::vector<Tensor3> grads;
+  grads.push_back(std::move(dx));
+  return grads;
+}
+
+std::vector<Matrix*> LSTM::parameters() { return {&wx_, &wh_, &b_}; }
+std::vector<Matrix*> LSTM::gradients() {
+  return {&wx_grad_, &wh_grad_, &b_grad_};
+}
+
+std::string LSTM::name() const {
+  return "LSTM(" + std::to_string(units_) + ")";
+}
+
+}  // namespace geonas::nn

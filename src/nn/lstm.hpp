@@ -1,0 +1,48 @@
+// Long short-term memory layer with full backpropagation through time.
+//
+// Standard LSTM (Hochreiter & Schmidhuber) with Keras-compatible gate
+// layout [i, f, g, o], sigmoid recurrent gates, tanh candidate/output
+// nonlinearity, Glorot input-kernel init, orthogonal-ish recurrent init
+// and unit forget-gate bias. Always returns the full hidden sequence
+// (return_sequences=true), which is what the paper's stacked seq-to-seq
+// architectures need.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace geonas::nn {
+
+class LSTM final : public Layer {
+ public:
+  LSTM(std::size_t in_features, std::size_t units);
+
+  Tensor3 forward(std::span<const Tensor3* const> inputs,
+                  bool training) override;
+  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void init_params(Rng& rng) override;
+  std::vector<Matrix*> parameters() override;
+  std::vector<Matrix*> gradients() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t units() const noexcept { return units_; }
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+
+ private:
+  std::size_t in_;
+  std::size_t units_;
+
+  Matrix wx_;  // in x 4*units, gate blocks [i | f | g | o]
+  Matrix wh_;  // units x 4*units
+  Matrix b_;   // 1 x 4*units
+  Matrix wx_grad_;
+  Matrix wh_grad_;
+  Matrix b_grad_;
+
+  // BPTT caches, valid between a training forward and its backward.
+  Tensor3 input_cache_;    // [B, T, in]
+  Tensor3 h_cache_;        // [B, T+1, units] (h_0 = 0 at index 0)
+  Tensor3 c_cache_;        // [B, T+1, units]
+  Tensor3 gates_cache_;    // [B, T, 4*units] post-nonlinearity gate values
+};
+
+}  // namespace geonas::nn

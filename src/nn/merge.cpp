@@ -1,0 +1,68 @@
+#include "nn/merge.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+
+namespace geonas::nn {
+
+AddMerge::AddMerge(std::size_t arity, bool relu_after)
+    : arity_(arity), relu_(relu_after) {
+  if (arity_ < 1) throw std::invalid_argument("AddMerge: arity must be >= 1");
+}
+
+Tensor3 AddMerge::forward(std::span<const Tensor3* const> inputs,
+                          bool training) {
+  if (inputs.size() != arity_) {
+    throw std::invalid_argument("AddMerge: wrong number of inputs");
+  }
+  Tensor3 out = *inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    const Tensor3& in = *inputs[i];
+    if (in.dim0() != out.dim0() || in.dim1() != out.dim1() ||
+        in.dim2() != out.dim2()) {
+      throw std::invalid_argument("AddMerge: input shape mismatch");
+    }
+    auto of = out.flat();
+    const auto inf = in.flat();
+    for (std::size_t k = 0; k < of.size(); ++k) of[k] += inf[k];
+  }
+  if (training && relu_) sum_cache_ = out;
+  if (relu_) {
+    for (double& v : out.flat()) v = relu(v);
+  }
+  return out;
+}
+
+std::vector<Tensor3> AddMerge::backward(const Tensor3& grad_output) {
+  Tensor3 dsum = grad_output;
+  if (relu_) {
+    auto df = dsum.flat();
+    const auto sf = sum_cache_.flat();
+    if (df.size() != sf.size()) {
+      throw std::invalid_argument("AddMerge::backward: shape mismatch");
+    }
+    for (std::size_t k = 0; k < df.size(); ++k) {
+      df[k] *= relu_grad_from_input(sf[k]);
+    }
+  }
+  // d(sum)/d(input_i) = 1 for every input.
+  std::vector<Tensor3> grads(arity_, dsum);
+  return grads;
+}
+
+std::string AddMerge::name() const {
+  return std::string("Add[") + std::to_string(arity_) + "]" +
+         (relu_ ? "+ReLU" : "");
+}
+
+Tensor3 Identity::forward(std::span<const Tensor3* const> inputs,
+                          bool /*training*/) {
+  return single_input(inputs, "Identity");
+}
+
+std::vector<Tensor3> Identity::backward(const Tensor3& grad_output) {
+  return {grad_output};
+}
+
+}  // namespace geonas::nn

@@ -1,0 +1,41 @@
+// Merge and pass-through layers for the skip-connected search space.
+//
+// AddMerge implements the paper's skip-connection semantics: the incumbent
+// tensor and all projected skip tensors are summed, then "after each add
+// operation, the ReLU activation function [is] applied to the tensor"
+// (§IV). Identity is the zero-parameter passthrough used when a variable
+// LSTM node selects the Identity operation.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace geonas::nn {
+
+/// Sums N same-shaped inputs, optionally applying ReLU to the result.
+class AddMerge final : public Layer {
+ public:
+  explicit AddMerge(std::size_t arity, bool relu_after = true);
+
+  [[nodiscard]] std::size_t arity() const override { return arity_; }
+  Tensor3 forward(std::span<const Tensor3* const> inputs,
+                  bool training) override;
+  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t arity_;
+  bool relu_;
+  Tensor3 sum_cache_;  // pre-ReLU sum, for the backward mask
+};
+
+/// Shape-preserving passthrough.
+class Identity final : public Layer {
+ public:
+  Identity() = default;
+  Tensor3 forward(std::span<const Tensor3* const> inputs,
+                  bool training) override;
+  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Identity"; }
+};
+
+}  // namespace geonas::nn

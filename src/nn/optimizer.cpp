@@ -1,0 +1,98 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geonas::nn {
+
+Optimizer::Optimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("Optimizer: parameter/gradient list mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i] == nullptr || grads_[i] == nullptr ||
+        params_[i]->rows() != grads_[i]->rows() ||
+        params_[i]->cols() != grads_[i]->cols()) {
+      throw std::invalid_argument("Optimizer: parameter/gradient shape clash");
+    }
+  }
+}
+
+SGD::SGD(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+         double learning_rate, double momentum)
+    : Optimizer(std::move(params), std::move(grads)),
+      lr_(learning_rate),
+      momentum_(momentum) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (const Matrix* p : params_) {
+      velocity_.emplace_back(p->rows(), p->cols());
+    }
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto pf = params_[i]->flat();
+    const auto gf = grads_[i]->flat();
+    if (momentum_ != 0.0) {
+      auto vf = velocity_[i].flat();
+      for (std::size_t k = 0; k < pf.size(); ++k) {
+        vf[k] = momentum_ * vf[k] - lr_ * gf[k];
+        pf[k] += vf[k];
+      }
+    } else {
+      for (std::size_t k = 0; k < pf.size(); ++k) pf[k] -= lr_ * gf[k];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+           Config config)
+    : Optimizer(std::move(params), std::move(grads)), cfg_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto pf = params_[i]->flat();
+    const auto gf = grads_[i]->flat();
+    auto mf = m_[i].flat();
+    auto vf = v_[i].flat();
+    for (std::size_t k = 0; k < pf.size(); ++k) {
+      mf[k] = cfg_.beta1 * mf[k] + (1.0 - cfg_.beta1) * gf[k];
+      vf[k] = cfg_.beta2 * vf[k] + (1.0 - cfg_.beta2) * gf[k] * gf[k];
+      const double mhat = mf[k] / bias1;
+      const double vhat = vf[k] / bias2;
+      pf[k] -= cfg_.learning_rate *
+               (mhat / (std::sqrt(vhat) + cfg_.epsilon) +
+                cfg_.weight_decay * pf[k]);
+    }
+  }
+}
+
+double clip_gradients_by_norm(std::vector<Matrix*> grads, double max_norm) {
+  double sq = 0.0;
+  for (const Matrix* g : grads) {
+    for (double v : g->flat()) sq += v * v;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Matrix* g : grads) {
+      for (double& v : g->flat()) v *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace geonas::nn

@@ -1,0 +1,71 @@
+// First-order optimizers.
+//
+// Adam (Kingma & Ba) with the paper's hyperparameters (lr = 0.001) is the
+// training optimizer; plain SGD is kept for tests and the PPO policy
+// updates. Optimizers bind to a parameter/gradient list once and keep
+// per-parameter state (Adam moments) across steps.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace geonas::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using the bound gradients. Call after backward().
+  virtual void step() = 0;
+
+ protected:
+  Optimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads);
+
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+};
+
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+      double learning_rate, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    /// Decoupled (AdamW) weight decay per step; 0 disables.
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+       Config config);
+  Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads)
+      : Adam(std::move(params), std::move(grads), Config{}) {}
+  void step() override;
+  void set_learning_rate(double lr) noexcept { cfg_.learning_rate = lr; }
+  [[nodiscard]] double learning_rate() const noexcept {
+    return cfg_.learning_rate;
+  }
+
+ private:
+  Config cfg_;
+  long t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Global-norm gradient clipping; returns the pre-clip norm.
+double clip_gradients_by_norm(std::vector<Matrix*> grads, double max_norm);
+
+}  // namespace geonas::nn

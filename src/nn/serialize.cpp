@@ -1,0 +1,67 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace geonas::nn {
+
+namespace {
+constexpr const char* kMagic = "geonas-weights-v1";
+}
+
+void save_weights(GraphNetwork& net, std::ostream& os) {
+  const auto params = net.parameters();
+  os << kMagic << "\n" << params.size() << "\n";
+  os << std::setprecision(17);
+  for (const Matrix* p : params) {
+    os << p->rows() << " " << p->cols() << "\n";
+    const auto flat = p->flat();
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      os << flat[i] << (i + 1 == flat.size() ? "\n" : " ");
+    }
+    if (flat.empty()) os << "\n";
+  }
+  if (!os) throw std::runtime_error("save_weights: stream write failure");
+}
+
+void load_weights(GraphNetwork& net, std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != kMagic) {
+    throw std::runtime_error("load_weights: bad magic header '" + magic + "'");
+  }
+  std::size_t count = 0;
+  is >> count;
+  auto params = net.parameters();
+  if (count != params.size()) {
+    throw std::runtime_error("load_weights: parameter count mismatch (file " +
+                             std::to_string(count) + ", network " +
+                             std::to_string(params.size()) + ")");
+  }
+  for (Matrix* p : params) {
+    std::size_t rows = 0, cols = 0;
+    is >> rows >> cols;
+    if (rows != p->rows() || cols != p->cols()) {
+      throw std::runtime_error("load_weights: parameter shape mismatch");
+    }
+    for (double& v : p->flat()) is >> v;
+  }
+  if (!is) throw std::runtime_error("load_weights: stream read failure");
+}
+
+void save_weights_file(GraphNetwork& net, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_weights_file: cannot open " + path);
+  save_weights(net, os);
+}
+
+void load_weights_file(GraphNetwork& net, const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_weights_file: cannot open " + path);
+  load_weights(net, is);
+}
+
+}  // namespace geonas::nn

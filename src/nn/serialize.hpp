@@ -1,0 +1,24 @@
+// Weight serialization for GraphNetworks.
+//
+// A plain text format: header with parameter count, then per-parameter
+// shape + row-major values in full precision. Structure is not stored —
+// loading requires a network with an identical parameter list, which the
+// searchspace builder regenerates deterministically from an architecture
+// encoding.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace geonas::nn {
+
+void save_weights(GraphNetwork& net, std::ostream& os);
+void load_weights(GraphNetwork& net, std::istream& is);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_weights_file(GraphNetwork& net, const std::string& path);
+void load_weights_file(GraphNetwork& net, const std::string& path);
+
+}  // namespace geonas::nn

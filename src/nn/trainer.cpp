@@ -1,0 +1,112 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas::nn {
+
+double TrainHistory::best_val_r2() const {
+  if (val_r2.empty()) return -std::numeric_limits<double>::infinity();
+  return *std::max_element(val_r2.begin(), val_r2.end());
+}
+
+Tensor3 gather_examples(const Tensor3& data,
+                        std::span<const std::size_t> indices) {
+  Tensor3 out(indices.size(), data.dim1(), data.dim2());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = data.block(indices[i]);
+    auto dst = out.block(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
+                          const Tensor3& y, const Tensor3& x_val,
+                          const Tensor3& y_val) const {
+  if (x.dim0() == 0 || x.dim0() != y.dim0()) {
+    throw std::invalid_argument("Trainer::fit: bad training example count");
+  }
+  if (x_val.dim0() != y_val.dim0()) {
+    throw std::invalid_argument("Trainer::fit: bad validation example count");
+  }
+  const std::size_t n = x.dim0();
+  const std::size_t bs = std::max<std::size_t>(1, cfg_.batch_size);
+
+  Adam optimizer(net.parameters(), net.gradients(),
+                 {.learning_rate = cfg_.learning_rate,
+                  .weight_decay = cfg_.weight_decay});
+  Rng rng(cfg_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  TrainHistory history;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    if (cfg_.lr_step_decay != 1.0 &&
+        (epoch == cfg_.epochs / 2 || epoch == cfg_.epochs * 3 / 4)) {
+      optimizer.set_learning_rate(optimizer.learning_rate() *
+                                  cfg_.lr_step_decay);
+    }
+    if (cfg_.shuffle) rng.shuffle(std::span<std::size_t>(order));
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += bs) {
+      const std::size_t end = std::min(start + bs, n);
+      const std::span<const std::size_t> idx(order.data() + start, end - start);
+      const Tensor3 xb = gather_examples(x, idx);
+      const Tensor3 yb = gather_examples(y, idx);
+
+      net.zero_grad();
+      const Tensor3 pred = net.forward(xb, /*training=*/true);
+      epoch_loss += mse_loss(yb, pred);
+      net.backward(mse_grad(yb, pred));
+      if (cfg_.grad_clip_norm > 0.0) {
+        clip_gradients_by_norm(net.gradients(), cfg_.grad_clip_norm);
+      }
+      optimizer.step();
+      ++batches;
+    }
+    history.train_loss.push_back(epoch_loss /
+                                 static_cast<double>(std::max<std::size_t>(1, batches)));
+
+    if (x_val.dim0() > 0) {
+      const Tensor3 pv = predict(net, x_val);
+      history.val_loss.push_back(mse_loss(y_val, pv));
+      history.val_r2.push_back(r2_metric(y_val, pv));
+    }
+  }
+  return history;
+}
+
+Tensor3 Trainer::predict(GraphNetwork& net, const Tensor3& x,
+                         std::size_t batch_size) {
+  if (x.dim0() == 0) return {};
+  std::vector<std::size_t> idx(x.dim0());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Tensor3 out;
+  bool first = true;
+  for (std::size_t start = 0; start < x.dim0(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, x.dim0());
+    const std::span<const std::size_t> span(idx.data() + start, end - start);
+    const Tensor3 xb = gather_examples(x, span);
+    const Tensor3 pb = net.forward(xb, /*training=*/false);
+    if (first) {
+      out = Tensor3(x.dim0(), pb.dim1(), pb.dim2());
+      first = false;
+    }
+    for (std::size_t i = 0; i < pb.dim0(); ++i) {
+      const auto src = pb.block(i);
+      auto dst = out.block(start + i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace geonas::nn

@@ -1,0 +1,77 @@
+#include "pod/gappy.hpp"
+
+#include <stdexcept>
+
+#include "tensor/blas.hpp"
+#include "tensor/linalg.hpp"
+
+namespace geonas::pod {
+
+GappyPOD::GappyPOD(const POD& pod, std::vector<std::size_t> sensor_cells,
+                   double ridge)
+    : pod_(&pod), sensors_(std::move(sensor_cells)) {
+  if (!pod.fitted()) {
+    throw std::logic_error("GappyPOD: POD must be fitted first");
+  }
+  if (sensors_.size() < pod.num_modes()) {
+    throw std::invalid_argument(
+        "GappyPOD: need at least as many sensors as retained modes");
+  }
+  const Matrix& basis = pod.basis();
+  masked_basis_.resize(sensors_.size(), pod.num_modes());
+  masked_mean_.resize(sensors_.size(), 0.0);
+  const auto& mean = pod.temporal_mean();
+  for (std::size_t s = 0; s < sensors_.size(); ++s) {
+    const std::size_t cell = sensors_[s];
+    if (cell >= pod.num_dof()) {
+      throw std::invalid_argument("GappyPOD: sensor index out of range");
+    }
+    for (std::size_t m = 0; m < pod.num_modes(); ++m) {
+      masked_basis_(s, m) = basis(cell, m);
+    }
+    masked_mean_[s] = mean.empty() ? 0.0 : mean[cell];
+  }
+  // Precompute the Cholesky factor of M^T M (+ ridge I); a tiny jitter
+  // guards against sensor sets that nearly alias two modes.
+  Matrix mtm = matmul_at_b(masked_basis_, masked_basis_);
+  for (std::size_t i = 0; i < mtm.rows(); ++i) mtm(i, i) += ridge;
+  normal_factor_ = cholesky(mtm, ridge > 0.0 ? 0.0 : 1e-12);
+}
+
+std::vector<double> GappyPOD::infer_coefficients(
+    std::span<const double> measurements) const {
+  if (measurements.size() != sensors_.size()) {
+    throw std::invalid_argument("GappyPOD: measurement count != sensors");
+  }
+  // Right-hand side M^T (y - mean_at_sensors).
+  Matrix residual(sensors_.size(), 1);
+  for (std::size_t s = 0; s < sensors_.size(); ++s) {
+    residual(s, 0) = measurements[s] - masked_mean_[s];
+  }
+  const Matrix rhs = matmul_at_b(masked_basis_, residual);
+  const Matrix a = cholesky_solve(normal_factor_, rhs);
+  return a.col_copy(0);
+}
+
+std::vector<double> GappyPOD::reconstruct(
+    std::span<const double> measurements) const {
+  const auto coeffs = infer_coefficients(measurements);
+  Matrix column(pod_->num_modes(), 1);
+  for (std::size_t m = 0; m < coeffs.size(); ++m) column(m, 0) = coeffs[m];
+  const Matrix field = pod_->reconstruct(column);
+  return {field.flat().begin(), field.flat().end()};
+}
+
+std::vector<double> GappyPOD::sample(
+    std::span<const double> full_field) const {
+  if (full_field.size() != pod_->num_dof()) {
+    throw std::invalid_argument("GappyPOD::sample: field size mismatch");
+  }
+  std::vector<double> out(sensors_.size());
+  for (std::size_t s = 0; s < sensors_.size(); ++s) {
+    out[s] = full_field[sensors_[s]];
+  }
+  return out;
+}
+
+}  // namespace geonas::pod

@@ -1,0 +1,53 @@
+// Gappy POD: field reconstruction from sparse sensor measurements.
+//
+// The paper's conclusion points at "real-time data assimilation tasks"
+// and cites Callaham et al.'s robust flow reconstruction from limited
+// measurements; gappy POD is the classical tool for both. Given a fitted
+// POD basis psi and measurements at a sparse set of ocean cells P, the
+// coefficients are recovered by least squares on the masked basis,
+//   a* = argmin_a || P(psi a + mean) - y ||^2,
+// solved through the (optionally ridge-regularized) normal equations of
+// the sampled basis rows; the full field is then psi a* + mean.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pod/pod.hpp"
+
+namespace geonas::pod {
+
+class GappyPOD {
+ public:
+  /// Binds to a fitted POD (kept by reference) and the sensor locations:
+  /// indices into the flattened ocean state vector. Requires at least as
+  /// many sensors as retained modes.
+  GappyPOD(const POD& pod, std::vector<std::size_t> sensor_cells,
+           double ridge = 0.0);
+
+  [[nodiscard]] std::size_t num_sensors() const noexcept {
+    return sensors_.size();
+  }
+
+  /// Recovers the Nr coefficients from one sensor-measurement vector
+  /// (same order as the sensor cells passed at construction).
+  [[nodiscard]] std::vector<double> infer_coefficients(
+      std::span<const double> measurements) const;
+
+  /// Full-field reconstruction from sparse measurements: Nh values.
+  [[nodiscard]] std::vector<double> reconstruct(
+      std::span<const double> measurements) const;
+
+  /// Convenience: samples a full field at the sensors.
+  [[nodiscard]] std::vector<double> sample(
+      std::span<const double> full_field) const;
+
+ private:
+  const POD* pod_;
+  std::vector<std::size_t> sensors_;
+  Matrix masked_basis_;   // sensors x Nr
+  Matrix normal_factor_;  // Cholesky factor of (M^T M + ridge I)
+  std::vector<double> masked_mean_;
+};
+
+}  // namespace geonas::pod

@@ -1,0 +1,64 @@
+#include "search/aging_evolution.hpp"
+
+#include <stdexcept>
+
+namespace geonas::search {
+
+AgingEvolution::AgingEvolution(const searchspace::StackedLSTMSpace& space,
+                               AgingEvolutionConfig config)
+    : space_(&space), cfg_(config), rng_(config.seed) {
+  if (cfg_.population_size == 0 || cfg_.sample_size == 0) {
+    throw std::invalid_argument("AgingEvolution: zero population or sample");
+  }
+  if (cfg_.sample_size > cfg_.population_size) {
+    throw std::invalid_argument(
+        "AgingEvolution: sample size exceeds population size");
+  }
+}
+
+searchspace::Architecture AgingEvolution::ask() {
+  // Warm-up: propose random architectures until enough evaluations have
+  // returned to fill the population.
+  if (population_.size() < cfg_.population_size) {
+    return space_->random_architecture(rng_);
+  }
+  // Tournament: sample s members without replacement, mutate the fittest
+  // (or, in the crossover ablation, recombine the two fittest).
+  const auto indices =
+      rng_.sample_without_replacement(population_.size(), cfg_.sample_size);
+  const Member* parent = &population_[indices[0]];
+  const Member* runner_up = nullptr;
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    const Member& candidate = population_[indices[i]];
+    if (candidate.reward > parent->reward) {
+      runner_up = parent;
+      parent = &candidate;
+    } else if (runner_up == nullptr || candidate.reward > runner_up->reward) {
+      runner_up = &candidate;
+    }
+  }
+  if (cfg_.crossover_prob > 0.0 && runner_up != nullptr &&
+      rng_.bernoulli(cfg_.crossover_prob)) {
+    // Uniform crossover: each gene from either parent with equal chance.
+    searchspace::Architecture child = parent->arch;
+    for (std::size_t g = 0; g < child.genes.size(); ++g) {
+      if (rng_.bernoulli(0.5)) child.genes[g] = runner_up->arch.genes[g];
+    }
+    return child;
+  }
+  return space_->mutate(parent->arch, rng_);
+}
+
+void AgingEvolution::tell(const searchspace::Architecture& arch,
+                          double reward) {
+  if (!space_->valid(arch)) {
+    throw std::invalid_argument("AgingEvolution::tell: foreign architecture");
+  }
+  population_.push_back({arch, reward});
+  // Aging: evict the oldest member once the ring is full, regardless of
+  // its fitness.
+  while (population_.size() > cfg_.population_size) population_.pop_front();
+  ++told_;
+}
+
+}  // namespace geonas::search

@@ -1,0 +1,58 @@
+// Aging evolution (regularized evolution), paper §III-B1 / Real et al. 2019.
+//
+// A population of p architectures is kept in a FIFO ring: every completed
+// evaluation enters the population and evicts the oldest member
+// (regardless of fitness — that is the "aging" regularization). To
+// propose a new architecture, s members are sampled uniformly without
+// replacement, the fittest of the sample is the parent, and a single
+// random gene mutation produces the child. Until the population has
+// filled, proposals are uniform random. All operations are O(s) and need
+// no synchronization with other workers, which is why AE scales (Table III).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "search/search_method.hpp"
+#include "searchspace/space.hpp"
+
+namespace geonas::search {
+
+struct AgingEvolutionConfig {
+  std::size_t population_size = 100;  // paper: 100
+  std::size_t sample_size = 10;       // paper: 10
+  /// Probability of producing a child by uniform crossover of the two
+  /// fittest sample members instead of a single mutation. The paper's AE
+  /// deliberately uses "mutations without crossovers" (§III-B1); this knob
+  /// exists for the ablation study and defaults off.
+  double crossover_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class AgingEvolution final : public SearchMethod {
+ public:
+  AgingEvolution(const searchspace::StackedLSTMSpace& space,
+                 AgingEvolutionConfig config = AgingEvolutionConfig{});
+
+  [[nodiscard]] searchspace::Architecture ask() override;
+  void tell(const searchspace::Architecture& arch, double reward) override;
+  [[nodiscard]] std::string name() const override { return "AE"; }
+
+  struct Member {
+    searchspace::Architecture arch;
+    double reward;
+  };
+  [[nodiscard]] const std::deque<Member>& population() const noexcept {
+    return population_;
+  }
+  [[nodiscard]] std::size_t evaluations_told() const noexcept { return told_; }
+
+ private:
+  const searchspace::StackedLSTMSpace* space_;
+  AgingEvolutionConfig cfg_;
+  Rng rng_;
+  std::deque<Member> population_;
+  std::size_t told_ = 0;
+};
+
+}  // namespace geonas::search

@@ -1,0 +1,83 @@
+// Distributed proximal-policy-optimization NAS (paper §III-B2, eq. 9).
+//
+// Each agent owns a factorized categorical policy over the architecture
+// genes: independent softmax logits per variable node. Actions are full
+// gene vectors; the reward is the validation R^2 of the trained child
+// network. Updates use the PPO clipped surrogate
+//     J(theta) = E[ min(r A, clip(r, 1-eps, 1+eps) A) ]
+// with r the new/old action-probability ratio, a per-batch advantage
+// baseline, and an entropy bonus, run for several SGD epochs per batch.
+//
+// Parallel structure mirrors DeepHyper's multimaster-multiworker mode:
+// every agent gathers a batch of b evaluations from its workers (a
+// synchronous barrier), computes its local gradient, and the agents
+// all-reduce gradients with the mean before stepping — so agent policies
+// stay bitwise identical. The cluster simulator and the real thread-pool
+// driver both orchestrate agents through this API.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "searchspace/space.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas::search {
+
+struct PPOConfig {
+  double clip_epsilon = 0.2;     // eq. 9 epsilon (paper: 0.1 or 0.2)
+  double learning_rate = 2.0;    // policy SGD step (clip caps each round)
+  double entropy_coef = 0.003;   // exploration bonus
+  std::size_t sgd_epochs = 12;   // surrogate epochs per batch
+  std::uint64_t seed = 1;
+};
+
+class PPOAgent {
+ public:
+  PPOAgent(const searchspace::StackedLSTMSpace& space, PPOConfig config,
+           std::uint64_t agent_seed);
+
+  /// Samples an architecture from the current policy.
+  [[nodiscard]] searchspace::Architecture ask();
+
+  struct Sample {
+    searchspace::Architecture arch;
+    double reward;
+  };
+
+  /// Computes this agent's PPO policy gradient from a finished batch.
+  /// Does NOT update the policy: gradients from all agents must be
+  /// all-reduced (mean) first. Returns one gradient matrix per gene.
+  [[nodiscard]] std::vector<Matrix> compute_gradient(
+      const std::vector<Sample>& batch);
+
+  /// Applies an (averaged) gradient: theta += lr * grad (ascent).
+  void apply_gradient(const std::vector<Matrix>& gradient);
+
+  /// Policy logits, one 1 x choices row per gene (tests / inspection).
+  [[nodiscard]] const std::vector<Matrix>& logits() const noexcept {
+    return logits_;
+  }
+  /// Probability of choosing `choice` at `gene` under the current policy.
+  [[nodiscard]] double action_probability(std::size_t gene,
+                                          std::size_t choice) const;
+
+ private:
+  [[nodiscard]] std::vector<double> softmax_row(std::size_t gene) const;
+  /// log pi(arch) under given logits.
+  [[nodiscard]] double log_prob(const std::vector<Matrix>& logits,
+                                const searchspace::Architecture& arch) const;
+
+  const searchspace::StackedLSTMSpace* space_;
+  PPOConfig cfg_;
+  Rng rng_;
+  std::vector<Matrix> logits_;
+};
+
+/// Element-wise mean of per-agent gradient stacks (the all-reduce of
+/// paper §III-B2). All stacks must have identical shapes.
+[[nodiscard]] std::vector<Matrix> all_reduce_mean_gradients(
+    const std::vector<std::vector<Matrix>>& per_agent);
+
+}  // namespace geonas::search

@@ -1,0 +1,3 @@
+#include "search/random_search.hpp"
+
+// RandomSearch is header-only; this translation unit anchors the library.

@@ -1,0 +1,33 @@
+// Uniform random search (paper §III-B3): embarrassingly parallel, no
+// feedback — each ask() draws an independent uniform architecture.
+#pragma once
+
+#include "search/search_method.hpp"
+#include "searchspace/space.hpp"
+
+namespace geonas::search {
+
+class RandomSearch final : public SearchMethod {
+ public:
+  explicit RandomSearch(const searchspace::StackedLSTMSpace& space,
+                        std::uint64_t seed = 1)
+      : space_(&space), rng_(seed) {}
+
+  [[nodiscard]] searchspace::Architecture ask() override {
+    return space_->random_architecture(rng_);
+  }
+  void tell(const searchspace::Architecture& /*arch*/,
+            double /*reward*/) override {
+    ++told_;
+  }
+  [[nodiscard]] std::string name() const override { return "RS"; }
+
+  [[nodiscard]] std::size_t evaluations_told() const noexcept { return told_; }
+
+ private:
+  const searchspace::StackedLSTMSpace* space_;
+  Rng rng_;
+  std::size_t told_ = 0;
+};
+
+}  // namespace geonas::search

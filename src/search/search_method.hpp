@@ -1,0 +1,31 @@
+// Asynchronous ask/tell interface for NAS search strategies.
+//
+// Aging evolution and random search are completely asynchronous (paper
+// §III-B): any worker may request a new architecture (ask) or report a
+// finished evaluation (tell) at any time, in any interleaving. The
+// reinforcement-learning strategy is batch-synchronous and exposes its own
+// agent API (see ppo.hpp); the cluster simulator drives it with explicit
+// barriers, as DeepHyper's multimaster-multiworker mode does.
+#pragma once
+
+#include <string>
+
+#include "searchspace/architecture.hpp"
+
+namespace geonas::search {
+
+class SearchMethod {
+ public:
+  virtual ~SearchMethod() = default;
+
+  /// Proposes the next architecture to evaluate. May be called repeatedly
+  /// before any tell() (many workers start simultaneously).
+  [[nodiscard]] virtual searchspace::Architecture ask() = 0;
+
+  /// Reports a finished evaluation (reward = validation R^2).
+  virtual void tell(const searchspace::Architecture& arch, double reward) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace geonas::search

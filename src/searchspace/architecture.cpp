@@ -1,0 +1,43 @@
+#include "searchspace/architecture.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace geonas::searchspace {
+
+std::string Architecture::key() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    os << genes[i] << (i + 1 < genes.size() ? "-" : "");
+  }
+  return os.str();
+}
+
+Architecture Architecture::from_key(const std::string& key) {
+  Architecture arch;
+  std::istringstream is(key);
+  std::string token;
+  while (std::getline(is, token, '-')) {
+    try {
+      arch.genes.push_back(std::stoi(token));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("Architecture::from_key: bad token '" +
+                                  token + "'");
+    }
+  }
+  if (arch.genes.empty()) {
+    throw std::invalid_argument("Architecture::from_key: empty key");
+  }
+  return arch;
+}
+
+std::uint64_t Architecture::hash() const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (int g : genes) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(g));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace geonas::searchspace

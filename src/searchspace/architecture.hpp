@@ -1,0 +1,29 @@
+// Architecture encoding: a fixed-length integer gene vector.
+//
+// Exactly the paper's representation ("an architecture is interpreted to
+// be a sequence of integers"): one gene per variable node of the search
+// space. LSTM variable nodes draw from an operation list; skip-connection
+// variable nodes are binary (0 = no connection, 1 = identity connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geonas::searchspace {
+
+struct Architecture {
+  std::vector<int> genes;
+
+  bool operator==(const Architecture&) const = default;
+
+  /// Canonical text form, e.g. "3-0-1-5-1-0-2-1-0-1-0-4-1-1".
+  [[nodiscard]] std::string key() const;
+  /// Parses the key() form; throws std::invalid_argument on bad input.
+  [[nodiscard]] static Architecture from_key(const std::string& key);
+
+  /// FNV-style hash of the gene vector (stable across runs/platforms).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+};
+
+}  // namespace geonas::searchspace

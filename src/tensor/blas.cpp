@@ -1,0 +1,124 @@
+#include "tensor/blas.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geonas {
+
+namespace {
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
+          double beta) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  require(b.rows() == k, "gemm: inner dimensions differ");
+  if (c.rows() != m || c.cols() != n) {
+    require(beta == 0.0, "gemm: C shape mismatch with beta != 0");
+    c.resize(m, n, 0.0);
+  } else if (beta == 0.0) {
+    c.fill(0.0);
+  } else if (beta != 1.0) {
+    c *= beta;
+  }
+  const double* ap = a.flat().data();
+  const double* bp = b.flat().data();
+  double* cp = c.flat().data();
+  // i-k-j ordering: the inner loop streams a row of B into a row of C.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = ap + i * k;
+    double* crow = cp + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = alpha * arow[kk];
+      if (aik == 0.0) continue;
+      const double* brow = bp + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  gemm(a, b, c);
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  require(b.rows() == k, "matmul_at_b: inner dimensions differ");
+  Matrix c(m, n, 0.0);
+  const double* ap = a.flat().data();
+  const double* bp = b.flat().data();
+  double* cp = c.flat().data();
+  // C[i,j] = sum_k A[k,i] * B[k,j]; iterate k outermost so both A and B rows
+  // stream contiguously.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* arow = ap + kk * m;
+    const double* brow = bp + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  require(b.cols() == k, "matmul_a_bt: inner dimensions differ");
+  Matrix c(m, n, 0.0);
+  // C[i,j] = dot(A.row(i), B.row(j)) — both contiguous.
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto arow = a.row_span(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      c(i, j) = dot(arow, b.row_span(j));
+    }
+  }
+  return c;
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y,
+          double alpha, double beta) {
+  require(x.size() == a.cols(), "gemv: x length != A.cols()");
+  require(y.size() == a.rows(), "gemv: y length != A.rows()");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double acc = dot(a.row_span(i), x);
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "hadamard");
+  Matrix c(a.rows(), a.cols());
+  auto cf = c.flat();
+  auto af = a.flat();
+  auto bf = b.flat();
+  for (std::size_t i = 0; i < cf.size(); ++i) cf[i] = af[i] * bf[i];
+  return c;
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+}  // namespace geonas

@@ -1,0 +1,49 @@
+// BLAS-like dense kernels used throughout geonas.
+//
+// All kernels are written against contiguous row-major storage. gemm uses
+// an i-k-j loop order with a small register block so the inner loop is a
+// pure streaming multiply-accumulate — fast enough for the POD correlation
+// matrices (Ns x Ns with Ns ~ 500) and LSTM gate matmuls without an
+// external BLAS.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace geonas {
+
+/// C = alpha * A * B + beta * C. Shapes: A (m x k), B (k x n), C (m x n).
+/// C is resized (and zeroed) if beta == 0 and its shape does not match.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha = 1.0,
+          double beta = 0.0);
+
+/// Convenience: returns A * B.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Returns A^T * B without materializing A^T.
+[[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// Returns A * B^T without materializing B^T.
+[[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// y = alpha * A * x + beta * y. x.size() == A.cols(), y.size() == A.rows().
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y,
+          double alpha = 1.0, double beta = 0.0);
+
+/// y += alpha * x (vectors of equal length).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Dot product.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// Hadamard (element-wise) product: c = a .* b.
+[[nodiscard]] Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// Element-wise scale in place.
+void scal(double alpha, std::span<double> x);
+
+}  // namespace geonas

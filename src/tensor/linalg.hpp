@@ -1,0 +1,48 @@
+// Dense linear-algebra solvers for geonas.
+//
+// The POD method-of-snapshots (DESIGN.md §2, paper eq. 3) needs a full
+// symmetric eigendecomposition; the linear baseline needs a symmetric
+// positive-definite solve. Both are implemented from scratch: a cyclic
+// Jacobi eigensolver (robust, embarrassingly accurate for the modest
+// Ns x Ns correlation matrices involved) and a Cholesky factorization.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace geonas {
+
+/// Result of a symmetric eigendecomposition A = V diag(lambda) V^T with
+/// eigenvalues sorted in descending order and V's columns the matching
+/// orthonormal eigenvectors.
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;  // column i is the eigenvector for eigenvalues[i]
+  int sweeps = 0;       // Jacobi sweeps used
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.
+/// Throws std::invalid_argument for non-square input. tol is the threshold
+/// on the off-diagonal Frobenius norm relative to the matrix norm.
+[[nodiscard]] EigenResult eigen_symmetric(const Matrix& a, double tol = 1e-12,
+                                          int max_sweeps = 100);
+
+/// Cholesky factorization A = L L^T for symmetric positive-definite A.
+/// Returns lower-triangular L. Throws std::domain_error if A is not SPD
+/// (after adding `jitter` to the diagonal).
+[[nodiscard]] Matrix cholesky(const Matrix& a, double jitter = 0.0);
+
+/// Solves A x = b for SPD A via Cholesky. b may have multiple columns.
+[[nodiscard]] Matrix solve_spd(const Matrix& a, const Matrix& b,
+                               double jitter = 0.0);
+
+/// Solves the regularized normal equations (X^T X + lambda I) w = X^T y.
+/// Used by the ridge/OLS baseline. y may have multiple output columns.
+[[nodiscard]] Matrix solve_normal_equations(const Matrix& x, const Matrix& y,
+                                            double lambda = 0.0);
+
+/// Forward/back substitution with a lower-triangular factor L.
+[[nodiscard]] Matrix cholesky_solve(const Matrix& l, const Matrix& b);
+
+}  // namespace geonas

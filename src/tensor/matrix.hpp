@@ -1,0 +1,155 @@
+// Dense row-major matrix and 3-D tensor containers for geonas.
+//
+// These are the numeric substrate for the whole library: POD compression,
+// the neural-network layers and the classical baselines all operate on
+// geonas::Matrix. The containers own contiguous heap storage, are cheap to
+// move, and expose std::span views so kernels can be written against raw
+// contiguous memory without exposing pointers at API boundaries.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace geonas {
+
+/// Dense row-major matrix of doubles.
+///
+/// Invariants: data_.size() == rows_ * cols_ at all times. A 0x0 matrix is
+/// a valid empty state. Element access is bounds-checked in debug builds
+/// via at(); operator() is unchecked for kernel-speed inner loops.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  /// Column vector (n x 1) from a flat sequence.
+  static Matrix column(std::span<const double> values);
+  /// Row vector (1 x n) from a flat sequence.
+  static Matrix row(std::span<const double> values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  /// Contiguous view of one row.
+  [[nodiscard]] std::span<double> row_span(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row_span(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copy out one column (columns are strided, so this materializes).
+  [[nodiscard]] std::vector<double> col_copy(std::size_t c) const;
+  void set_col(std::size_t c, std::span<const double> values);
+  void set_row(std::size_t r, std::span<const double> values);
+
+  [[nodiscard]] Matrix transposed() const;
+  /// Rows [r0, r1) as a new matrix.
+  [[nodiscard]] Matrix slice_rows(std::size_t r0, std::size_t r1) const;
+  /// Columns [c0, c1) as a new matrix.
+  [[nodiscard]] Matrix slice_cols(std::size_t c0, std::size_t c1) const;
+
+  void fill(double value) noexcept;
+  void resize(std::size_t rows, std::size_t cols, double fill_value = 0.0);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  bool operator==(const Matrix& other) const = default;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double max_abs() const noexcept;
+
+  /// Human-readable rendering (for small matrices / debugging).
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dense 3-D tensor (dim0 x dim1 x dim2), row-major in the last index.
+///
+/// Used for batched sequence data: [batch, time, features]. slice(i)
+/// exposes the i-th [time, features] block as spans without copying.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(std::size_t d0, std::size_t d1, std::size_t d2, double fill = 0.0)
+      : d0_(d0), d1_(d1), d2_(d2), data_(d0 * d1 * d2, fill) {}
+
+  [[nodiscard]] std::size_t dim0() const noexcept { return d0_; }
+  [[nodiscard]] std::size_t dim1() const noexcept { return d1_; }
+  [[nodiscard]] std::size_t dim2() const noexcept { return d2_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j, std::size_t k) noexcept {
+    return data_[(i * d1_ + j) * d2_ + k];
+  }
+  double operator()(std::size_t i, std::size_t j, std::size_t k) const noexcept {
+    return data_[(i * d1_ + j) * d2_ + k];
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  /// View of block i as a contiguous [dim1 * dim2] span.
+  [[nodiscard]] std::span<double> block(std::size_t i) noexcept {
+    return {data_.data() + i * d1_ * d2_, d1_ * d2_};
+  }
+  [[nodiscard]] std::span<const double> block(std::size_t i) const noexcept {
+    return {data_.data() + i * d1_ * d2_, d1_ * d2_};
+  }
+
+  /// Copy block i out as a [dim1 x dim2] matrix.
+  [[nodiscard]] Matrix block_matrix(std::size_t i) const;
+  void set_block(std::size_t i, const Matrix& m);
+
+  bool operator==(const Tensor3& other) const = default;
+
+ private:
+  std::size_t d0_ = 0;
+  std::size_t d1_ = 0;
+  std::size_t d2_ = 0;
+  std::vector<double> data_;
+};
+
+/// Throws std::invalid_argument with a formatted message when dims differ.
+void require_same_shape(const Matrix& a, const Matrix& b, const char* op);
+
+}  // namespace geonas

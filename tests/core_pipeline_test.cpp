@@ -1,0 +1,262 @@
+// End-to-end pipeline, NAS driver, reporting, scale config, and the
+// TrainingEvaluator — run on a tiny grid so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/nas_driver.hpp"
+#include "core/pipeline.hpp"
+#include "core/reporting.hpp"
+#include "core/surrogate.hpp"
+#include "core/training_eval.hpp"
+#include "tensor/stats.hpp"
+#include "search/aging_evolution.hpp"
+#include "search/random_search.hpp"
+
+namespace geonas::core {
+namespace {
+
+PipelineConfig tiny_config() {
+  PipelineConfig cfg;
+  cfg.setup.scale = Scale::kQuick;
+  cfg.setup.grid = {24, 48};
+  cfg.setup.train_snapshots = 120;
+  cfg.setup.total_snapshots = 240;
+  cfg.setup.num_modes = 5;
+  cfg.setup.window = 8;
+  return cfg;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new PODLSTMPipeline(tiny_config());
+    pipeline_->prepare();
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static PODLSTMPipeline* pipeline_;
+};
+
+PODLSTMPipeline* PipelineTest::pipeline_ = nullptr;
+
+TEST_F(PipelineTest, CoefficientShapes) {
+  const auto& p = *pipeline_;
+  EXPECT_EQ(p.coefficients().rows(), 5u);
+  EXPECT_EQ(p.coefficients().cols(), 240u);
+  EXPECT_EQ(p.train_coefficients().cols(), 120u);
+  EXPECT_EQ(p.test_coefficients().cols(), 120u);
+}
+
+TEST_F(PipelineTest, SplitSizes) {
+  const auto& p = *pipeline_;
+  // 120 - 16 + 1 = 105 windows, 80/20 split -> 84 / 21.
+  EXPECT_EQ(p.split().train.size() + p.split().val.size(), 105u);
+  EXPECT_EQ(p.split().train.size(), 84u);
+  EXPECT_EQ(p.split().train.x.dim1(), 8u);
+  EXPECT_EQ(p.split().train.x.dim2(), 5u);
+}
+
+TEST_F(PipelineTest, PodEnergyBand) {
+  EXPECT_GT(pipeline_->pod().energy_captured(5), 0.80);
+}
+
+TEST_F(PipelineTest, TrainCoefficientsMatchDirectProjection) {
+  const auto& p = *pipeline_;
+  const Matrix snaps = p.sst().snapshots(p.mask(), 10, 3);
+  const Matrix direct = p.pod().project(snaps);
+  for (std::size_t m = 0; m < 5; ++m) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(p.coefficients()(m, 10 + c), direct(m, c), 1e-8);
+    }
+  }
+}
+
+TEST_F(PipelineTest, ReconstructFieldApproximatesTruth) {
+  const auto& p = *pipeline_;
+  const std::size_t week = 30;
+  const auto truth = p.truth_field(week);
+  const auto coeffs = p.coefficients().col_copy(week);
+  const auto recon = p.reconstruct_field(coeffs);
+  ASSERT_EQ(recon.size(), truth.size());
+  // Relative reconstruction error bounded by the POD truncation.
+  double num = 0.0, den = 0.0;
+  const double tmean = [&] {
+    double acc = 0.0;
+    for (double v : truth) acc += v;
+    return acc / static_cast<double>(truth.size());
+  }();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    num += (recon[i] - truth[i]) * (recon[i] - truth[i]);
+    den += (truth[i] - tmean) * (truth[i] - tmean);
+  }
+  EXPECT_LT(num / den, 0.30);
+}
+
+TEST_F(PipelineTest, ScaledCoefficientsAreStandardizedOnTraining) {
+  const auto& p = *pipeline_;
+  const Matrix& sc = p.scaled_coefficients();
+  ASSERT_EQ(sc.rows(), 5u);
+  for (std::size_t m = 0; m < 5; ++m) {
+    std::vector<double> train_vals;
+    for (std::size_t t = 0; t < 120; ++t) train_vals.push_back(sc(m, t));
+    EXPECT_NEAR(mean(train_vals), 0.0, 1e-9);
+    EXPECT_NEAR(stddev(train_vals), 1.0, 1e-9);
+  }
+}
+
+TEST_F(PipelineTest, UnscaleRoundTrip) {
+  const auto& p = *pipeline_;
+  std::vector<double> scaled(5);
+  for (std::size_t m = 0; m < 5; ++m) {
+    scaled[m] = p.scaled_coefficients()(m, 42);
+  }
+  const auto raw = p.unscale(scaled);
+  for (std::size_t m = 0; m < 5; ++m) {
+    EXPECT_NEAR(raw[m], p.coefficients()(m, 42), 1e-9);
+  }
+  EXPECT_THROW((void)p.unscale(std::vector<double>(3)),
+               std::invalid_argument);
+}
+
+TEST_F(PipelineTest, ForecastCoefficientsLayout) {
+  auto& p = *pipeline_;
+  searchspace::StackedLSTMSpace space;
+  Rng rng(1);
+  nn::GraphNetwork net = space.build(space.random_architecture(rng));
+  net.init_params(2);
+  const Matrix fc = p.forecast_coefficients(net, 0, 120);
+  EXPECT_EQ(fc.rows(), 5u);
+  EXPECT_EQ(fc.cols(), 120u);
+  // Warm-up region equals the truth.
+  for (std::size_t m = 0; m < 5; ++m) {
+    for (std::size_t t = 0; t < 8; ++t) {
+      EXPECT_DOUBLE_EQ(fc(m, t), p.coefficients()(m, t));
+    }
+  }
+  EXPECT_THROW((void)p.forecast_coefficients(net, 0, 10),
+               std::invalid_argument);
+}
+
+TEST_F(PipelineTest, TrainedForecastBeatsUntrained) {
+  auto& p = *pipeline_;
+  searchspace::StackedLSTMSpace space;
+  std::vector<std::size_t> op_genes;
+  for (std::size_t g = 0; g < space.num_genes(); ++g) {
+    if (!space.is_skip_gene(g)) op_genes.push_back(g);
+  }
+  searchspace::Architecture arch;
+  arch.genes.assign(space.num_genes(), 0);
+  arch.genes[op_genes[0]] = 2;  // LSTM(32)
+
+  nn::GraphNetwork net = space.build(arch);
+  net.init_params(3);
+  const auto& split = p.split();
+  const Tensor3 before =
+      nn::Trainer::predict(net, split.val.x);
+  const double r2_before = p.window_r2(split.val.y, before);
+
+  (void)nn::Trainer({.epochs = 60, .batch_size = 32, .seed = 4})
+      .fit(net, split.train.x, split.train.y, split.val.x, split.val.y);
+  const Tensor3 after = nn::Trainer::predict(net, split.val.x);
+  const double r2_after = p.window_r2(split.val.y, after);
+  EXPECT_GT(r2_after, r2_before);
+  EXPECT_GT(r2_after, 0.4);
+}
+
+TEST_F(PipelineTest, LeadPredictionsShape) {
+  auto& p = *pipeline_;
+  searchspace::StackedLSTMSpace space;
+  Rng rng(5);
+  nn::GraphNetwork net = space.build(space.random_architecture(rng));
+  net.init_params(6);
+  const Tensor3 leads = p.lead_predictions(net, 120, 200);
+  EXPECT_EQ(leads.dim0(), 80u - 16u + 1u);
+  EXPECT_EQ(leads.dim1(), 8u);
+  EXPECT_EQ(leads.dim2(), 5u);
+}
+
+TEST_F(PipelineTest, TrainingEvaluatorProducesReward) {
+  auto& p = *pipeline_;
+  searchspace::StackedLSTMSpace space;
+  const auto& split = p.split();
+  TrainingEvaluator evaluator(space, split.train.x, split.train.y,
+                              split.val.x, split.val.y,
+                              {.epochs = 3, .batch_size = 32});
+  searchspace::Architecture arch;
+  arch.genes.assign(space.num_genes(), 0);
+  std::vector<std::size_t> op_genes;
+  for (std::size_t g = 0; g < space.num_genes(); ++g) {
+    if (!space.is_skip_gene(g)) op_genes.push_back(g);
+  }
+  arch.genes[op_genes[0]] = 1;  // LSTM(16)
+  const auto out = evaluator.evaluate(arch, 1);
+  EXPECT_TRUE(std::isfinite(out.reward));
+  EXPECT_GT(out.reward, -1.0);
+  EXPECT_LE(out.reward, 1.0);
+  EXPECT_GT(out.duration_seconds, 0.0);
+  EXPECT_EQ(out.params, space.param_count(arch));
+  EXPECT_EQ(evaluator.evaluations(), 1u);
+}
+
+TEST(NasDriver, SerialSearchFindsGoodArchitecture) {
+  searchspace::StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  search::AgingEvolution ae(space, {.population_size = 50, .sample_size = 8,
+                                    .seed = 2});
+  const LocalSearchResult result = run_local_search(ae, oracle, 800, 3);
+  EXPECT_EQ(result.history.size(), 800u);
+  EXPECT_GT(result.best_reward, 0.955);
+  EXPECT_TRUE(space.valid(result.best));
+}
+
+TEST(NasDriver, ParallelMatchesWorkload) {
+  searchspace::StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  search::RandomSearch rs(space, 3);
+  const LocalSearchResult result =
+      run_local_search_parallel(rs, oracle, 200, 4, 5);
+  EXPECT_EQ(result.history.size(), 200u);
+  EXPECT_TRUE(space.valid(result.best));
+}
+
+TEST(Scale, EnvironmentDetection) {
+  ::unsetenv("GEONAS_SCALE");
+  EXPECT_EQ(detect_scale(), Scale::kQuick);
+  ::setenv("GEONAS_SCALE", "full", 1);
+  EXPECT_EQ(detect_scale(), Scale::kFull);
+  ::unsetenv("GEONAS_SCALE");
+  const auto quick = ExperimentSetup::make(Scale::kQuick);
+  const auto full = ExperimentSetup::make(Scale::kFull);
+  EXPECT_EQ(full.grid.nlat, 180u);
+  EXPECT_EQ(full.posttrain_epochs, 100u);  // the paper's setting
+  EXPECT_LT(quick.grid.cells(), full.grid.cells());
+  EXPECT_EQ(quick.train_snapshots, 427u);  // period structure is preserved
+  EXPECT_EQ(quick.total_snapshots, 1914u);
+}
+
+TEST(Reporting, TextTableAlignsAndValidates) {
+  TextTable table({"Model", "R2"});
+  table.add_row({"NAS-POD-LSTM", TextTable::num(0.876)});
+  table.add_row({"Linear", TextTable::num(0.172)});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("NAS-POD-LSTM"), std::string::npos);
+  EXPECT_NE(out.find("0.876"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_THROW(table.add_row({"too", "many", "cells"}), std::invalid_argument);
+  EXPECT_EQ(TextTable::integer(42), "42");
+}
+
+TEST(Reporting, AsciiSeriesRendersBounds) {
+  std::vector<double> series;
+  for (int i = 0; i < 200; ++i) series.push_back(static_cast<double>(i));
+  const std::string plot = ascii_series(series, 40, 8);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_EQ(ascii_series({}, 10, 5), "(empty series)\n");
+}
+
+}  // namespace
+}  // namespace geonas::core

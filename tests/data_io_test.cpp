@@ -1,0 +1,109 @@
+// Snapshot/mask binary file round trips and validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "data/landmask.hpp"
+#include "data/snapshot_io.hpp"
+#include "data/sst.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas::data {
+namespace {
+
+TEST(SnapshotIO, StreamRoundTrip) {
+  Rng rng(1);
+  SnapshotRecord record;
+  record.first_week = 42;
+  record.snapshots.resize(17, 9);
+  for (double& v : record.snapshots.flat()) v = rng.normal();
+
+  std::stringstream buffer;
+  write_snapshots(record, buffer);
+  const SnapshotRecord back = read_snapshots(buffer);
+  EXPECT_EQ(back.first_week, 42u);
+  EXPECT_EQ(back.snapshots, record.snapshots);
+}
+
+TEST(SnapshotIO, RejectsBadMagic) {
+  std::stringstream buffer("NOTMAGIC plus junk that is long enough to read");
+  EXPECT_THROW((void)read_snapshots(buffer), std::runtime_error);
+}
+
+TEST(SnapshotIO, RejectsTruncatedPayload) {
+  Rng rng(2);
+  SnapshotRecord record;
+  record.snapshots.resize(8, 4);
+  for (double& v : record.snapshots.flat()) v = rng.normal();
+  std::stringstream buffer;
+  write_snapshots(record, buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 16);  // chop the tail
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)read_snapshots(truncated), std::runtime_error);
+}
+
+TEST(SnapshotIO, FileRoundTrip) {
+  const std::string path = "/tmp/geonas_snapshot_io_test.bin";
+  Rng rng(3);
+  SnapshotRecord record;
+  record.first_week = 7;
+  record.snapshots.resize(5, 3);
+  for (double& v : record.snapshots.flat()) v = rng.normal();
+  write_snapshots_file(record, path);
+  const SnapshotRecord back = read_snapshots_file(path);
+  EXPECT_EQ(back.snapshots, record.snapshots);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_snapshots_file("/nonexistent/geonas.bin"),
+               std::runtime_error);
+}
+
+TEST(SnapshotIO, MaskRoundTrip) {
+  const Grid grid{12, 24};
+  const LandMask mask(grid, 7);
+  MaskRecord record;
+  record.grid = grid;
+  record.land.assign(grid.cells(), 0);
+  for (std::size_t cell = 0; cell < grid.cells(); ++cell) {
+    record.land[cell] = mask.is_land_cell(cell) ? 1 : 0;
+  }
+  std::stringstream buffer;
+  write_mask(record, buffer);
+  const MaskRecord back = read_mask(buffer);
+  EXPECT_EQ(back.grid.nlat, 12u);
+  EXPECT_EQ(back.grid.nlon, 24u);
+  EXPECT_EQ(back.land, record.land);
+}
+
+TEST(SnapshotIO, MaskSizeValidation) {
+  MaskRecord record;
+  record.grid = {4, 4};
+  record.land.assign(3, 0);  // wrong size
+  std::stringstream buffer;
+  EXPECT_THROW(write_mask(record, buffer), std::invalid_argument);
+}
+
+TEST(SnapshotIO, ExportedGeneratorDataIsUsable) {
+  // The full round trip a real-data user would follow: generate (stand-in
+  // for downloading NOAA), export, import, verify the snapshot columns.
+  const Grid grid{12, 24};
+  const LandMask mask(grid, 7);
+  const SyntheticSST sst;
+  SnapshotRecord record;
+  record.first_week = 100;
+  record.snapshots = sst.snapshots(mask, 100, 6);
+
+  std::stringstream buffer;
+  write_snapshots(record, buffer);
+  const SnapshotRecord back = read_snapshots(buffer);
+  ASSERT_EQ(back.snapshots.rows(), mask.ocean_count());
+  const auto week102 = mask.flatten(sst.field(grid, 102));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(back.snapshots(i, 2), week102[i]);
+  }
+}
+
+}  // namespace
+}  // namespace geonas::data

@@ -1,0 +1,237 @@
+// Synthetic SST statistical properties, comparator surrogates, and the
+// windowed dataset machinery of paper §II-B.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/comparators.hpp"
+#include "data/sst.hpp"
+#include "data/windowing.hpp"
+#include "pod/pod.hpp"
+#include "tensor/stats.hpp"
+
+namespace geonas::data {
+namespace {
+
+TEST(SST, DeterministicForSeed) {
+  const SyntheticSST a, b;
+  EXPECT_DOUBLE_EQ(a.value(10.0, 200.0, 5), b.value(10.0, 200.0, 5));
+  SSTOptions other;
+  other.seed = 9999;
+  const SyntheticSST c(other);
+  EXPECT_NE(a.value(10.0, 200.0, 5), c.value(10.0, 200.0, 5));
+}
+
+TEST(SST, PhysicalTemperatureRange) {
+  const SyntheticSST sst;
+  for (std::size_t week : {0UL, 100UL, 1000UL, 1900UL}) {
+    for (double lat : {-80.0, -40.0, 0.0, 40.0, 80.0}) {
+      for (double lon : {10.0, 120.0, 235.0, 350.0}) {
+        const double t = sst.value(lat, lon, week);
+        EXPECT_GE(t, -1.9);
+        EXPECT_LE(t, 40.0);
+      }
+    }
+  }
+}
+
+TEST(SST, EquatorWarmerThanPoles) {
+  const SyntheticSST sst;
+  double eq = 0.0, pole = 0.0;
+  for (std::size_t w = 0; w < 52; ++w) {
+    eq += sst.value(0.5, 180.0, w);
+    pole += sst.value(75.0, 180.0, w);
+  }
+  EXPECT_GT(eq / 52.0, pole / 52.0 + 10.0);
+}
+
+TEST(SST, SeasonalCycleAntiphaseAcrossHemispheres) {
+  const SyntheticSST sst;
+  // Correlation of the seasonal signal at +/-50 degrees over 4 years.
+  std::vector<double> north, south;
+  for (std::size_t w = 0; w < 208; ++w) {
+    north.push_back(sst.seasonal(50.0, 180.0, static_cast<double>(w)));
+    south.push_back(sst.seasonal(-50.0, 180.0, static_cast<double>(w)));
+  }
+  EXPECT_LT(pearson(north, south), -0.8);
+}
+
+TEST(SST, SeasonalPeriodicity) {
+  const SyntheticSST sst;
+  // One year later the seasonal component nearly repeats.
+  const double a = sst.seasonal(45.0, 180.0, 10.0);
+  const double b = sst.seasonal(45.0, 180.0, 10.0 + kWeeksPerYear);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(SST, TrendIsSecular) {
+  const SyntheticSST sst;
+  EXPECT_GT(sst.trend(0.0, 1900.0), sst.trend(0.0, 0.0));
+  // Roughly trend_per_decade at the equator over a decade.
+  const double decade = sst.trend(0.0, 10.0 * kWeeksPerYear) - sst.trend(0.0, 0.0);
+  EXPECT_NEAR(decade, sst.options().trend_per_decade, 0.05);
+}
+
+TEST(SST, EnsoPatternLocalizedInEasternPacific) {
+  const SyntheticSST sst;
+  EXPECT_GT(sst.enso_pattern(0.0, 235.0), 0.9);
+  EXPECT_LT(sst.enso_pattern(0.0, 100.0), 0.01);
+  EXPECT_LT(sst.enso_pattern(50.0, 235.0), 0.01);
+}
+
+TEST(SST, EddyRealizationsDiffer) {
+  const SyntheticSST sst;
+  double diff = 0.0;
+  for (std::size_t w = 0; w < 20; ++w) {
+    diff += std::abs(sst.eddy(30.0, 150.0, static_cast<double>(w), 1) -
+                     sst.eddy(30.0, 150.0, static_cast<double>(w), 2));
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(SST, FiveModesCaptureMostVariance) {
+  // The paper's Nr = 5 captures ~92 % of the NOAA variance; the synthetic
+  // field must have the same low-rank structure (85-99 %).
+  const Grid grid{45, 90};
+  const LandMask mask(grid, 7);
+  const SyntheticSST sst;
+  const Matrix snaps = sst.snapshots(mask, 0, 160);
+  pod::POD p;
+  p.fit(snaps, {.num_modes = 5});
+  const double e5 = p.energy_captured(5);
+  EXPECT_GT(e5, 0.85);
+  EXPECT_LT(e5, 0.999);
+  // Higher modes are increasingly stochastic: mode energies decay.
+  const auto& ev = p.eigenvalues();
+  EXPECT_GT(ev[0], ev[4]);
+  EXPECT_GT(ev[4], ev[20]);
+}
+
+TEST(SST, SnapshotMatrixLayout) {
+  const Grid grid{45, 90};
+  const LandMask mask(grid, 7);
+  const SyntheticSST sst;
+  const Matrix snaps = sst.snapshots(mask, 3, 4);
+  EXPECT_EQ(snaps.rows(), mask.ocean_count());
+  EXPECT_EQ(snaps.cols(), 4u);
+  // Column c is week 3 + c.
+  const auto week5 = mask.flatten(sst.field(grid, 5));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(snaps(i, 2), week5[i]);
+  }
+}
+
+TEST(Comparators, HycomTracksTruthCloselyInEasternPacific) {
+  const SyntheticSST sst;
+  const HYCOMSurrogate hycom(sst);
+  const CESMSurrogate cesm(sst);
+
+  // Sample the full Table-I assessment box (-10..10 lat, 200..250 lon).
+  const std::size_t w0 = HYCOMSurrogate::first_available_week();
+  std::vector<double> truth, hy, ce;
+  for (std::size_t w = w0; w < w0 + 30; ++w) {
+    for (double lat = -8.0; lat <= 8.0; lat += 4.0) {
+      for (double lon = 202.0; lon <= 248.0; lon += 7.5) {
+        truth.push_back(sst.value(lat, lon, w));
+        hy.push_back(hycom.value(lat, lon, w));
+        ce.push_back(cesm.value(lat, lon, w));
+      }
+    }
+  }
+  const double rmse_hycom = rmse(truth, hy);
+  const double rmse_cesm = rmse(truth, ce);
+  // Paper Table I ordering: HYCOM ~1.0 C, CESM ~1.85 C. This 30-week probe
+  // sits in a low-error stretch of CESM's phase drift, so its band is
+  // wider than the full-period Table I numbers.
+  EXPECT_GT(rmse_cesm, rmse_hycom);
+  EXPECT_GT(rmse_hycom, 0.4);
+  EXPECT_LT(rmse_hycom, 1.8);
+  EXPECT_GT(rmse_cesm, 1.0);
+  EXPECT_LT(rmse_cesm, 3.0);
+}
+
+TEST(Comparators, HycomAvailabilityWindowMatchesPaper) {
+  EXPECT_EQ(HYCOMSurrogate::first_available_week(),
+            static_cast<std::size_t>(week_of_date(2015, 4, 5)));
+  EXPECT_EQ(HYCOMSurrogate::last_available_week(),
+            static_cast<std::size_t>(week_of_date(2018, 6, 24)));
+  EXPECT_LT(HYCOMSurrogate::first_available_week(),
+            HYCOMSurrogate::last_available_week());
+}
+
+TEST(Comparators, SnapshotShapes) {
+  const Grid grid{45, 90};
+  const LandMask mask(grid, 7);
+  const SyntheticSST sst;
+  const CESMSurrogate cesm(sst);
+  const Matrix s = cesm.snapshots(mask, 100, 3);
+  EXPECT_EQ(s.rows(), mask.ocean_count());
+  EXPECT_EQ(s.cols(), 3u);
+}
+
+TEST(Windowing, CountFormula) {
+  EXPECT_EQ(window_count(427, {.window = 8, .stride = 1}), 412u);
+  EXPECT_EQ(window_count(16, {.window = 8, .stride = 1}), 1u);
+  EXPECT_EQ(window_count(15, {.window = 8, .stride = 1}), 0u);
+  EXPECT_EQ(window_count(20, {.window = 4, .stride = 2}), 7u);
+}
+
+TEST(Windowing, InputOutputAlignment) {
+  // Coefficients: mode m at time t = 100*m + t, easy to verify.
+  const std::size_t nr = 3, ns = 20, k = 4;
+  Matrix coeffs(nr, ns);
+  for (std::size_t m = 0; m < nr; ++m) {
+    for (std::size_t t = 0; t < ns; ++t) {
+      coeffs(m, t) = 100.0 * static_cast<double>(m) + static_cast<double>(t);
+    }
+  }
+  const WindowedDataset set = make_windows(coeffs, {.window = k, .stride = 1});
+  EXPECT_EQ(set.size(), ns - 2 * k + 1);
+  // Example e, step t, mode m: input = coeffs(m, e + t).
+  EXPECT_DOUBLE_EQ(set.x(2, 1, 1), 103.0);
+  // Output shifts by K.
+  EXPECT_DOUBLE_EQ(set.y(2, 1, 1), 107.0);
+  EXPECT_THROW((void)make_windows(Matrix(2, 5), {.window = 8}),
+               std::invalid_argument);
+}
+
+TEST(Windowing, SplitSizesAndDisjointness) {
+  Matrix coeffs(2, 60);
+  for (std::size_t t = 0; t < 60; ++t) {
+    coeffs(0, t) = static_cast<double>(t);
+    coeffs(1, t) = static_cast<double>(t) * 2.0;
+  }
+  const WindowedDataset set = make_windows(coeffs, {.window = 5, .stride = 1});
+  const SplitDataset split = train_val_split(set, 0.8, 99);
+  EXPECT_EQ(split.train.size() + split.val.size(), set.size());
+  const auto expected_train =
+      static_cast<std::size_t>(0.8 * static_cast<double>(set.size()) + 0.5);
+  EXPECT_EQ(split.train.size(), expected_train);
+
+  // Every example must appear exactly once; identify them by x(.,0,0).
+  std::vector<double> seen;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    seen.push_back(split.train.x(i, 0, 0));
+  }
+  for (std::size_t i = 0; i < split.val.size(); ++i) {
+    seen.push_back(split.val.x(i, 0, 0));
+  }
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seen[i], static_cast<double>(i));
+  }
+}
+
+TEST(Windowing, SplitDeterministicBySeed) {
+  Matrix coeffs(1, 30, 0.0);
+  for (std::size_t t = 0; t < 30; ++t) coeffs(0, t) = static_cast<double>(t);
+  const WindowedDataset set = make_windows(coeffs, {.window = 3});
+  const SplitDataset a = train_val_split(set, 0.8, 5);
+  const SplitDataset b = train_val_split(set, 0.8, 5);
+  EXPECT_EQ(a.train.x, b.train.x);
+  const SplitDataset c = train_val_split(set, 0.8, 6);
+  EXPECT_NE(a.train.x, c.train.x);
+}
+
+}  // namespace
+}  // namespace geonas::data

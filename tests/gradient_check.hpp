@@ -1,0 +1,78 @@
+// Finite-difference gradient checking helpers shared by the nn tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas::nn::testing {
+
+inline Tensor3 random_tensor(std::size_t b, std::size_t t, std::size_t f,
+                             Rng& rng, double scale = 1.0) {
+  Tensor3 x(b, t, f);
+  for (double& v : x.flat()) v = scale * rng.normal();
+  return x;
+}
+
+/// Checks every parameter gradient and the input gradient of a
+/// single-input layer against central finite differences of the MSE loss.
+inline void check_layer_gradients(Layer& layer, const Tensor3& input,
+                                  const Tensor3& target, double eps = 1e-5,
+                                  double tol = 1e-6) {
+  auto loss_of = [&](const Tensor3& x) {
+    const Tensor3* ptr = &x;
+    const Tensor3 out = layer.forward({&ptr, 1}, /*training=*/false);
+    return mse_loss(target, out);
+  };
+
+  // Analytic gradients.
+  layer.zero_grad();
+  const Tensor3* in_ptr = &input;
+  const Tensor3 out = layer.forward({&in_ptr, 1}, /*training=*/true);
+  const auto input_grads = layer.backward(mse_grad(target, out));
+  ASSERT_EQ(input_grads.size(), 1u);
+
+  // Parameter gradients.
+  const auto params = layer.parameters();
+  const auto grads = layer.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto flat = params[p]->flat();
+    const auto gflat = grads[p]->flat();
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      const double saved = flat[i];
+      flat[i] = saved + eps;
+      const double up = loss_of(input);
+      flat[i] = saved - eps;
+      const double down = loss_of(input);
+      flat[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      ASSERT_NEAR(gflat[i], numeric, tol)
+          << "param " << p << " element " << i;
+    }
+  }
+
+  // Input gradient.
+  Tensor3 x = input;
+  auto xflat = x.flat();
+  const auto iglat = input_grads[0].flat();
+  ASSERT_EQ(iglat.size(), xflat.size());
+  for (std::size_t i = 0; i < xflat.size(); ++i) {
+    const double saved = xflat[i];
+    xflat[i] = saved + eps;
+    const double up = loss_of(x);
+    xflat[i] = saved - eps;
+    const double down = loss_of(x);
+    xflat[i] = saved;
+    ASSERT_NEAR(iglat[i], (up - down) / (2.0 * eps), tol)
+        << "input element " << i;
+  }
+}
+
+}  // namespace geonas::nn::testing

@@ -1,0 +1,169 @@
+// Real parallel primitives: thread pool, MPI-style channel, all-reduce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "hpc/thread_pool.hpp"
+
+namespace geonas::hpc {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(Channel, SendRecvOrdered) {
+  Channel<int> ch;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ch.send(i));
+  for (int i = 0; i < 10; ++i) {
+    const auto v = ch.recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(Channel, CloseDrainsThenSignals) {
+  Channel<int> ch;
+  (void)ch.send(1);
+  ch.close();
+  EXPECT_FALSE(ch.send(2));  // closed
+  EXPECT_EQ(ch.recv().value(), 1);
+  EXPECT_FALSE(ch.recv().has_value());  // drained + closed
+}
+
+TEST(Channel, CrossThreadTransfer) {
+  Channel<int> ch(8);
+  std::thread producer([&ch] {
+    for (int i = 0; i < 100; ++i) (void)ch.send(i);
+    ch.close();
+  });
+  long sum = 0;
+  int count = 0;
+  while (auto v = ch.recv()) {
+    sum += *v;
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(AllReduce, SingleRankIsIdentity) {
+  AllReduceMean ar(1);
+  std::vector<double> v{1.0, 2.0, 3.0};
+  ar.reduce(v);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(AllReduce, MeansAcrossRanks) {
+  constexpr std::size_t kRanks = 4;
+  AllReduceMean ar(kRanks);
+  std::vector<std::vector<double>> data(kRanks);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    data[r] = {static_cast<double>(r), static_cast<double>(r) * 10.0};
+  }
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&ar, &data, r] { ar.reduce(data[r]); });
+  }
+  for (auto& t : threads) t.join();
+  // Mean of 0..3 = 1.5; mean of 0,10,20,30 = 15.
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    EXPECT_DOUBLE_EQ(data[r][0], 1.5);
+    EXPECT_DOUBLE_EQ(data[r][1], 15.0);
+  }
+}
+
+TEST(Broadcast, RootValueReachesAllRanks) {
+  constexpr std::size_t kRanks = 4;
+  Broadcast bc(kRanks);
+  std::vector<std::vector<double>> data(kRanks);
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    data[r] = {static_cast<double>(r) * 100.0, -1.0};
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&bc, &data, r] { bc.broadcast(r, data[r]); });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    EXPECT_DOUBLE_EQ(data[r][0], 0.0);  // rank 0's value
+    EXPECT_DOUBLE_EQ(data[r][1], -1.0);
+  }
+  EXPECT_THROW(bc.broadcast(4, data[0]), std::invalid_argument);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr std::size_t kRanks = 3;
+  Barrier barrier(kRanks);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 5; ++phase) {
+        ++phase_counter;
+        barrier.arrive();
+        // After the barrier, all ranks of this phase have incremented.
+        if (phase_counter.load() < (phase + 1) * static_cast<int>(kRanks)) {
+          violated = true;
+        }
+        barrier.arrive();  // second barrier so the check itself is safe
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(phase_counter.load(), 15);
+}
+
+TEST(AllReduce, ReusableAcrossGenerations) {
+  constexpr std::size_t kRanks = 3;
+  AllReduceMean ar(kRanks);
+  for (int generation = 0; generation < 5; ++generation) {
+    std::vector<std::vector<double>> data(kRanks);
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < kRanks; ++r) {
+      data[r] = {static_cast<double>(generation + static_cast<int>(r))};
+    }
+    for (std::size_t r = 0; r < kRanks; ++r) {
+      threads.emplace_back([&ar, &data, r] { ar.reduce(data[r]); });
+    }
+    for (auto& t : threads) t.join();
+    const double expected = static_cast<double>(generation) + 1.0;
+    for (std::size_t r = 0; r < kRanks; ++r) {
+      ASSERT_DOUBLE_EQ(data[r][0], expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geonas::hpc

@@ -1,0 +1,84 @@
+// Theta partitioning rules (paper §IV worked examples) and utilization
+// accounting identities.
+#include <gtest/gtest.h>
+
+#include "hpc/theta.hpp"
+#include "hpc/utilization.hpp"
+
+namespace geonas::hpc {
+namespace {
+
+struct PartitionCase {
+  std::size_t nodes, workers_per_agent, idle;
+};
+
+class ThetaPartitionSweep : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(ThetaPartitionSweep, MatchesPaperSection4) {
+  const auto param = GetParam();
+  const ThetaPartition p = rl_partition(param.nodes);
+  EXPECT_EQ(p.agents, 11u);
+  EXPECT_EQ(p.workers_per_agent, param.workers_per_agent);
+  EXPECT_EQ(p.idle_nodes, param.idle);
+  EXPECT_EQ(p.used_nodes() + p.idle_nodes, param.nodes);
+}
+
+// The paper's §IV numbers: 33 -> 2 wpa (0 idle), 64 -> 4 (9 idle),
+// 128 -> 10 (7 idle), 256 -> 22 (3 idle), 512 -> 45 (6 idle).
+INSTANTIATE_TEST_SUITE_P(PaperNodeCounts, ThetaPartitionSweep,
+                         ::testing::Values(PartitionCase{33, 2, 0},
+                                           PartitionCase{64, 4, 9},
+                                           PartitionCase{128, 10, 7},
+                                           PartitionCase{256, 22, 3},
+                                           PartitionCase{512, 45, 6}));
+
+TEST(ThetaPartition, AsyncUsesEveryNode) {
+  const ThetaPartition p = async_partition(128);
+  EXPECT_EQ(p.workers, 128u);
+  EXPECT_EQ(p.agents, 0u);
+  EXPECT_EQ(p.idle_nodes, 0u);
+  EXPECT_THROW((void)async_partition(0), std::invalid_argument);
+  EXPECT_THROW((void)rl_partition(12), std::invalid_argument);
+}
+
+TEST(Utilization, FullBusyIsOne) {
+  UtilizationTracker t(4, 100.0);
+  for (int n = 0; n < 4; ++n) t.add_busy(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(t.utilization_auc(), 1.0);
+}
+
+TEST(Utilization, HalfBusy) {
+  UtilizationTracker t(2, 100.0);
+  t.add_busy(0.0, 100.0);   // node 1 always busy
+  t.add_busy(25.0, 75.0);   // node 2 half busy
+  EXPECT_DOUBLE_EQ(t.utilization_auc(), 0.75);
+}
+
+TEST(Utilization, ClipsToWall) {
+  UtilizationTracker t(1, 100.0);
+  t.add_busy(-50.0, 150.0);  // clipped to [0, 100]
+  EXPECT_DOUBLE_EQ(t.utilization_auc(), 1.0);
+  t.add_busy(200.0, 300.0);  // entirely beyond the wall: ignored
+  EXPECT_DOUBLE_EQ(t.utilization_auc(), 1.0);
+}
+
+TEST(Utilization, BusyCurveStepFunction) {
+  UtilizationTracker t(2, 100.0);
+  t.add_busy(0.0, 50.0);
+  t.add_busy(0.0, 100.0);
+  const auto curve = t.busy_fraction_curve(25.0);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);   // t=0: both busy
+  EXPECT_DOUBLE_EQ(curve[1], 1.0);   // t=25
+  EXPECT_DOUBLE_EQ(curve[3], 0.5);   // t=75: one remains
+}
+
+TEST(Utilization, Validation) {
+  EXPECT_THROW(UtilizationTracker(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(UtilizationTracker(1, 0.0), std::invalid_argument);
+  UtilizationTracker t(1, 10.0);
+  EXPECT_THROW((void)t.busy_fraction_curve(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geonas::hpc

@@ -1,0 +1,219 @@
+// GraphNetwork: DAG wiring, skip-connection semantics (Dense projection +
+// add + ReLU), fan-out gradient accumulation, and whole-graph gradient
+// checks against finite differences.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gradient_check.hpp"
+#include "nn/dense.hpp"
+#include "nn/graph.hpp"
+#include "nn/lstm.hpp"
+#include "nn/merge.hpp"
+
+namespace geonas::nn {
+namespace {
+
+using testing::random_tensor;
+
+TEST(AddMerge, SumsAndRelus) {
+  Tensor3 a(1, 1, 2);
+  a(0, 0, 0) = 1.0;
+  a(0, 0, 1) = -3.0;
+  Tensor3 b(1, 1, 2);
+  b(0, 0, 0) = 2.0;
+  b(0, 0, 1) = 1.0;
+  AddMerge merge(2, /*relu=*/true);
+  const Tensor3* ins[2] = {&a, &b};
+  const Tensor3 y = merge.forward({ins, 2}, false);
+  EXPECT_DOUBLE_EQ(y(0, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y(0, 0, 1), 0.0);  // -2 clipped by ReLU
+}
+
+TEST(AddMerge, BackwardSplitsGradient) {
+  Tensor3 a(1, 1, 2), b(1, 1, 2);
+  a(0, 0, 0) = 1.0;
+  a(0, 0, 1) = -3.0;
+  b(0, 0, 0) = 1.0;
+  b(0, 0, 1) = 1.0;
+  AddMerge merge(2, true);
+  const Tensor3* ins[2] = {&a, &b};
+  (void)merge.forward({ins, 2}, true);
+  Tensor3 g(1, 1, 2, 1.0);
+  const auto grads = merge.backward(g);
+  ASSERT_EQ(grads.size(), 2u);
+  // First channel: sum 2 > 0, gradient passes; second: sum -2, masked.
+  EXPECT_DOUBLE_EQ(grads[0](0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grads[0](0, 0, 1), 0.0);
+  EXPECT_EQ(grads[0], grads[1]);
+}
+
+TEST(AddMerge, ShapeMismatchThrows) {
+  Tensor3 a(1, 1, 2), b(1, 2, 2);
+  AddMerge merge(2, true);
+  const Tensor3* ins[2] = {&a, &b};
+  EXPECT_THROW((void)merge.forward({ins, 2}, false), std::invalid_argument);
+}
+
+TEST(Identity, PassThrough) {
+  Identity id;
+  Rng rng(1);
+  const Tensor3 x = random_tensor(2, 3, 4, rng);
+  const Tensor3* ptr = &x;
+  EXPECT_EQ(id.forward({&ptr, 1}, false), x);
+  const auto g = id.backward(x);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0], x);
+}
+
+TEST(GraphNetwork, SequentialChain) {
+  GraphNetwork net;
+  const auto l1 =
+      net.add_node(std::make_unique<Dense>(2, 4), {GraphNetwork::input_id()});
+  net.add_node(std::make_unique<Dense>(4, 3), {l1});
+  net.init_params(42);
+  Rng rng(2);
+  const Tensor3 x = random_tensor(3, 2, 2, rng);
+  const Tensor3 y = net.forward(x);
+  EXPECT_EQ(y.dim2(), 3u);
+  EXPECT_EQ(net.param_count(), (2u * 4u + 4u) + (4u * 3u + 3u));
+}
+
+TEST(GraphNetwork, ValidatesWiring) {
+  GraphNetwork net;
+  EXPECT_THROW(net.add_node(nullptr, {0}), std::invalid_argument);
+  EXPECT_THROW(net.add_node(std::make_unique<Dense>(2, 2), {5}),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_node(std::make_unique<Dense>(2, 2), {}),
+               std::invalid_argument);
+  // Arity mismatch: AddMerge(2) with one input.
+  EXPECT_THROW(net.add_node(std::make_unique<AddMerge>(2), {0}),
+               std::invalid_argument);
+  // Forward with no computational node.
+  Tensor3 x(1, 1, 2);
+  EXPECT_THROW((void)net.forward(x), std::logic_error);
+}
+
+TEST(GraphNetwork, SkipConnectionTopology) {
+  // input -> Dense(4) -> [skip: input projected to 4] add+relu -> Dense(2)
+  GraphNetwork net;
+  const auto main =
+      net.add_node(std::make_unique<Dense>(3, 4), {GraphNetwork::input_id()});
+  const auto proj =
+      net.add_node(std::make_unique<Dense>(3, 4), {GraphNetwork::input_id()});
+  const auto merge =
+      net.add_node(std::make_unique<AddMerge>(2, true), {main, proj});
+  net.add_node(std::make_unique<Dense>(4, 2), {merge});
+  net.init_params(7);
+
+  Rng rng(3);
+  const Tensor3 x = random_tensor(2, 2, 3, rng);
+  const Tensor3 y = net.forward(x);
+  EXPECT_EQ(y.dim2(), 2u);
+  EXPECT_EQ(net.node_count(), 5u);  // input + 4
+}
+
+TEST(GraphNetwork, GradientThroughSkipGraph) {
+  // Whole-graph finite-difference check, including fan-out of the input
+  // into two branches.
+  GraphNetwork net;
+  const auto main =
+      net.add_node(std::make_unique<LSTM>(2, 3), {GraphNetwork::input_id()});
+  const auto proj =
+      net.add_node(std::make_unique<Dense>(2, 3), {GraphNetwork::input_id()});
+  const auto merge =
+      net.add_node(std::make_unique<AddMerge>(2, true), {main, proj});
+  net.add_node(std::make_unique<LSTM>(3, 2), {merge});
+  net.init_params(11);
+
+  Rng rng(4);
+  const Tensor3 x = random_tensor(2, 3, 2, rng, 0.7);
+  const Tensor3 target = random_tensor(2, 3, 2, rng, 0.5);
+
+  net.zero_grad();
+  const Tensor3 out = net.forward(x, true);
+  const Tensor3 dx = net.backward(mse_grad(target, out));
+
+  auto loss_of = [&](const Tensor3& xin) {
+    return mse_loss(target, net.forward(xin, false));
+  };
+
+  // Parameter gradients.
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  const double eps = 1e-5;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto flat = params[p]->flat();
+    const auto gflat = grads[p]->flat();
+    for (std::size_t i = 0; i < flat.size(); i += 3) {  // stride for speed
+      const double saved = flat[i];
+      flat[i] = saved + eps;
+      const double up = loss_of(x);
+      flat[i] = saved - eps;
+      const double down = loss_of(x);
+      flat[i] = saved;
+      ASSERT_NEAR(gflat[i], (up - down) / (2.0 * eps), 3e-6)
+          << "param " << p << " elem " << i;
+    }
+  }
+
+  // Input gradient (fan-out sum of both branches).
+  Tensor3 xm = x;
+  auto xf = xm.flat();
+  for (std::size_t i = 0; i < xf.size(); ++i) {
+    const double saved = xf[i];
+    xf[i] = saved + eps;
+    const double up = loss_of(xm);
+    xf[i] = saved - eps;
+    const double down = loss_of(xm);
+    xf[i] = saved;
+    ASSERT_NEAR(dx.flat()[i], (up - down) / (2.0 * eps), 3e-6);
+  }
+}
+
+TEST(GraphNetwork, DescribeListsNodes) {
+  GraphNetwork net;
+  const auto l1 =
+      net.add_node(std::make_unique<LSTM>(5, 16), {GraphNetwork::input_id()});
+  net.add_node(std::make_unique<LSTM>(16, 5), {l1});
+  const std::string desc = net.describe();
+  EXPECT_NE(desc.find("LSTM(16)"), std::string::npos);
+  EXPECT_NE(desc.find("[output]"), std::string::npos);
+}
+
+TEST(GraphNetwork, ToDotRendersNodesAndEdges) {
+  GraphNetwork net;
+  const auto l1 =
+      net.add_node(std::make_unique<LSTM>(5, 16), {GraphNetwork::input_id()});
+  const auto proj =
+      net.add_node(std::make_unique<Dense>(5, 16), {GraphNetwork::input_id()});
+  const auto merge =
+      net.add_node(std::make_unique<AddMerge>(2, true), {l1, proj});
+  net.add_node(std::make_unique<LSTM>(16, 5), {merge});
+  const std::string dot = net.to_dot("fig4");
+  EXPECT_NE(dot.find("digraph fig4"), std::string::npos);
+  EXPECT_NE(dot.find("LSTM(16)"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n3 -> n4"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);  // output highlight
+}
+
+TEST(GraphNetwork, DeterministicInit) {
+  auto build = [] {
+    GraphNetwork net;
+    net.add_node(std::make_unique<Dense>(2, 3), {GraphNetwork::input_id()});
+    return net;
+  };
+  GraphNetwork a = build();
+  GraphNetwork b = build();
+  a.init_params(99);
+  b.init_params(99);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(*pa[i], *pb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace geonas::nn

@@ -1,0 +1,144 @@
+// GRU layer: BPTT gradient checks, sequence semantics, and Dropout.
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "nn/dropout.hpp"
+#include "nn/gru.hpp"
+
+namespace geonas::nn {
+namespace {
+
+using testing::check_layer_gradients;
+using testing::random_tensor;
+
+TEST(GRU, OutputShapeReturnsFullSequence) {
+  GRU layer(3, 6);
+  Rng rng(1);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(4, 7, 3, rng);
+  const Tensor3* ptr = &x;
+  const Tensor3 y = layer.forward({&ptr, 1}, false);
+  EXPECT_EQ(y.dim0(), 4u);
+  EXPECT_EQ(y.dim1(), 7u);
+  EXPECT_EQ(y.dim2(), 6u);
+}
+
+TEST(GRU, ParamCountMatchesKeras) {
+  // Keras GRU (reset_after=False): 3 * units * (input + units + 1).
+  GRU layer(5, 16);
+  EXPECT_EQ(layer.param_count(), 3u * 16u * (5u + 16u + 1u));
+}
+
+TEST(GRU, StatelessAcrossCalls) {
+  GRU layer(2, 4);
+  Rng rng(2);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(1, 5, 2, rng);
+  const Tensor3* ptr = &x;
+  EXPECT_EQ(layer.forward({&ptr, 1}, false), layer.forward({&ptr, 1}, false));
+}
+
+TEST(GRU, CausalInTime) {
+  GRU layer(2, 3);
+  Rng rng(3);
+  layer.init_params(rng);
+  Tensor3 x = random_tensor(1, 6, 2, rng);
+  const Tensor3* ptr = &x;
+  const Tensor3 before = layer.forward({&ptr, 1}, false);
+  x(0, 5, 1) += 5.0;
+  const Tensor3 after = layer.forward({&ptr, 1}, false);
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t u = 0; u < 3; ++u) {
+      EXPECT_DOUBLE_EQ(before(0, t, u), after(0, t, u));
+    }
+  }
+}
+
+TEST(GRU, GradientMatchesFiniteDifferencesSmall) {
+  GRU layer(2, 3);
+  Rng rng(4);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(2, 3, 2, rng, 0.7);
+  const Tensor3 target = random_tensor(2, 3, 3, rng, 0.5);
+  check_layer_gradients(layer, x, target, 1e-5, 2e-6);
+}
+
+TEST(GRU, GradientMatchesFiniteDifferencesLongerSequence) {
+  GRU layer(3, 4);
+  Rng rng(5);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(1, 8, 3, rng, 0.6);
+  const Tensor3 target = random_tensor(1, 8, 4, rng, 0.5);
+  check_layer_gradients(layer, x, target, 1e-5, 3e-6);
+}
+
+TEST(GRU, RejectsBadShapes) {
+  EXPECT_THROW(GRU(0, 4), std::invalid_argument);
+  EXPECT_THROW(GRU(4, 0), std::invalid_argument);
+  GRU layer(3, 4);
+  Rng rng(6);
+  layer.init_params(rng);
+  const Tensor3 wrong = random_tensor(1, 2, 5, rng);
+  const Tensor3* ptr = &wrong;
+  EXPECT_THROW((void)layer.forward({&ptr, 1}, false), std::invalid_argument);
+}
+
+TEST(GRU, Name) { EXPECT_EQ(GRU(5, 32).name(), "GRU(32)"); }
+
+TEST(Dropout, IdentityAtInference) {
+  Dropout layer(0.5);
+  Rng rng(7);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(2, 3, 4, rng);
+  const Tensor3* ptr = &x;
+  EXPECT_EQ(layer.forward({&ptr, 1}, false), x);
+}
+
+TEST(Dropout, TrainingZeroesAndRescales) {
+  Dropout layer(0.5);
+  Rng rng(8);
+  layer.init_params(rng);
+  Tensor3 x(1, 1, 10000, 1.0);
+  const Tensor3* ptr = &x;
+  const Tensor3 y = layer.forward({&ptr, 1}, true);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (double v : y.flat()) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_DOUBLE_EQ(v, 2.0);  // 1 / (1 - 0.5)
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.06);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout layer(0.3);
+  Rng rng(9);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(1, 2, 50, rng);
+  const Tensor3* ptr = &x;
+  const Tensor3 y = layer.forward({&ptr, 1}, true);
+  Tensor3 g(1, 2, 50, 1.0);
+  const auto grads = layer.backward(g);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.flat()[i] == 0.0) {
+      EXPECT_DOUBLE_EQ(grads[0].flat()[i], 0.0);
+    } else {
+      EXPECT_NEAR(grads[0].flat()[i], 1.0 / 0.7, 1e-12);
+    }
+  }
+}
+
+TEST(Dropout, RateValidation) {
+  EXPECT_THROW(Dropout(-0.1), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(Dropout(0.0));
+}
+
+}  // namespace
+}  // namespace geonas::nn

@@ -1,0 +1,138 @@
+// LSTM layer: full BPTT gradient checks, sequence semantics, state reset
+// between batches, and parameter accounting.
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "nn/lstm.hpp"
+
+namespace geonas::nn {
+namespace {
+
+using testing::check_layer_gradients;
+using testing::random_tensor;
+
+TEST(LSTM, OutputShapeReturnsFullSequence) {
+  LSTM layer(3, 6);
+  Rng rng(1);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(4, 7, 3, rng);
+  const Tensor3* ptr = &x;
+  const Tensor3 y = layer.forward({&ptr, 1}, false);
+  EXPECT_EQ(y.dim0(), 4u);
+  EXPECT_EQ(y.dim1(), 7u);  // return_sequences=true
+  EXPECT_EQ(y.dim2(), 6u);
+}
+
+TEST(LSTM, ParamCountMatchesKeras) {
+  // Keras LSTM: 4 * units * (input + units + 1).
+  LSTM layer(5, 16);
+  EXPECT_EQ(layer.param_count(), 4u * 16u * (5u + 16u + 1u));
+}
+
+TEST(LSTM, HiddenStateResetsBetweenCalls) {
+  LSTM layer(2, 4);
+  Rng rng(2);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(1, 5, 2, rng);
+  const Tensor3* ptr = &x;
+  const Tensor3 y1 = layer.forward({&ptr, 1}, false);
+  const Tensor3 y2 = layer.forward({&ptr, 1}, false);
+  EXPECT_EQ(y1, y2);  // stateless across calls (Keras default)
+}
+
+TEST(LSTM, CausalInTime) {
+  // Output at time t must not depend on inputs at times > t.
+  LSTM layer(2, 3);
+  Rng rng(3);
+  layer.init_params(rng);
+  Tensor3 x = random_tensor(1, 6, 2, rng);
+  const Tensor3* ptr = &x;
+  const Tensor3 y_before = layer.forward({&ptr, 1}, false);
+  x(0, 5, 0) += 10.0;  // perturb the last step only
+  const Tensor3 y_after = layer.forward({&ptr, 1}, false);
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t u = 0; u < 3; ++u) {
+      EXPECT_DOUBLE_EQ(y_before(0, t, u), y_after(0, t, u)) << "t=" << t;
+    }
+  }
+  // ... and the final step must change.
+  double diff = 0.0;
+  for (std::size_t u = 0; u < 3; ++u) {
+    diff += std::abs(y_before(0, 5, u) - y_after(0, 5, u));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(LSTM, BatchIndependence) {
+  // Each batch element evolves independently.
+  LSTM layer(2, 3);
+  Rng rng(4);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(2, 4, 2, rng);
+  Tensor3 x0(1, 4, 2), x1(1, 4, 2);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t f = 0; f < 2; ++f) {
+      x0(0, t, f) = x(0, t, f);
+      x1(0, t, f) = x(1, t, f);
+    }
+  }
+  const Tensor3* p = &x;
+  const Tensor3 joint = layer.forward({&p, 1}, false);
+  const Tensor3* p0 = &x0;
+  const Tensor3 solo0 = layer.forward({&p0, 1}, false);
+  const Tensor3* p1 = &x1;
+  const Tensor3 solo1 = layer.forward({&p1, 1}, false);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t u = 0; u < 3; ++u) {
+      EXPECT_NEAR(joint(0, t, u), solo0(0, t, u), 1e-12);
+      EXPECT_NEAR(joint(1, t, u), solo1(0, t, u), 1e-12);
+    }
+  }
+}
+
+TEST(LSTM, ForgetGateBiasIsOne) {
+  LSTM layer(3, 4);
+  Rng rng(5);
+  layer.init_params(rng);
+  const Matrix* b = layer.parameters()[2];
+  for (std::size_t u = 0; u < 4; ++u) {
+    EXPECT_DOUBLE_EQ((*b)(0, u), 0.0);           // input gate
+    EXPECT_DOUBLE_EQ((*b)(0, 4 + u), 1.0);       // forget gate
+    EXPECT_DOUBLE_EQ((*b)(0, 8 + u), 0.0);       // candidate
+    EXPECT_DOUBLE_EQ((*b)(0, 12 + u), 0.0);      // output gate
+  }
+}
+
+TEST(LSTM, GradientMatchesFiniteDifferencesSmall) {
+  LSTM layer(2, 3);
+  Rng rng(6);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(2, 3, 2, rng, 0.7);
+  const Tensor3 target = random_tensor(2, 3, 3, rng, 0.5);
+  check_layer_gradients(layer, x, target, 1e-5, 2e-6);
+}
+
+TEST(LSTM, GradientMatchesFiniteDifferencesLongerSequence) {
+  LSTM layer(3, 4);
+  Rng rng(7);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(1, 8, 3, rng, 0.6);
+  const Tensor3 target = random_tensor(1, 8, 4, rng, 0.5);
+  check_layer_gradients(layer, x, target, 1e-5, 3e-6);
+}
+
+TEST(LSTM, RejectsBadShapes) {
+  EXPECT_THROW(LSTM(0, 4), std::invalid_argument);
+  EXPECT_THROW(LSTM(4, 0), std::invalid_argument);
+  LSTM layer(3, 4);
+  Rng rng(8);
+  layer.init_params(rng);
+  const Tensor3 wrong = random_tensor(1, 2, 5, rng);
+  const Tensor3* ptr = &wrong;
+  EXPECT_THROW((void)layer.forward({&ptr, 1}, false), std::invalid_argument);
+}
+
+TEST(LSTM, Name) { EXPECT_EQ(LSTM(5, 96).name(), "LSTM(96)"); }
+
+}  // namespace
+}  // namespace geonas::nn

@@ -1,0 +1,220 @@
+// Losses, optimizers, the trainer loop, and weight serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "gradient_check.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace geonas::nn {
+namespace {
+
+using testing::random_tensor;
+
+TEST(Loss, MseValueAndGradient) {
+  Tensor3 t(1, 1, 2), p(1, 1, 2);
+  t(0, 0, 0) = 1.0;
+  t(0, 0, 1) = 2.0;
+  p(0, 0, 0) = 2.0;
+  p(0, 0, 1) = 0.0;
+  EXPECT_DOUBLE_EQ(mse_loss(t, p), (1.0 + 4.0) / 2.0);
+  const Tensor3 g = mse_grad(t, p);
+  EXPECT_DOUBLE_EQ(g(0, 0, 0), 2.0 * (2.0 - 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(g(0, 0, 1), 2.0 * (0.0 - 2.0) / 2.0);
+}
+
+TEST(Loss, R2MetricPerfect) {
+  Rng rng(1);
+  const Tensor3 t = random_tensor(2, 3, 4, rng);
+  EXPECT_DOUBLE_EQ(r2_metric(t, t), 1.0);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  Tensor3 a(1, 2, 2), b(1, 2, 3);
+  EXPECT_THROW((void)mse_loss(a, b), std::invalid_argument);
+}
+
+TEST(Optimizer, SgdStep) {
+  Matrix w(1, 2, 1.0);
+  Matrix g(1, 2, 0.5);
+  SGD sgd({&w}, {&g}, 0.1);
+  sgd.step();
+  EXPECT_DOUBLE_EQ(w(0, 0), 1.0 - 0.1 * 0.5);
+}
+
+TEST(Optimizer, SgdMomentumAccumulates) {
+  Matrix w(1, 1, 0.0);
+  Matrix g(1, 1, 1.0);
+  SGD sgd({&w}, {&g}, 0.1, 0.9);
+  sgd.step();  // v = -0.1, w = -0.1
+  sgd.step();  // v = -0.19, w = -0.29
+  EXPECT_NEAR(w(0, 0), -0.29, 1e-12);
+}
+
+TEST(Optimizer, AdamFirstStepIsLearningRateSized) {
+  Matrix w(1, 1, 0.0);
+  Matrix g(1, 1, 3.0);
+  Adam adam({&w}, {&g}, {.learning_rate = 0.01});
+  adam.step();
+  // After bias correction the first Adam step is ~lr * sign(g).
+  EXPECT_NEAR(w(0, 0), -0.01, 1e-6);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  // Minimize (w - 3)^2.
+  Matrix w(1, 1, -5.0);
+  Matrix g(1, 1, 0.0);
+  Adam adam({&w}, {&g}, {.learning_rate = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    g(0, 0) = 2.0 * (w(0, 0) - 3.0);
+    adam.step();
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 1e-2);
+}
+
+TEST(Optimizer, ShapeClashThrows) {
+  Matrix w(1, 2);
+  Matrix g(2, 1);
+  EXPECT_THROW(SGD({&w}, {&g}, 0.1), std::invalid_argument);
+  EXPECT_THROW(SGD({&w}, {}, 0.1), std::invalid_argument);
+}
+
+TEST(Optimizer, GradientClipping) {
+  Matrix g(1, 2);
+  g(0, 0) = 3.0;
+  g(0, 1) = 4.0;  // norm 5
+  const double norm = clip_gradients_by_norm({&g}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(std::sqrt(g(0, 0) * g(0, 0) + g(0, 1) * g(0, 1)), 1.0, 1e-12);
+  // Below the cap: untouched.
+  Matrix g2(1, 1, 0.5);
+  (void)clip_gradients_by_norm({&g2}, 1.0);
+  EXPECT_DOUBLE_EQ(g2(0, 0), 0.5);
+}
+
+GraphNetwork tiny_net(std::size_t units = 8) {
+  GraphNetwork net;
+  const auto l1 = net.add_node(std::make_unique<LSTM>(1, units),
+                               {GraphNetwork::input_id()});
+  net.add_node(std::make_unique<LSTM>(units, 1), {l1});
+  return net;
+}
+
+TEST(Trainer, LearnsSineContinuation) {
+  // Seq-to-seq toy task: given 6 samples of a sine, predict the next 6.
+  const std::size_t n = 160, k = 6;
+  Tensor3 x(n, k, 1), y(n, k, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < k; ++t) {
+      const double phase = 0.3 * static_cast<double>(i);
+      x(i, t, 0) = std::sin(phase + 0.4 * static_cast<double>(t));
+      y(i, t, 0) = std::sin(phase + 0.4 * static_cast<double>(t + k));
+    }
+  }
+  GraphNetwork net = tiny_net(16);
+  net.init_params(3);
+  const TrainConfig cfg{.epochs = 150, .batch_size = 32,
+                        .learning_rate = 5e-3, .seed = 5};
+  const TrainHistory hist = Trainer(cfg).fit(net, x, y, x, y);
+  ASSERT_EQ(hist.train_loss.size(), 150u);
+  EXPECT_LT(hist.train_loss.back(), hist.train_loss.front() * 0.2);
+  EXPECT_GT(hist.best_val_r2(), 0.9);
+}
+
+TEST(Trainer, LossDecreasesMonotonicallyOnAverage) {
+  Rng rng(6);
+  const Tensor3 x = random_tensor(64, 4, 2, rng);
+  Tensor3 y(64, 4, 2);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.flat()[i] = 0.5 * x.flat()[i];  // learnable linear map
+  }
+  GraphNetwork net;
+  net.add_node(std::make_unique<Dense>(2, 2), {GraphNetwork::input_id()});
+  net.init_params(7);
+  const TrainHistory hist =
+      Trainer({.epochs = 200, .batch_size = 16, .learning_rate = 2e-2,
+               .seed = 1})
+          .fit(net, x, y, Tensor3{}, Tensor3{});
+  EXPECT_LT(hist.train_loss.back(), 1e-3);
+  EXPECT_TRUE(hist.val_r2.empty());
+}
+
+TEST(Trainer, PredictMatchesForward) {
+  GraphNetwork net = tiny_net();
+  net.init_params(8);
+  Rng rng(9);
+  const Tensor3 x = random_tensor(10, 4, 1, rng);
+  const Tensor3 direct = net.forward(x, false);
+  const Tensor3 batched = Trainer::predict(net, x, 3);  // multiple batches
+  ASSERT_EQ(batched.dim0(), direct.dim0());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(batched.flat()[i], direct.flat()[i], 1e-12);
+  }
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  auto run = [] {
+    Rng rng(10);
+    const Tensor3 x = random_tensor(32, 3, 1, rng);
+    const Tensor3 y = random_tensor(32, 3, 1, rng);
+    GraphNetwork net = tiny_net();
+    net.init_params(11);
+    return Trainer({.epochs = 3, .batch_size = 8, .seed = 12})
+        .fit(net, x, y, x, y)
+        .val_r2.back();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Trainer, GatherExamples) {
+  Tensor3 data(4, 1, 1);
+  for (std::size_t i = 0; i < 4; ++i) data(i, 0, 0) = static_cast<double>(i);
+  const std::vector<std::size_t> idx{3, 1};
+  const Tensor3 gathered = gather_examples(data, idx);
+  EXPECT_DOUBLE_EQ(gathered(0, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(gathered(1, 0, 0), 1.0);
+}
+
+TEST(Serialize, RoundTripRestoresOutputs) {
+  GraphNetwork net = tiny_net();
+  net.init_params(13);
+  Rng rng(14);
+  const Tensor3 x = random_tensor(3, 4, 1, rng);
+  const Tensor3 before = net.forward(x, false);
+
+  std::stringstream buffer;
+  save_weights(net, buffer);
+
+  GraphNetwork other = tiny_net();
+  other.init_params(999);  // different weights
+  load_weights(other, buffer);
+  const Tensor3 after = other.forward(x, false);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before.flat()[i], after.flat()[i]);
+  }
+}
+
+TEST(Serialize, RejectsMismatchedNetwork) {
+  GraphNetwork net = tiny_net();
+  net.init_params(1);
+  std::stringstream buffer;
+  save_weights(net, buffer);
+
+  GraphNetwork different;
+  different.add_node(std::make_unique<Dense>(1, 1),
+                     {GraphNetwork::input_id()});
+  EXPECT_THROW(load_weights(different, buffer), std::runtime_error);
+
+  std::stringstream bad("not-a-weights-file 0");
+  EXPECT_THROW(load_weights(net, bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace geonas::nn

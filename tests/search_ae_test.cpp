@@ -1,0 +1,172 @@
+// Aging evolution: population invariants, aging order, tournament
+// selection, and optimization progress on a deterministic landscape.
+#include <gtest/gtest.h>
+
+#include "core/surrogate.hpp"
+#include "search/aging_evolution.hpp"
+#include "search/random_search.hpp"
+#include "tensor/stats.hpp"
+
+namespace geonas::search {
+namespace {
+
+using searchspace::Architecture;
+using searchspace::StackedLSTMSpace;
+
+TEST(AgingEvolution, ConfigValidation) {
+  const StackedLSTMSpace space;
+  EXPECT_THROW(AgingEvolution(space, {.population_size = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(AgingEvolution(space, {.population_size = 5, .sample_size = 6}),
+               std::invalid_argument);
+}
+
+TEST(AgingEvolution, WarmupProposesRandom) {
+  const StackedLSTMSpace space;
+  AgingEvolution ae(space, {.population_size = 10, .sample_size = 3});
+  // ask() before any tell must work (asynchronous warm-up).
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(space.valid(ae.ask()));
+  }
+}
+
+TEST(AgingEvolution, PopulationIsBoundedFIFO) {
+  const StackedLSTMSpace space;
+  AgingEvolution ae(space, {.population_size = 5, .sample_size = 2, .seed = 3});
+  Rng rng(1);
+  std::vector<Architecture> told;
+  for (int i = 0; i < 12; ++i) {
+    Architecture a = space.random_architecture(rng);
+    ae.tell(a, static_cast<double>(i));
+    told.push_back(std::move(a));
+  }
+  EXPECT_EQ(ae.population().size(), 5u);
+  EXPECT_EQ(ae.evaluations_told(), 12u);
+  // The oldest members were evicted regardless of reward: population holds
+  // exactly the last five told, in order.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ae.population()[i].arch, told[7 + i]);
+    EXPECT_DOUBLE_EQ(ae.population()[i].reward, static_cast<double>(7 + i));
+  }
+}
+
+TEST(AgingEvolution, AgingEvictsEvenTheBest) {
+  const StackedLSTMSpace space;
+  AgingEvolution ae(space, {.population_size = 3, .sample_size = 1, .seed = 4});
+  Rng rng(2);
+  const Architecture champion = space.random_architecture(rng);
+  ae.tell(champion, 100.0);  // excellent reward
+  for (int i = 0; i < 3; ++i) {
+    ae.tell(space.random_architecture(rng), 0.1);
+  }
+  // The champion aged out despite its reward — the defining AE property.
+  for (const auto& member : ae.population()) {
+    EXPECT_NE(member.arch, champion);
+  }
+}
+
+TEST(AgingEvolution, ChildDiffersFromParentByOneGene) {
+  const StackedLSTMSpace space;
+  AgingEvolution ae(space,
+                    {.population_size = 4, .sample_size = 4, .seed = 5});
+  Rng rng(3);
+  const Architecture parent = space.random_architecture(rng);
+  // Fill the population with one dominant parent.
+  ae.tell(parent, 1.0);
+  for (int i = 0; i < 3; ++i) ae.tell(space.random_architecture(rng), 0.0);
+  // With sample_size == population_size the tournament always finds it.
+  for (int i = 0; i < 50; ++i) {
+    const Architecture child = ae.ask();
+    std::size_t diffs = 0;
+    for (std::size_t g = 0; g < space.num_genes(); ++g) {
+      if (child.genes[g] != parent.genes[g]) ++diffs;
+    }
+    EXPECT_EQ(diffs, 1u);
+  }
+}
+
+TEST(AgingEvolution, RejectsForeignArchitectures) {
+  const StackedLSTMSpace space;
+  AgingEvolution ae(space);
+  EXPECT_THROW(ae.tell(Architecture{{1, 2}}, 0.5), std::invalid_argument);
+}
+
+TEST(AgingEvolution, OutperformsRandomSearchOnSurrogate) {
+  // The core claim of Fig 3, in miniature: after the same evaluation
+  // budget, AE's recent rewards beat RS's.
+  const StackedLSTMSpace space;
+  core::SurrogateEvaluator oracle(space);
+
+  auto run = [&](SearchMethod& method) {
+    std::vector<double> rewards;
+    for (std::size_t i = 0; i < 1200; ++i) {
+      const auto arch = method.ask();
+      const auto out = oracle.evaluate(arch, i);
+      method.tell(arch, out.reward);
+      rewards.push_back(out.reward);
+    }
+    // Mean of the last 100 rewards (the paper's trajectory metric).
+    return mean(std::span<const double>(rewards).subspan(1100));
+  };
+
+  AgingEvolution ae(space, {.population_size = 100, .sample_size = 10,
+                            .seed = 11});
+  RandomSearch rs(space, 11);
+  const double ae_final = run(ae);
+  const double rs_final = run(rs);
+  EXPECT_GT(ae_final, rs_final + 0.01);
+  EXPECT_GT(ae_final, 0.95);   // near the landscape optimum
+  EXPECT_LT(rs_final, 0.945);  // the paper's RS plateau band
+}
+
+TEST(AgingEvolution, CrossoverChildrenMixParentGenes) {
+  const StackedLSTMSpace space;
+  AgingEvolution ae(space, {.population_size = 2, .sample_size = 2,
+                            .crossover_prob = 1.0, .seed = 21});
+  // Two distinguishable parents: all-zeros and a "max gene" vector.
+  Architecture zero;
+  zero.genes.assign(space.num_genes(), 0);
+  Architecture high;
+  for (std::size_t g = 0; g < space.num_genes(); ++g) {
+    high.genes.push_back(static_cast<int>(space.choices_at(g)) - 1);
+  }
+  ae.tell(zero, 0.5);
+  ae.tell(high, 0.6);
+
+  bool saw_mix = false;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Architecture child = ae.ask();
+    ASSERT_TRUE(space.valid(child));
+    bool has_zero = false, has_high = false;
+    for (std::size_t g = 0; g < space.num_genes(); ++g) {
+      // Every gene must come from one of the parents.
+      ASSERT_TRUE(child.genes[g] == zero.genes[g] ||
+                  child.genes[g] == high.genes[g]);
+      has_zero |= child.genes[g] == zero.genes[g] && zero.genes[g] != high.genes[g];
+      has_high |= child.genes[g] == high.genes[g] && zero.genes[g] != high.genes[g];
+    }
+    saw_mix |= has_zero && has_high;
+  }
+  EXPECT_TRUE(saw_mix);
+}
+
+TEST(RandomSearch, UniformCoverage) {
+  const StackedLSTMSpace space;
+  RandomSearch rs(space, 7);
+  // Operation genes: all six choices should appear in 600 draws.
+  std::vector<std::size_t> op_genes;
+  for (std::size_t g = 0; g < space.num_genes(); ++g) {
+    if (!space.is_skip_gene(g)) op_genes.push_back(g);
+  }
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 600; ++i) {
+    const auto arch = rs.ask();
+    ++counts[static_cast<std::size_t>(arch.genes[op_genes[0]])];
+  }
+  for (int c : counts) EXPECT_GT(c, 50);
+  rs.tell(rs.ask(), 0.5);
+  EXPECT_EQ(rs.evaluations_told(), 1u);
+}
+
+}  // namespace
+}  // namespace geonas::search

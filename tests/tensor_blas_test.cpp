@@ -1,0 +1,122 @@
+// Kernel correctness: gemm/gemv/axpy/dot against naive references,
+// including the transposed-product shortcuts.
+#include <gtest/gtest.h>
+
+#include "tensor/blas.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Blas, MatmulMatchesNaive) {
+  Rng rng(11);
+  const Matrix a = random_matrix(13, 7, rng);
+  const Matrix b = random_matrix(7, 9, rng);
+  const Matrix fast = matmul(a, b);
+  const Matrix ref = naive_matmul(a, b);
+  ASSERT_EQ(fast.rows(), ref.rows());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast.flat()[i], ref.flat()[i], 1e-12);
+  }
+}
+
+TEST(Blas, GemmAlphaBeta) {
+  Rng rng(12);
+  const Matrix a = random_matrix(4, 5, rng);
+  const Matrix b = random_matrix(5, 3, rng);
+  Matrix c = random_matrix(4, 3, rng);
+  const Matrix c0 = c;
+  gemm(a, b, c, 2.0, 0.5);
+  const Matrix ref = naive_matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.flat()[i], 2.0 * ref.flat()[i] + 0.5 * c0.flat()[i], 1e-12);
+  }
+}
+
+TEST(Blas, GemmShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), c;
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+}
+
+TEST(Blas, MatmulAtB) {
+  Rng rng(13);
+  const Matrix a = random_matrix(8, 5, rng);
+  const Matrix b = random_matrix(8, 6, rng);
+  const Matrix fast = matmul_at_b(a, b);
+  const Matrix ref = naive_matmul(a.transposed(), b);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast.flat()[i], ref.flat()[i], 1e-12);
+  }
+}
+
+TEST(Blas, MatmulABt) {
+  Rng rng(14);
+  const Matrix a = random_matrix(6, 5, rng);
+  const Matrix b = random_matrix(7, 5, rng);
+  const Matrix fast = matmul_a_bt(a, b);
+  const Matrix ref = naive_matmul(a, b.transposed());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast.flat()[i], ref.flat()[i], 1e-12);
+  }
+}
+
+TEST(Blas, Gemv) {
+  Rng rng(15);
+  const Matrix a = random_matrix(4, 6, rng);
+  std::vector<double> x(6), y(4, 1.0);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> y0 = y;
+  gemv(a, x, y, 3.0, 2.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < 6; ++k) acc += a(i, k) * x[k];
+    EXPECT_NEAR(y[i], 3.0 * acc + 2.0 * y0[i], 1e-12);
+  }
+}
+
+TEST(Blas, AxpyDotNrm2) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{4.0, 5.0, 6.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(dot(x, x), 14.0);
+  EXPECT_DOUBLE_EQ(nrm2(std::vector<double>{3.0, 4.0}), 5.0);
+  EXPECT_THROW((void)dot(x, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Blas, Hadamard) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix h = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), 32.0);
+}
+
+TEST(Blas, Scal) {
+  std::vector<double> x{1.0, -2.0};
+  scal(-3.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+}  // namespace
+}  // namespace geonas

@@ -1,0 +1,244 @@
+// geonas command-line tool.
+//
+// Drives the library's main workflows from the shell, operating on the
+// binary snapshot/mask files of data/snapshot_io.hpp so real gridded data
+// can be substituted for the synthetic generator:
+//
+//   geonas_cli generate  --out snaps.bin --mask mask.bin
+//                        [--nlat 45] [--nlon 90] [--weeks 427] [--start 0]
+//                        [--seed 2020]
+//   geonas_cli pod       --snapshots snaps.bin [--modes 5]
+//   geonas_cli search    --evaluations 500 [--method ae|rs] [--seed 1]
+//   geonas_cli train     --snapshots snaps.bin [--modes 5] [--window 8]
+//                        [--arch GENE-KEY] [--epochs 60] [--seed 1]
+//
+// `search` explores the paper's stacked-LSTM space against the calibrated
+// surrogate evaluator and prints the best architecture's gene key, which
+// `train` accepts to run a real training on the snapshot file.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/nas_driver.hpp"
+#include "core/reporting.hpp"
+#include "core/surrogate.hpp"
+#include "data/landmask.hpp"
+#include "data/snapshot_io.hpp"
+#include "data/sst.hpp"
+#include "data/windowing.hpp"
+#include "nn/trainer.hpp"
+#include "pod/pod.hpp"
+#include "search/aging_evolution.hpp"
+#include "search/random_search.hpp"
+#include "searchspace/space.hpp"
+
+namespace {
+
+using namespace geonas;
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --option, got '" + key + "'");
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      throw std::invalid_argument("dangling option without a value");
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("missing required --" + key);
+    }
+    return it->second;
+  }
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_generate(const Args& args) {
+  const data::Grid grid{
+      static_cast<std::size_t>(args.get_long("nlat", 45)),
+      static_cast<std::size_t>(args.get_long("nlon", 90))};
+  const auto weeks = static_cast<std::size_t>(args.get_long("weeks", 427));
+  const auto start = static_cast<std::size_t>(args.get_long("start", 0));
+  data::SSTOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed", 2020));
+
+  const data::LandMask mask(grid, 7);
+  const data::SyntheticSST sst(options);
+  std::printf("generating %zu weekly snapshots on a %zux%zu grid (%zu ocean "
+              "cells)...\n",
+              weeks, grid.nlat, grid.nlon, mask.ocean_count());
+
+  data::SnapshotRecord record{sst.snapshots(mask, start, weeks), start};
+  data::write_snapshots_file(record, args.require("out"));
+  std::printf("wrote %s\n", args.require("out").c_str());
+
+  const std::string mask_path = args.get("mask", "");
+  if (!mask_path.empty()) {
+    data::MaskRecord mrec;
+    mrec.grid = grid;
+    mrec.land.assign(grid.cells(), 0);
+    for (std::size_t cell = 0; cell < grid.cells(); ++cell) {
+      mrec.land[cell] = mask.is_land_cell(cell) ? 1 : 0;
+    }
+    data::write_mask_file(mrec, mask_path);
+    std::printf("wrote %s\n", mask_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_pod(const Args& args) {
+  const auto record = data::read_snapshots_file(args.require("snapshots"));
+  const auto modes = static_cast<std::size_t>(args.get_long("modes", 5));
+  std::printf("snapshots: %zu DoF x %zu weeks (first week %llu)\n",
+              record.snapshots.rows(), record.snapshots.cols(),
+              static_cast<unsigned long long>(record.first_week));
+  pod::POD pod;
+  pod.fit(record.snapshots, {.num_modes = modes});
+  core::TextTable table({"modes", "energy captured"});
+  for (std::size_t m = 1; m <= std::min<std::size_t>(10, record.snapshots.cols());
+       ++m) {
+    table.add_row({core::TextTable::integer(m),
+                   core::TextTable::num(pod.energy_captured(m), 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("relative projection error at Nr=%zu: %.6f\n", modes,
+              pod.empirical_projection_error(record.snapshots));
+  return 0;
+}
+
+int cmd_search(const Args& args) {
+  const auto evaluations =
+      static_cast<std::size_t>(args.get_long("evaluations", 500));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const std::string method = args.get("method", "ae");
+
+  const searchspace::StackedLSTMSpace space;
+  core::SurrogateEvaluator oracle(space);
+  core::LocalSearchResult result;
+  if (method == "rs") {
+    search::RandomSearch rs(space, seed);
+    result = core::run_local_search(rs, oracle, evaluations, seed);
+  } else if (method == "ae") {
+    search::AgingEvolution ae(space, {.population_size = 100,
+                                      .sample_size = 10, .seed = seed});
+    result = core::run_local_search(ae, oracle, evaluations, seed);
+  } else {
+    std::fprintf(stderr, "unknown --method '%s' (ae|rs)\n", method.c_str());
+    return 2;
+  }
+  std::printf("%zu evaluations, best surrogate reward %.4f\n",
+              result.history.size(), result.best_reward);
+  std::printf("best architecture key: %s\n%s", result.best.key().c_str(),
+              space.describe(result.best).c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto record = data::read_snapshots_file(args.require("snapshots"));
+  const auto modes = static_cast<std::size_t>(args.get_long("modes", 5));
+  const auto window = static_cast<std::size_t>(args.get_long("window", 8));
+  const auto epochs = static_cast<std::size_t>(args.get_long("epochs", 60));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+
+  pod::POD pod;
+  pod.fit(record.snapshots, {.num_modes = modes});
+  Matrix coeffs = pod.project(record.snapshots);
+  // Standardize per mode (LSTM-friendly scale).
+  for (std::size_t m = 0; m < coeffs.rows(); ++m) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < coeffs.cols(); ++t) mean += coeffs(m, t);
+    mean /= static_cast<double>(coeffs.cols());
+    double var = 0.0;
+    for (std::size_t t = 0; t < coeffs.cols(); ++t) {
+      var += (coeffs(m, t) - mean) * (coeffs(m, t) - mean);
+    }
+    const double sd = std::sqrt(var / static_cast<double>(coeffs.cols()));
+    for (std::size_t t = 0; t < coeffs.cols(); ++t) {
+      coeffs(m, t) = (coeffs(m, t) - mean) / (sd > 1e-12 ? sd : 1.0);
+    }
+  }
+
+  const auto set = data::make_windows(coeffs, {.window = window});
+  const auto split = data::train_val_split(set, 0.8, seed);
+  std::printf("windows: %zu train / %zu val (K=%zu, Nr=%zu)\n",
+              split.train.size(), split.val.size(), window, modes);
+
+  const searchspace::StackedLSTMSpace space(
+      {.input_features = modes, .output_features = modes});
+  searchspace::Architecture arch;
+  const std::string key = args.get("arch", "");
+  if (key.empty()) {
+    Rng rng(seed);
+    arch = space.random_architecture(rng);
+    std::printf("no --arch given; using a random architecture %s\n",
+                arch.key().c_str());
+  } else {
+    arch = searchspace::Architecture::from_key(key);
+    if (!space.valid(arch)) {
+      std::fprintf(stderr, "--arch key is not a member of the space\n");
+      return 2;
+    }
+  }
+
+  nn::GraphNetwork net = space.build(arch);
+  net.init_params(seed);
+  const auto history =
+      nn::Trainer({.epochs = epochs, .batch_size = 64, .learning_rate = 2e-3,
+                   .lr_step_decay = 0.4, .seed = seed})
+          .fit(net, split.train.x, split.train.y, split.val.x, split.val.y);
+  std::printf("final validation R2: %.4f (best %.4f)\n",
+              history.val_r2.back(), history.best_val_r2());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: geonas_cli <generate|pod|search|train> [--option "
+               "value]...\n(see the header comment of tools/geonas_cli.cpp "
+               "for the full option list)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "pod") return cmd_pod(args);
+    if (command == "search") return cmd_search(args);
+    if (command == "train") return cmd_train(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "geonas_cli %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
