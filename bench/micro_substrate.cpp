@@ -3,6 +3,10 @@
 // search-space operations, and the surrogate evaluator.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "core/surrogate.hpp"
 #include "data/sst.hpp"
 #include "nn/loss.hpp"
@@ -37,6 +41,34 @@ void BM_Gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(256);
+
+// The seed's i-k-j kernel (zero-skip branch included), kept inline as
+// the baseline the blocked kernel is measured against.
+void naive_gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  c.resize(a.rows(), b.cols());
+  c.fill(0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    naive_gemm(a, b, c);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNaive)->Arg(32)->Arg(128)->Arg(256);
 
 void BM_MatmulAtB(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -81,6 +113,84 @@ void BM_LSTMTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LSTMTrainStep)->Arg(16)->Arg(96);
+
+// Pre-batched formulation: the seed evaluated every timestep with
+// separate x_t Wx and h_{t-1} Wh products per batch row. Kept inline as
+// the baseline for the whole-sequence batched-GEMM restructuring.
+void BM_LSTMForwardPerStepReference(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kB = 32, kT = 8, kIn = 5;
+  nn::LSTM lstm(kIn, units);
+  Rng rng(12);
+  lstm.init_params(rng);
+  Tensor3 x(kB, kT, kIn);
+  for (double& v : x.flat()) v = rng.normal();
+  const Matrix& wx = *lstm.parameters()[0];
+  const Matrix& wh = *lstm.parameters()[1];
+  const Matrix& b = *lstm.parameters()[2];
+  Tensor3 out(kB, kT, units);
+  std::vector<double> h(units), c(units), z(4 * units);
+  for (auto _ : state) {
+    for (std::size_t bi = 0; bi < kB; ++bi) {
+      std::fill(h.begin(), h.end(), 0.0);
+      std::fill(c.begin(), c.end(), 0.0);
+      for (std::size_t t = 0; t < kT; ++t) {
+        for (std::size_t j = 0; j < 4 * units; ++j) {
+          double acc = b(0, j);
+          for (std::size_t i = 0; i < kIn; ++i) acc += x(bi, t, i) * wx(i, j);
+          for (std::size_t u = 0; u < units; ++u) acc += h[u] * wh(u, j);
+          z[j] = acc;
+        }
+        for (std::size_t u = 0; u < units; ++u) {
+          const double ig = 1.0 / (1.0 + std::exp(-z[u]));
+          const double fg = 1.0 / (1.0 + std::exp(-z[units + u]));
+          const double gg = std::tanh(z[2 * units + u]);
+          const double og = 1.0 / (1.0 + std::exp(-z[3 * units + u]));
+          c[u] = fg * c[u] + ig * gg;
+          h[u] = og * std::tanh(c[u]);
+          out(bi, t, u) = h[u];
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+}
+BENCHMARK(BM_LSTMForwardPerStepReference)->Arg(40)->Arg(80);
+
+// Paper-scale shapes (Maulik et al.: batch 32, 8-step windows, 40/80
+// LSTM units) for the batched-GEMM cell.
+void BM_LSTMForwardPaperScale(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  nn::LSTM lstm(5, units);
+  Rng rng(13);
+  lstm.init_params(rng);
+  Tensor3 x(32, 8, 5);
+  for (double& v : x.flat()) v = rng.normal();
+  const Tensor3* ptr = &x;
+  for (auto _ : state) {
+    Tensor3 y = lstm.forward({&ptr, 1}, false);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+}
+BENCHMARK(BM_LSTMForwardPaperScale)->Arg(40)->Arg(80);
+
+void BM_LSTMTrainStepPaperScale(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  nn::LSTM lstm(5, units);
+  Rng rng(14);
+  lstm.init_params(rng);
+  Tensor3 x(32, 8, 5), target(32, 8, units);
+  for (double& v : x.flat()) v = rng.normal();
+  for (double& v : target.flat()) v = rng.normal();
+  const Tensor3* ptr = &x;
+  for (auto _ : state) {
+    lstm.zero_grad();
+    const Tensor3 y = lstm.forward({&ptr, 1}, true);
+    auto grads = lstm.backward(nn::mse_grad(target, y));
+    benchmark::DoNotOptimize(grads[0].flat().data());
+  }
+}
+BENCHMARK(BM_LSTMTrainStepPaperScale)->Arg(40)->Arg(80);
 
 void BM_PodFit(benchmark::State& state) {
   const auto ns = static_cast<std::size_t>(state.range(0));

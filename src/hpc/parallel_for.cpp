@@ -1,0 +1,125 @@
+#include "hpc/parallel_for.hpp"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hpc/thread_pool.hpp"
+
+namespace geonas::hpc {
+
+namespace {
+
+std::size_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+struct KernelPoolState {
+  std::mutex mutex;
+  std::size_t configured = 0;  // 0 = hardware default
+  std::shared_ptr<ThreadPool> pool;
+};
+
+KernelPoolState& state() {
+  static KernelPoolState s;
+  return s;
+}
+
+// Set while a kernel-pool worker runs a chunk, so nested parallel_for
+// calls degrade to serial instead of deadlocking on a full pool.
+thread_local bool t_in_kernel_worker = false;
+
+std::size_t configured_threads_locked(KernelPoolState& s) {
+  return s.configured == 0 ? hardware_threads() : s.configured;
+}
+
+/// Returns the pool to use for `participants` (creating it lazily), or
+/// nullptr when one participant suffices.
+std::shared_ptr<ThreadPool> acquire_pool(std::size_t& participants) {
+  KernelPoolState& s = state();
+  std::lock_guard lock(s.mutex);
+  participants = configured_threads_locked(s);
+  if (participants <= 1) return nullptr;
+  if (!s.pool || s.pool->size() != participants - 1) {
+    s.pool = std::make_shared<ThreadPool>(participants - 1);
+  }
+  return s.pool;
+}
+
+}  // namespace
+
+std::size_t kernel_threads() noexcept {
+  KernelPoolState& s = state();
+  std::lock_guard lock(s.mutex);
+  return configured_threads_locked(s);
+}
+
+void set_kernel_threads(std::size_t threads) {
+  KernelPoolState& s = state();
+  std::lock_guard lock(s.mutex);
+  s.configured = threads;
+  s.pool.reset();  // joined here; recreated lazily at the next dispatch
+}
+
+void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  if (grain == 0) grain = 1;
+
+  std::size_t participants = 1;
+  std::shared_ptr<ThreadPool> pool;
+  if (cost_flops >= kParallelMinFlops && !t_in_kernel_worker) {
+    pool = acquire_pool(participants);
+  }
+  const std::size_t grains = (range + grain - 1) / grain;
+  const std::size_t chunks = std::min(participants, grains);
+  if (!pool || chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Near-equal chunks in whole grains; the last chunk absorbs the
+  // remainder so every index is covered exactly once.
+  const std::size_t grains_per_chunk = grains / chunks;
+  const std::size_t extra = grains % chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks - 1);
+  std::size_t lo = begin;
+  for (std::size_t c = 0; c + 1 < chunks; ++c) {
+    const std::size_t my_grains = grains_per_chunk + (c < extra ? 1 : 0);
+    const std::size_t hi = std::min(end, lo + my_grains * grain);
+    pending.push_back(pool->submit([&body, lo, hi] {
+      struct WorkerFlag {
+        WorkerFlag() { t_in_kernel_worker = true; }
+        ~WorkerFlag() { t_in_kernel_worker = false; }
+      } flag;
+      body(lo, hi);
+    }));
+    lo = hi;
+  }
+  // The caller participates instead of idling on futures. Workers hold
+  // references into this frame, so drain them even if the caller's own
+  // chunk throws; the first exception (worker or caller) wins.
+  std::exception_ptr error;
+  try {
+    body(lo, end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace geonas::hpc

@@ -1,0 +1,61 @@
+// Shared kernel-level data parallelism for the dense tensor kernels.
+//
+// The blocked GEMM/GEMV kernels in src/tensor split their M dimension
+// across a process-wide ThreadPool ("kernel pool"). parallel_for is the
+// single entry point: callers state the arithmetic cost of the whole
+// loop and the pool is only engaged when that cost clears a threshold,
+// so the many tiny matmuls of a NAS cell evaluation stay serial and pay
+// zero dispatch overhead. The pool is created lazily, sized to
+// hardware_concurrency by default, and reconfigurable at runtime
+// (set_kernel_threads) so trainers and tests can pin a thread count.
+//
+// Re-entrancy: a parallel_for issued from inside a kernel-pool worker
+// runs serially in that worker. This makes nested kernels (e.g. a
+// parallel evaluator whose trainings call parallel GEMMs) deadlock-free
+// by construction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace geonas::hpc {
+
+/// Minimum loop cost (in floating-point operations) before parallel_for
+/// engages the kernel pool. Below this, thread dispatch costs more than
+/// it saves: a per-timestep recurrent matmul at paper scale
+/// (batch 32 x 4*units 160 x units 40 ~ 0.4 MFLOP) stays serial while a
+/// 128^3 GEMM (4.2 MFLOP) is split.
+inline constexpr double kParallelMinFlops = 1.0e6;
+
+/// Number of participants a kernel-level parallel_for uses: the
+/// configured thread count (caller included). Defaults to
+/// std::thread::hardware_concurrency(), at least 1.
+[[nodiscard]] std::size_t kernel_threads() noexcept;
+
+/// Reconfigures the kernel pool to `threads` participants (0 restores
+/// the hardware default). Existing workers are joined; the new pool is
+/// created lazily on the next over-threshold parallel_for. Not safe to
+/// call concurrently with running kernels.
+void set_kernel_threads(std::size_t threads);
+
+/// Runs body(lo, hi) over a partition of [begin, end).
+///
+/// `cost_flops` is the arithmetic cost of the whole range; when it is
+/// below kParallelMinFlops, the configured thread count is 1, or the
+/// call is issued from a kernel-pool worker, the body runs inline as
+/// body(begin, end). Otherwise the range is split into near-equal
+/// chunks whose sizes are multiples of `grain` (except the last), one
+/// chunk per participant; the caller executes the first chunk itself.
+/// The partition depends only on (range, thread count, grain), so a
+/// body that is deterministic per index stays deterministic.
+void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+inline void parallel_for(
+    std::size_t begin, std::size_t end, double cost_flops,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(begin, end, cost_flops, 1, body);
+}
+
+}  // namespace geonas::hpc

@@ -40,19 +40,16 @@ Tensor3 Dense::forward(std::span<const Tensor3* const> inputs, bool training) {
   const std::size_t rows = batch * steps;
 
   Tensor3 out(batch, steps, out_);
-  // Treat [B,T,F] as (B*T) x F; both tensors are contiguous row-major.
-  const double* xp = x.flat().data();
-  double* op = out.flat().data();
-  const double* wp = w_.flat().data();
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double* xrow = xp + r * in_;
-    double* orow = op + r * out_;
-    for (std::size_t j = 0; j < out_; ++j) orow[j] = use_bias_ ? b_(0, j) : 0.0;
-    for (std::size_t k = 0; k < in_; ++k) {
-      const double xv = xrow[k];
-      if (xv == 0.0) continue;
-      const double* wrow = wp + k * out_;
-      for (std::size_t j = 0; j < out_; ++j) orow[j] += xv * wrow[j];
+  // Treat [B,T,F] as (B*T) x F; both tensors are contiguous row-major,
+  // so the whole layer is one GEMM plus a bias broadcast.
+  gemm_raw(Trans::kNone, Trans::kNone, rows, out_, in_, 1.0, x.flat().data(),
+           in_, w_.flat().data(), out_, 0.0, out.flat().data(), out_);
+  if (use_bias_) {
+    const double* bias = b_.flat().data();
+    double* op = out.flat().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      double* orow = op + r * out_;
+      for (std::size_t j = 0; j < out_; ++j) orow[j] += bias[j];
     }
   }
 
@@ -86,30 +83,20 @@ std::vector<Tensor3> Dense::backward(const Tensor3& grad_output) {
     }
   }
 
+  // dW += X^T dZ and dX = dZ W^T as whole-batch slab GEMMs.
   Tensor3 dx(batch, steps, in_);
-  const double* dzp = dz.flat().data();
-  const double* xp = input_cache_.flat().data();
-  double* dxp = dx.flat().data();
-  double* wg = w_grad_.flat().data();
-  const double* wp = w_.flat().data();
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double* dzrow = dzp + r * out_;
-    const double* xrow = xp + r * in_;
-    double* dxrow = dxp + r * in_;
-    // dW[k,j] += x[k] * dz[j]; dx[k] = sum_j dz[j] * W[k,j].
-    for (std::size_t k = 0; k < in_; ++k) {
-      const double* wrow = wp + k * out_;
-      double* wgrow = wg + k * out_;
-      double acc = 0.0;
-      const double xv = xrow[k];
-      for (std::size_t j = 0; j < out_; ++j) {
-        wgrow[j] += xv * dzrow[j];
-        acc += dzrow[j] * wrow[j];
-      }
-      dxrow[k] = acc;
-    }
-    if (use_bias_) {
-      for (std::size_t j = 0; j < out_; ++j) b_grad_(0, j) += dzrow[j];
+  gemm_raw(Trans::kTranspose, Trans::kNone, in_, out_, rows, 1.0,
+           input_cache_.flat().data(), in_, dz.flat().data(), out_, 1.0,
+           w_grad_.flat().data(), out_);
+  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, out_, 1.0,
+           dz.flat().data(), out_, w_.flat().data(), out_, 0.0,
+           dx.flat().data(), in_);
+  if (use_bias_) {
+    const double* dzp = dz.flat().data();
+    double* bg = b_grad_.flat().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* dzrow = dzp + r * out_;
+      for (std::size_t j = 0; j < out_; ++j) bg[j] += dzrow[j];
     }
   }
 

@@ -1,10 +1,12 @@
 #include "nn/gru.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "nn/activations.hpp"
+#include "tensor/blas.hpp"
 
 namespace geonas::nn {
 
@@ -39,152 +41,164 @@ Tensor3 GRU::forward(std::span<const Tensor3* const> inputs, bool training) {
   }
   const std::size_t batch = x.dim0(), steps = x.dim1();
   const std::size_t g3 = 3 * units_;
+  const std::size_t rows = batch * steps;
 
-  Tensor3 h_seq(batch, steps + 1, units_);
-  Tensor3 gates(batch, steps, g3);
-  Tensor3 out(batch, steps, units_);
-
-  const double* wxp = wx_.flat().data();
-  const double* whp = wh_.flat().data();
-  std::vector<double> a(g3);
+  x_tm_.resize(rows, in_);
+  gates_.resize(rows, g3);
+  h_seq_.resize((steps + 1) * batch, units_);
+  rh_.resize(rows, units_);
 
   for (std::size_t bi = 0; bi < batch; ++bi) {
+    const double* src = x.flat().data() + bi * steps * in_;
     for (std::size_t t = 0; t < steps; ++t) {
-      for (std::size_t j = 0; j < g3; ++j) a[j] = b_(0, j);
-      for (std::size_t k = 0; k < in_; ++k) {
-        const double xv = x(bi, t, k);
-        if (xv == 0.0) continue;
-        const double* wrow = wxp + k * g3;
-        for (std::size_t j = 0; j < g3; ++j) a[j] += xv * wrow[j];
-      }
-      // The z and r gate recurrent terms use the raw previous state; the
-      // candidate's recurrent term needs r, so it is added in a second
-      // sweep once r is known.
-      for (std::size_t k = 0; k < units_; ++k) {
-        const double hv = h_seq(bi, t, k);
-        if (hv == 0.0) continue;
-        const double* wrow = whp + k * g3;
-        for (std::size_t j = 0; j < 2 * units_; ++j) a[j] += hv * wrow[j];
-      }
+      std::copy(src + t * in_, src + (t + 1) * in_,
+                x_tm_.row_span(t * batch + bi).begin());
+    }
+  }
+
+  // Input projection for the entire sequence in one GEMM, then the bias.
+  gemm_raw(Trans::kNone, Trans::kNone, rows, g3, in_, 1.0, x_tm_.flat().data(),
+           in_, wx_.flat().data(), g3, 0.0, gates_.flat().data(), g3);
+  const double* bias = b_.flat().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* arow = gates_.flat().data() + r * g3;
+    for (std::size_t j = 0; j < g3; ++j) arow[j] += bias[j];
+  }
+
+  Tensor3 out(batch, steps, units_);
+  const double* whp = wh_.flat().data();
+  for (std::size_t t = 0; t < steps; ++t) {
+    double* a = gates_.flat().data() + t * batch * g3;
+    const double* h_prev = h_seq_.flat().data() + t * batch * units_;
+    // z/r recurrent terms see the raw previous state: the [z | r]
+    // column block of Wh is a strided (units x 2*units) submatrix.
+    gemm_raw(Trans::kNone, Trans::kNone, batch, 2 * units_, units_, 1.0,
+             h_prev, units_, whp, g3, 1.0, a, g3);
+    // z and r gates; the candidate's recurrent input r .* h_{t-1}.
+    double* rh = rh_.flat().data() + t * batch * units_;
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      double* arow = a + bi * g3;
+      const double* hp = h_prev + bi * units_;
+      double* rhrow = rh + bi * units_;
       for (std::size_t u = 0; u < units_; ++u) {
-        gates(bi, t, u) = sigmoid(a[u]);                    // z
-        gates(bi, t, units_ + u) = sigmoid(a[units_ + u]);  // r
+        arow[u] = sigmoid(arow[u]);                    // z
+        arow[units_ + u] = sigmoid(arow[units_ + u]);  // r
+        rhrow[u] = arow[units_ + u] * hp[u];
       }
-      for (std::size_t k = 0; k < units_; ++k) {
-        const double rh = gates(bi, t, units_ + k) * h_seq(bi, t, k);
-        if (rh == 0.0) continue;
-        const double* wrow = whp + k * g3 + 2 * units_;
-        for (std::size_t u = 0; u < units_; ++u) {
-          a[2 * units_ + u] += rh * wrow[u];
-        }
-      }
+    }
+    // Candidate recurrent term against the [h] column block of Wh.
+    gemm_raw(Trans::kNone, Trans::kNone, batch, units_, units_, 1.0, rh,
+             units_, whp + 2 * units_, g3, 1.0, a + 2 * units_, g3);
+    double* h_new = h_seq_.flat().data() + (t + 1) * batch * units_;
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      double* arow = a + bi * g3;
+      const double* hp = h_prev + bi * units_;
+      double* hn = h_new + bi * units_;
+      double* orow = out.flat().data() + (bi * steps + t) * units_;
       for (std::size_t u = 0; u < units_; ++u) {
-        const double zg = gates(bi, t, u);
-        const double hh = tanh_act(a[2 * units_ + u]);
-        gates(bi, t, 2 * units_ + u) = hh;
-        const double h_new = (1.0 - zg) * h_seq(bi, t, u) + zg * hh;
-        h_seq(bi, t + 1, u) = h_new;
-        out(bi, t, u) = h_new;
+        const double zg = arow[u];
+        const double hh = tanh_act(arow[2 * units_ + u]);
+        arow[2 * units_ + u] = hh;
+        const double h_val = (1.0 - zg) * hp[u] + zg * hh;
+        hn[u] = h_val;
+        orow[u] = h_val;
       }
     }
   }
 
-  if (training) {
-    input_cache_ = x;
-    h_cache_ = std::move(h_seq);
-    gates_cache_ = std::move(gates);
-  }
+  fwd_batch_ = batch;
+  fwd_steps_ = steps;
+  (void)training;  // the workspaces double as the BPTT caches
   return out;
 }
 
 std::vector<Tensor3> GRU::backward(const Tensor3& grad_output) {
-  const std::size_t batch = input_cache_.dim0(), steps = input_cache_.dim1();
+  const std::size_t batch = fwd_batch_, steps = fwd_steps_;
   if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
       grad_output.dim2() != units_) {
     throw std::invalid_argument("GRU::backward: gradient shape mismatch");
   }
   const std::size_t g3 = 3 * units_;
+  const std::size_t rows = batch * steps;
+
+  da_.resize(rows, g3);
+  dh_.resize(batch, units_);
+  drh_.resize(batch, units_);
+  dx_tm_.resize(rows, in_);
+
+  const double* whp = wh_.flat().data();
+  double* whg = wh_grad_.flat().data();
+  double* bg = b_grad_.flat().data();
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const double* gates = gates_.flat().data() + t * batch * g3;
+    const double* h_prev = h_seq_.flat().data() + t * batch * units_;
+    const double* rh = rh_.flat().data() + t * batch * units_;
+    double* da = da_.flat().data() + t * batch * g3;
+
+    // Through h_new = (1 - z) h_prev + z hh: fill the z and candidate
+    // pre-activation gradients; dh_ is rewritten with the direct
+    // (1 - z) path and the remaining contributions accumulate below.
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const double* grow = gates + bi * g3;
+      double* darow = da + bi * g3;
+      double* dhrow = dh_.flat().data() + bi * units_;
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double zg = grow[u];
+        const double hh = grow[2 * units_ + u];
+        const double h_prev_v = h_prev[bi * units_ + u];
+        const double dh = grad_output(bi, t, u) + dhrow[u];
+        const double dz = dh * (hh - h_prev_v);
+        const double dhh = dh * zg;
+        darow[u] = dz * sigmoid_grad_from_value(zg);
+        darow[2 * units_ + u] = dhh * tanh_grad_from_value(hh);
+        dhrow[u] = dh * (1.0 - zg);
+      }
+    }
+
+    // d(r .* h_prev) = da_h Uh^T over the candidate column block.
+    gemm_raw(Trans::kNone, Trans::kTranspose, batch, units_, units_, 1.0,
+             da + 2 * units_, g3, whp + 2 * units_, g3, 0.0,
+             drh_.flat().data(), units_);
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const double* grow = gates + bi * g3;
+      double* darow = da + bi * g3;
+      double* dhrow = dh_.flat().data() + bi * units_;
+      const double* drhrow = drh_.flat().data() + bi * units_;
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double rg = grow[units_ + u];
+        const double h_prev_v = h_prev[bi * units_ + u];
+        darow[units_ + u] =
+            drhrow[u] * h_prev_v * sigmoid_grad_from_value(rg);
+        dhrow[u] += drhrow[u] * rg;
+      }
+      for (std::size_t j = 0; j < g3; ++j) bg[j] += darow[j];
+    }
+
+    // Remaining recurrent paths, one GEMM each: dh_{t-1} += da_zr W_zr^T,
+    // Wh_grad[:, z|r] += h_{t-1}^T da_zr, Wh_grad[:, h] += rh^T da_h.
+    gemm_raw(Trans::kNone, Trans::kTranspose, batch, units_, 2 * units_, 1.0,
+             da, g3, whp, g3, 1.0, dh_.flat().data(), units_);
+    gemm_raw(Trans::kTranspose, Trans::kNone, units_, 2 * units_, batch, 1.0,
+             h_prev, units_, da, g3, 1.0, whg, g3);
+    gemm_raw(Trans::kTranspose, Trans::kNone, units_, units_, batch, 1.0, rh,
+             units_, da + 2 * units_, g3, 1.0, whg + 2 * units_, g3);
+  }
+
+  // Whole-sequence slab GEMMs: Wx_grad += X^T dA and dX = dA Wx^T.
+  gemm_raw(Trans::kTranspose, Trans::kNone, in_, g3, rows, 1.0,
+           x_tm_.flat().data(), in_, da_.flat().data(), g3, 1.0,
+           wx_grad_.flat().data(), g3);
+  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, g3, 1.0,
+           da_.flat().data(), g3, wx_.flat().data(), g3, 0.0,
+           dx_tm_.flat().data(), in_);
 
   Tensor3 dx(batch, steps, in_);
-  const double* wxp = wx_.flat().data();
-  const double* whp = wh_.flat().data();
-  double* wxg = wx_grad_.flat().data();
-  double* whg = wh_grad_.flat().data();
-
-  std::vector<double> dh(units_), da(g3), dh_next(units_), drh(units_);
-
   for (std::size_t bi = 0; bi < batch; ++bi) {
-    std::fill(dh_next.begin(), dh_next.end(), 0.0);
-    for (std::size_t t = steps; t-- > 0;) {
-      for (std::size_t u = 0; u < units_; ++u) {
-        dh[u] = grad_output(bi, t, u) + dh_next[u];
-        dh_next[u] = 0.0;
-      }
-
-      // Through h_new = (1 - z) h_prev + z hh.
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double zg = gates_cache_(bi, t, u);
-        const double rg = gates_cache_(bi, t, units_ + u);
-        const double hh = gates_cache_(bi, t, 2 * units_ + u);
-        const double h_prev = h_cache_(bi, t, u);
-
-        const double dz = dh[u] * (hh - h_prev);
-        const double dhh = dh[u] * zg;
-        dh_next[u] += dh[u] * (1.0 - zg);
-
-        da[u] = dz * sigmoid_grad_from_value(zg);               // daz
-        da[2 * units_ + u] = dhh * tanh_grad_from_value(hh);    // dah
-        // dar is filled after d(r h_prev) is known.
-        (void)rg;
-      }
-
-      // d(r .* h_prev)[k] = sum_u dah[u] * Uh[k, u].
-      for (std::size_t k = 0; k < units_; ++k) {
-        const double* wrow = whp + k * g3 + 2 * units_;
-        double acc = 0.0;
-        for (std::size_t u = 0; u < units_; ++u) {
-          acc += da[2 * units_ + u] * wrow[u];
-        }
-        drh[k] = acc;
-      }
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double rg = gates_cache_(bi, t, units_ + u);
-        const double h_prev = h_cache_(bi, t, u);
-        const double dr = drh[u] * h_prev;
-        da[units_ + u] = dr * sigmoid_grad_from_value(rg);  // dar
-        dh_next[u] += drh[u] * rg;
-      }
-
-      // Parameter and input gradients.
-      for (std::size_t j = 0; j < g3; ++j) b_grad_(0, j) += da[j];
-      for (std::size_t k = 0; k < in_; ++k) {
-        const double xv = input_cache_(bi, t, k);
-        double* row = wxg + k * g3;
-        const double* wrow = wxp + k * g3;
-        double acc = 0.0;
-        for (std::size_t j = 0; j < g3; ++j) {
-          row[j] += xv * da[j];
-          acc += da[j] * wrow[j];
-        }
-        dx(bi, t, k) = acc;
-      }
-      for (std::size_t k = 0; k < units_; ++k) {
-        const double h_prev = h_cache_(bi, t, k);
-        const double rg = gates_cache_(bi, t, units_ + k);
-        double* row = whg + k * g3;
-        const double* wrow = whp + k * g3;
-        double acc = 0.0;
-        // z and r recurrent kernels see h_prev; the candidate kernel sees
-        // r .* h_prev (its h_prev-gradient was accumulated via drh above).
-        for (std::size_t j = 0; j < 2 * units_; ++j) {
-          row[j] += h_prev * da[j];
-          acc += da[j] * wrow[j];
-        }
-        for (std::size_t u = 0; u < units_; ++u) {
-          row[2 * units_ + u] += rg * h_prev * da[2 * units_ + u];
-        }
-        dh_next[k] += acc;
-      }
+    double* dst = dx.flat().data() + bi * steps * in_;
+    for (std::size_t t = 0; t < steps; ++t) {
+      const auto src = dx_tm_.row_span(t * batch + bi);
+      std::copy(src.begin(), src.end(), dst + t * in_);
     }
   }
 

@@ -9,6 +9,14 @@
 //   hh  = tanh(x_t Wh + (r_t .* h_{t-1}) Uh + bh)
 //   h_t = (1 - z_t) .* h_{t-1} + z_t .* hh
 // Always returns the full hidden sequence.
+//
+// Like LSTM, both passes run in the batched-GEMM formulation over
+// time-major workspaces: one whole-sequence GEMM for X * Wx, two
+// per-timestep GEMMs for the recurrent terms (the z/r block against
+// h_{t-1}, the candidate block against r .* h_{t-1}), and
+// whole-sequence slab GEMMs for the Wx/dX gradients in BPTT. The
+// strided gemm_raw interface lets the z/r and candidate column blocks
+// of the fused Wh matrix be updated in place.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -41,10 +49,17 @@ class GRU final : public Layer {
   Matrix wh_grad_;
   Matrix b_grad_;
 
-  // BPTT caches.
-  Tensor3 input_cache_;   // [B, T, in]
-  Tensor3 h_cache_;       // [B, T+1, units]
-  Tensor3 gates_cache_;   // [B, T, 3*units] post-nonlinearity [z, r, hh]
+  // Time-major workspaces (row t*batch + b), reused across calls.
+  Matrix x_tm_;     // [T*B, in]
+  Matrix gates_;    // [T*B, 3*units] pre-activations, then [z, r, hh]
+  Matrix h_seq_;    // [(T+1)*B, units], rows [0, B) are h_0 = 0
+  Matrix rh_;       // [T*B, units] r_t .* h_{t-1} (candidate GEMM input)
+  Matrix da_;       // [T*B, 3*units] gate pre-activation gradients
+  Matrix dh_;       // [B, units] running dL/dh_{t-1}
+  Matrix drh_;      // [B, units] dL/d(r .* h_{t-1})
+  Matrix dx_tm_;    // [T*B, in]
+  std::size_t fwd_batch_ = 0;
+  std::size_t fwd_steps_ = 0;
 };
 
 }  // namespace geonas::nn

@@ -1,10 +1,12 @@
 #include "nn/lstm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "nn/activations.hpp"
+#include "tensor/blas.hpp"
 
 namespace geonas::nn {
 
@@ -44,132 +46,152 @@ Tensor3 LSTM::forward(std::span<const Tensor3* const> inputs, bool training) {
   }
   const std::size_t batch = x.dim0(), steps = x.dim1();
   const std::size_t g4 = 4 * units_;
+  const std::size_t rows = batch * steps;
 
-  Tensor3 h_seq(batch, steps + 1, units_);
-  Tensor3 c_seq(batch, steps + 1, units_);
-  Tensor3 gates(batch, steps, g4);
-  Tensor3 out(batch, steps, units_);
+  x_tm_.resize(rows, in_);
+  gates_.resize(rows, g4);
+  h_seq_.resize((steps + 1) * batch, units_);
+  c_seq_.resize((steps + 1) * batch, units_);
 
-  const double* wxp = wx_.flat().data();
-  const double* whp = wh_.flat().data();
-  std::vector<double> z(g4);
-
+  // Gather the batch-major input into time-major rows t*B + b so each
+  // timestep's slab is contiguous.
   for (std::size_t bi = 0; bi < batch; ++bi) {
+    const double* src = x.flat().data() + bi * steps * in_;
     for (std::size_t t = 0; t < steps; ++t) {
-      // z = x_t Wx + h_{t-1} Wh + b
-      for (std::size_t j = 0; j < g4; ++j) z[j] = b_(0, j);
-      for (std::size_t k = 0; k < in_; ++k) {
-        const double xv = x(bi, t, k);
-        if (xv == 0.0) continue;
-        const double* wrow = wxp + k * g4;
-        for (std::size_t j = 0; j < g4; ++j) z[j] += xv * wrow[j];
-      }
-      for (std::size_t k = 0; k < units_; ++k) {
-        const double hv = h_seq(bi, t, k);
-        if (hv == 0.0) continue;
-        const double* wrow = whp + k * g4;
-        for (std::size_t j = 0; j < g4; ++j) z[j] += hv * wrow[j];
-      }
+      std::copy(src + t * in_, src + (t + 1) * in_,
+                x_tm_.row_span(t * batch + bi).begin());
+    }
+  }
+
+  // Input projection for the entire sequence in one GEMM, then the bias.
+  gemm_raw(Trans::kNone, Trans::kNone, rows, g4, in_, 1.0, x_tm_.flat().data(),
+           in_, wx_.flat().data(), g4, 0.0, gates_.flat().data(), g4);
+  const double* bias = b_.flat().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* zrow = gates_.flat().data() + r * g4;
+    for (std::size_t j = 0; j < g4; ++j) zrow[j] += bias[j];
+  }
+
+  Tensor3 out(batch, steps, units_);
+  for (std::size_t t = 0; t < steps; ++t) {
+    // z_t += h_{t-1} Wh: one (B, units) x (units, 4*units) GEMM.
+    double* z = gates_.flat().data() + t * batch * g4;
+    const double* h_prev = h_seq_.flat().data() + t * batch * units_;
+    gemm_raw(Trans::kNone, Trans::kNone, batch, g4, units_, 1.0, h_prev,
+             units_, wh_.flat().data(), g4, 1.0, z, g4);
+    // Gate nonlinearities + state update; gates_ holds post-activation
+    // values afterwards (what BPTT needs).
+    const double* c_prev = c_seq_.flat().data() + t * batch * units_;
+    double* c_new = c_seq_.flat().data() + (t + 1) * batch * units_;
+    double* h_new = h_seq_.flat().data() + (t + 1) * batch * units_;
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      double* zrow = z + bi * g4;
+      const double* cp = c_prev + bi * units_;
+      double* cn = c_new + bi * units_;
+      double* hn = h_new + bi * units_;
+      double* orow = out.flat().data() + (bi * steps + t) * units_;
       for (std::size_t u = 0; u < units_; ++u) {
-        const double ig = sigmoid(z[u]);
-        const double fg = sigmoid(z[units_ + u]);
-        const double gg = tanh_act(z[2 * units_ + u]);
-        const double og = sigmoid(z[3 * units_ + u]);
-        const double c_new = fg * c_seq(bi, t, u) + ig * gg;
-        const double h_new = og * tanh_act(c_new);
-        gates(bi, t, u) = ig;
-        gates(bi, t, units_ + u) = fg;
-        gates(bi, t, 2 * units_ + u) = gg;
-        gates(bi, t, 3 * units_ + u) = og;
-        c_seq(bi, t + 1, u) = c_new;
-        h_seq(bi, t + 1, u) = h_new;
-        out(bi, t, u) = h_new;
+        const double ig = sigmoid(zrow[u]);
+        const double fg = sigmoid(zrow[units_ + u]);
+        const double gg = tanh_act(zrow[2 * units_ + u]);
+        const double og = sigmoid(zrow[3 * units_ + u]);
+        const double c_val = fg * cp[u] + ig * gg;
+        const double h_val = og * tanh_act(c_val);
+        zrow[u] = ig;
+        zrow[units_ + u] = fg;
+        zrow[2 * units_ + u] = gg;
+        zrow[3 * units_ + u] = og;
+        cn[u] = c_val;
+        hn[u] = h_val;
+        orow[u] = h_val;
       }
     }
   }
 
-  if (training) {
-    input_cache_ = x;
-    h_cache_ = std::move(h_seq);
-    c_cache_ = std::move(c_seq);
-    gates_cache_ = std::move(gates);
-  }
+  fwd_batch_ = batch;
+  fwd_steps_ = steps;
+  (void)training;  // the workspaces double as the BPTT caches
   return out;
 }
 
 std::vector<Tensor3> LSTM::backward(const Tensor3& grad_output) {
-  const std::size_t batch = input_cache_.dim0(), steps = input_cache_.dim1();
+  const std::size_t batch = fwd_batch_, steps = fwd_steps_;
   if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
       grad_output.dim2() != units_) {
     throw std::invalid_argument("LSTM::backward: gradient shape mismatch");
   }
   const std::size_t g4 = 4 * units_;
+  const std::size_t rows = batch * steps;
 
+  dz_.resize(rows, g4);
+  dh_.resize(batch, units_);
+  dc_.resize(batch, units_);
+  dx_tm_.resize(rows, in_);
+
+  double* bg = b_grad_.flat().data();
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const double* gates = gates_.flat().data() + t * batch * g4;
+    const double* c_new = c_seq_.flat().data() + (t + 1) * batch * units_;
+    const double* c_prev = c_seq_.flat().data() + t * batch * units_;
+    const double* h_prev = h_seq_.flat().data() + t * batch * units_;
+    double* dz = dz_.flat().data() + t * batch * g4;
+
+    // Elementwise gate backward for the whole timestep slab; dh_/dc_
+    // carry dL/dh_t, dL/dc_t in and leave dL/dc_{t-1} behind (dh_{t-1}
+    // is produced by the GEMM below).
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const double* grow = gates + bi * g4;
+      double* dzrow = dz + bi * g4;
+      double* dhrow = dh_.flat().data() + bi * units_;
+      double* dcrow = dc_.flat().data() + bi * units_;
+      for (std::size_t u = 0; u < units_; ++u) {
+        const double ig = grow[u];
+        const double fg = grow[units_ + u];
+        const double gg = grow[2 * units_ + u];
+        const double og = grow[3 * units_ + u];
+        const double tanh_c = tanh_act(c_new[bi * units_ + u]);
+
+        const double dh = grad_output(bi, t, u) + dhrow[u];
+        // h = o * tanh(c): route dh into the o-gate and the cell state.
+        double dc = dcrow[u] + dh * og * tanh_grad_from_value(tanh_c);
+        const double d_og = dh * tanh_c;
+
+        const double d_ig = dc * gg;
+        const double d_fg = dc * c_prev[bi * units_ + u];
+        const double d_gg = dc * ig;
+        dcrow[u] = dc * fg;  // dL/dc_{t-1}
+
+        dzrow[u] = d_ig * sigmoid_grad_from_value(ig);
+        dzrow[units_ + u] = d_fg * sigmoid_grad_from_value(fg);
+        dzrow[2 * units_ + u] = d_gg * tanh_grad_from_value(gg);
+        dzrow[3 * units_ + u] = d_og * sigmoid_grad_from_value(og);
+      }
+      for (std::size_t j = 0; j < g4; ++j) bg[j] += dzrow[j];
+    }
+
+    // Wh_grad += H_{t-1}^T dZ_t and dH_{t-1} = dZ_t Wh^T: one GEMM each.
+    gemm_raw(Trans::kTranspose, Trans::kNone, units_, g4, batch, 1.0, h_prev,
+             units_, dz, g4, 1.0, wh_grad_.flat().data(), g4);
+    gemm_raw(Trans::kNone, Trans::kTranspose, batch, units_, g4, 1.0, dz, g4,
+             wh_.flat().data(), g4, 0.0, dh_.flat().data(), units_);
+  }
+
+  // Whole-sequence slab GEMMs: Wx_grad += X^T dZ and dX = dZ Wx^T.
+  gemm_raw(Trans::kTranspose, Trans::kNone, in_, g4, rows, 1.0,
+           x_tm_.flat().data(), in_, dz_.flat().data(), g4, 1.0,
+           wx_grad_.flat().data(), g4);
+  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, g4, 1.0,
+           dz_.flat().data(), g4, wx_.flat().data(), g4, 0.0,
+           dx_tm_.flat().data(), in_);
+
+  // Scatter time-major dX back to batch-major [B, T, in].
   Tensor3 dx(batch, steps, in_);
-  const double* wxp = wx_.flat().data();
-  const double* whp = wh_.flat().data();
-  double* wxg = wx_grad_.flat().data();
-  double* whg = wh_grad_.flat().data();
-
-  std::vector<double> dh(units_), dc(units_), dz(g4), dh_next(units_),
-      dc_next(units_);
-
   for (std::size_t bi = 0; bi < batch; ++bi) {
-    std::fill(dh_next.begin(), dh_next.end(), 0.0);
-    std::fill(dc_next.begin(), dc_next.end(), 0.0);
-    for (std::size_t t = steps; t-- > 0;) {
-      for (std::size_t u = 0; u < units_; ++u) {
-        dh[u] = grad_output(bi, t, u) + dh_next[u];
-        dc[u] = dc_next[u];
-      }
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double ig = gates_cache_(bi, t, u);
-        const double fg = gates_cache_(bi, t, units_ + u);
-        const double gg = gates_cache_(bi, t, 2 * units_ + u);
-        const double og = gates_cache_(bi, t, 3 * units_ + u);
-        const double c_new = c_cache_(bi, t + 1, u);
-        const double tanh_c = tanh_act(c_new);
-
-        // h = o * tanh(c): route dh into o-gate and the cell state.
-        const double d_og = dh[u] * tanh_c;
-        dc[u] += dh[u] * og * tanh_grad_from_value(tanh_c);
-
-        const double c_prev = c_cache_(bi, t, u);
-        const double d_ig = dc[u] * gg;
-        const double d_fg = dc[u] * c_prev;
-        const double d_gg = dc[u] * ig;
-        dc_next[u] = dc[u] * fg;
-
-        dz[u] = d_ig * sigmoid_grad_from_value(ig);
-        dz[units_ + u] = d_fg * sigmoid_grad_from_value(fg);
-        dz[2 * units_ + u] = d_gg * tanh_grad_from_value(gg);
-        dz[3 * units_ + u] = d_og * sigmoid_grad_from_value(og);
-      }
-
-      // Parameter gradients and input/hidden gradients from dz.
-      for (std::size_t j = 0; j < g4; ++j) b_grad_(0, j) += dz[j];
-      for (std::size_t k = 0; k < in_; ++k) {
-        const double xv = input_cache_(bi, t, k);
-        double* row = wxg + k * g4;
-        const double* wrow = wxp + k * g4;
-        double acc = 0.0;
-        for (std::size_t j = 0; j < g4; ++j) {
-          row[j] += xv * dz[j];
-          acc += dz[j] * wrow[j];
-        }
-        dx(bi, t, k) = acc;
-      }
-      for (std::size_t k = 0; k < units_; ++k) {
-        const double hv = h_cache_(bi, t, k);
-        double* row = whg + k * g4;
-        const double* wrow = whp + k * g4;
-        double acc = 0.0;
-        for (std::size_t j = 0; j < g4; ++j) {
-          row[j] += hv * dz[j];
-          acc += dz[j] * wrow[j];
-        }
-        dh_next[k] = acc;
-      }
+    double* dst = dx.flat().data() + bi * steps * in_;
+    for (std::size_t t = 0; t < steps; ++t) {
+      const auto src = dx_tm_.row_span(t * batch + bi);
+      std::copy(src.begin(), src.end(), dst + t * in_);
     }
   }
 

@@ -6,6 +6,15 @@
 // and unit forget-gate bias. Always returns the full hidden sequence
 // (return_sequences=true), which is what the paper's stacked seq-to-seq
 // architectures need.
+//
+// Both passes run in the batched-GEMM formulation over time-major
+// workspaces (row t * batch + b): the input projection X * Wx is one
+// GEMM over the whole (batch * steps) slab, each timestep's recurrent
+// update H_{t-1} * Wh is one (batch, units) x (units, 4 * units) GEMM,
+// and BPTT accumulates the Wx/dX gradients with single whole-sequence
+// slab GEMMs (see DESIGN.md, "Kernel layer"). The workspaces are owned
+// by the layer, so steady-state training performs no per-step
+// allocation.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -38,11 +47,18 @@ class LSTM final : public Layer {
   Matrix wh_grad_;
   Matrix b_grad_;
 
-  // BPTT caches, valid between a training forward and its backward.
-  Tensor3 input_cache_;    // [B, T, in]
-  Tensor3 h_cache_;        // [B, T+1, units] (h_0 = 0 at index 0)
-  Tensor3 c_cache_;        // [B, T+1, units]
-  Tensor3 gates_cache_;    // [B, T, 4*units] post-nonlinearity gate values
+  // Time-major workspaces, valid between a training forward and its
+  // backward; any forward (training or not) reuses and overwrites them.
+  Matrix x_tm_;     // [T*B, in] time-major input copy
+  Matrix gates_;    // [T*B, 4*units] pre-activations, then gate values
+  Matrix h_seq_;    // [(T+1)*B, units], rows [0, B) are h_0 = 0
+  Matrix c_seq_;    // [(T+1)*B, units]
+  Matrix dz_;       // [T*B, 4*units] gate pre-activation gradients
+  Matrix dh_;       // [B, units] running dL/dh_{t-1}
+  Matrix dc_;       // [B, units] running dL/dc_{t-1}
+  Matrix dx_tm_;    // [T*B, in]
+  std::size_t fwd_batch_ = 0;
+  std::size_t fwd_steps_ = 0;
 };
 
 }  // namespace geonas::nn

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "hpc/parallel_for.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "tensor/random.hpp"
@@ -38,6 +39,9 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
   }
   const std::size_t n = x.dim0();
   const std::size_t bs = std::max<std::size_t>(1, cfg_.batch_size);
+  if (cfg_.kernel_threads != 0) {
+    hpc::set_kernel_threads(cfg_.kernel_threads);
+  }
 
   Adam optimizer(net.parameters(), net.gradients(),
                  {.learning_rate = cfg_.learning_rate,

@@ -26,6 +26,10 @@ struct TrainConfig {
   double lr_step_decay = 1.0;
   std::uint64_t seed = 42;       // shuffling seed
   bool shuffle = true;
+  /// Threads for the kernel-layer parallel_for (blocked GEMM splits).
+  /// 0 leaves the current process-wide setting untouched; any other
+  /// value pins hpc::set_kernel_threads before the first epoch.
+  std::size_t kernel_threads = 0;
 };
 
 struct TrainHistory {

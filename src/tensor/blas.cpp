@@ -1,7 +1,12 @@
 #include "tensor/blas.hpp"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+#include <utility>
+
+#include "hpc/parallel_for.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace geonas {
 
@@ -9,36 +14,56 @@ namespace {
 void require(bool cond, const char* msg) {
   if (!cond) throw std::invalid_argument(msg);
 }
+
+/// True when the two storage ranges share any byte. std::less gives a
+/// total pointer order, so the test is well-defined even for unrelated
+/// allocations.
+bool ranges_overlap(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return false;
+  const std::less<const double*> lt;
+  return lt(a.data(), b.data() + b.size()) && lt(b.data(), a.data() + a.size());
+}
 }  // namespace
+
+void gemm_raw(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+              std::size_t k, double alpha, const double* a, std::size_t lda,
+              const double* b, std::size_t ldb, double beta, double* c,
+              std::size_t ldc) {
+  detail::gemm_blocked(m, n, k, alpha, a, lda, trans_a == Trans::kTranspose,
+                       b, ldb, trans_b == Trans::kTranspose, beta, c, ldc);
+}
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha,
           double beta) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   require(b.rows() == k, "gemm: inner dimensions differ");
+
+  // Aliasing guard: if C shares storage with A or B, computing in place
+  // would corrupt the operands mid-product. Run through a temporary and
+  // move it in. Checked before any resize of C so gemm(a, b, a) cannot
+  // clobber a's data either.
+  if (ranges_overlap(c.flat(), a.flat()) || ranges_overlap(c.flat(), b.flat())) {
+    Matrix tmp;
+    if (beta == 0.0) {
+      tmp.resize(m, n, 0.0);
+    } else {
+      require(c.rows() == m && c.cols() == n,
+              "gemm: C shape mismatch with beta != 0");
+      tmp = c;
+    }
+    detail::gemm_blocked(m, n, k, alpha, a.flat().data(), k, false,
+                         b.flat().data(), n, false, beta, tmp.flat().data(),
+                         n);
+    c = std::move(tmp);
+    return;
+  }
+
   if (c.rows() != m || c.cols() != n) {
     require(beta == 0.0, "gemm: C shape mismatch with beta != 0");
     c.resize(m, n, 0.0);
-  } else if (beta == 0.0) {
-    c.fill(0.0);
-  } else if (beta != 1.0) {
-    c *= beta;
   }
-  const double* ap = a.flat().data();
-  const double* bp = b.flat().data();
-  double* cp = c.flat().data();
-  // i-k-j ordering: the inner loop streams a row of B into a row of C.
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = ap + i * k;
-    double* crow = cp + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = alpha * arow[kk];
-      if (aik == 0.0) continue;
-      const double* brow = bp + kk * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += aik * brow[j];
-      }
-    }
-  }
+  detail::gemm_blocked(m, n, k, alpha, a.flat().data(), k, false,
+                       b.flat().data(), n, false, beta, c.flat().data(), n);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -50,36 +75,18 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   require(b.rows() == k, "matmul_at_b: inner dimensions differ");
-  Matrix c(m, n, 0.0);
-  const double* ap = a.flat().data();
-  const double* bp = b.flat().data();
-  double* cp = c.flat().data();
-  // C[i,j] = sum_k A[k,i] * B[k,j]; iterate k outermost so both A and B rows
-  // stream contiguously.
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const double* arow = ap + kk * m;
-    const double* brow = bp + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = cp + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Matrix c(m, n);
+  detail::gemm_blocked(m, n, k, 1.0, a.flat().data(), m, true,
+                       b.flat().data(), n, false, 0.0, c.flat().data(), n);
   return c;
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   require(b.cols() == k, "matmul_a_bt: inner dimensions differ");
-  Matrix c(m, n, 0.0);
-  // C[i,j] = dot(A.row(i), B.row(j)) — both contiguous.
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto arow = a.row_span(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      c(i, j) = dot(arow, b.row_span(j));
-    }
-  }
+  Matrix c(m, n);
+  detail::gemm_blocked(m, n, k, 1.0, a.flat().data(), k, false,
+                       b.flat().data(), k, true, 0.0, c.flat().data(), n);
   return c;
 }
 
@@ -87,10 +94,14 @@ void gemv(const Matrix& a, std::span<const double> x, std::span<double> y,
           double alpha, double beta) {
   require(x.size() == a.cols(), "gemv: x length != A.cols()");
   require(y.size() == a.rows(), "gemv: y length != A.rows()");
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double acc = dot(a.row_span(i), x);
-    y[i] = alpha * acc + beta * y[i];
-  }
+  const double cost =
+      2.0 * static_cast<double>(a.rows()) * static_cast<double>(a.cols());
+  hpc::parallel_for(0, a.rows(), cost, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double acc = dot(a.row_span(i), x);
+      y[i] = alpha * acc + beta * y[i];
+    }
+  });
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {

@@ -1,20 +1,45 @@
 // BLAS-like dense kernels used throughout geonas.
 //
-// All kernels are written against contiguous row-major storage. gemm uses
-// an i-k-j loop order with a small register block so the inner loop is a
-// pure streaming multiply-accumulate — fast enough for the POD correlation
-// matrices (Ns x Ns with Ns ~ 500) and LSTM gate matmuls without an
-// external BLAS.
+// All kernels are written against contiguous row-major storage. The
+// matrix products run through a shared cache-blocked, register-tiled
+// GEMM (see tensor/gemm_kernel.hpp) with a runtime-dispatched AVX2+FMA
+// micro-kernel on x86-64 and an autovectorized portable fallback; the M
+// dimension is split across the geonas::hpc kernel pool above a flops
+// threshold, so POD correlation matrices (Ns x Ns with Ns ~ 500) and
+// whole-sequence LSTM projections parallelize while tiny NAS-cell
+// matmuls stay serial. gemm_raw exposes the strided (leading-dimension)
+// form so recurrent layers can run per-timestep slab updates in place
+// with zero allocation.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "tensor/matrix.hpp"
 
 namespace geonas {
 
+/// Transpose selector for gemm_raw (op(X) = X or X^T).
+enum class Trans { kNone, kTranspose };
+
+/// C (m x n, leading dimension ldc) = alpha * op(A) * op(B) + beta * C.
+///
+/// op(A) is m x k and op(B) is k x n. For Trans::kNone, A is stored
+/// m x k with leading dimension lda (lda >= k); for Trans::kTranspose,
+/// A is stored k x m with lda >= m (same convention for B, and ldc >= n
+/// for C). When beta == 0, C is written without being read, so it may
+/// be uninitialized. C must NOT overlap A or B — use the Matrix-level
+/// gemm() wrapper when aliasing is possible; it detects overlap and
+/// falls back to a temporary.
+void gemm_raw(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+              std::size_t k, double alpha, const double* a, std::size_t lda,
+              const double* b, std::size_t ldb, double beta, double* c,
+              std::size_t ldc);
+
 /// C = alpha * A * B + beta * C. Shapes: A (m x k), B (k x n), C (m x n).
 /// C is resized (and zeroed) if beta == 0 and its shape does not match.
+/// Safe when C aliases A and/or B (including gemm(a, b, a)): overlap is
+/// detected and the product is computed through a temporary.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha = 1.0,
           double beta = 0.0);
 
@@ -28,6 +53,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha = 1.0,
 [[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
 
 /// y = alpha * A * x + beta * y. x.size() == A.cols(), y.size() == A.rows().
+/// y must not alias x.
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y,
           double alpha = 1.0, double beta = 0.0);
 

@@ -1,0 +1,51 @@
+// Internal blocked-GEMM kernel API shared by blas.cpp and the kernel
+// implementation. Public callers use geonas::gemm / geonas::gemm_raw
+// from tensor/blas.hpp; this header exists so the blocking parameters
+// and the low-level entry point are visible to tests and benchmarks.
+//
+// Structure (BLIS-style three-level blocking):
+//   for jc over N in steps of kNC:            L3-resident B panel
+//     for pc over K in steps of kKC:          packed once per (jc, pc)
+//       pack B(pc:pc+kc, jc:jc+nc) into NR-column slivers
+//       for ic over M in steps of kMC:        L2-resident A block
+//         pack A(ic:ic+mc, pc:pc+kc) into MR-row slivers
+//         for jr, ir over the block: kMR x kNR register micro-kernel
+//
+// The micro-kernel keeps a kMR x kNR accumulator tile in registers for
+// the whole K-block; an AVX2+FMA variant is selected once at runtime on
+// x86-64 (the portable variant autovectorizes under the default flags).
+// Packing reads through the (lda, transposed?) source view, so the same
+// kernel serves A*B, A^T*B and A*B^T without materialized transposes.
+// The M dimension is split across geonas::hpc::parallel_for above its
+// flops threshold; every C element is written by exactly one task and
+// the per-element summation order is independent of the split, so
+// results are bitwise reproducible across thread counts.
+#pragma once
+
+#include <cstddef>
+
+namespace geonas::detail {
+
+// Register tile (micro-kernel) footprint: 4 x 8 doubles = 8 YMM
+// accumulators under AVX2, and a shape GCC autovectorizes well for the
+// portable build.
+inline constexpr std::size_t kMR = 4;
+inline constexpr std::size_t kNR = 8;
+// Cache blocking: the packed A block (kMC x kKC doubles = 192 KiB) and
+// the in-flight B slivers fit in a typical 512 KiB-1 MiB L2; the packed
+// B panel (kKC x kNC = 2 MiB) lives in L3.
+inline constexpr std::size_t kMC = 96;
+inline constexpr std::size_t kKC = 256;
+inline constexpr std::size_t kNC = 1024;
+
+/// C (m x n, leading dim ldc) = alpha * op(A) * op(B) + beta * C.
+/// op(A) is m x k; when trans_a, A is stored k x m with leading
+/// dimension lda and op(A)(i,p) = a[p * lda + i] (same convention for
+/// B). C must not overlap A or B (the Matrix-level geonas::gemm wrapper
+/// handles aliasing; raw callers must guarantee it).
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                  const double* a, std::size_t lda, bool trans_a,
+                  const double* b, std::size_t ldb, bool trans_b, double beta,
+                  double* c, std::size_t ldc);
+
+}  // namespace geonas::detail

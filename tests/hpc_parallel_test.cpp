@@ -1,10 +1,17 @@
-// Real parallel primitives: thread pool, MPI-style channel, all-reduce.
+// Real parallel primitives: thread pool, MPI-style channel, all-reduce,
+// and the kernel-layer parallel_for built on top of the pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
 #include <thread>
+#include <utility>
+#include <vector>
 
+#include "hpc/parallel_for.hpp"
 #include "hpc/thread_pool.hpp"
 
 namespace geonas::hpc {
@@ -143,6 +150,134 @@ TEST(Barrier, SynchronizesPhases) {
   for (auto& t : threads) t.join();
   EXPECT_FALSE(violated.load());
   EXPECT_EQ(phase_counter.load(), 15);
+}
+
+/// Pins the kernel-pool thread count for one test and restores the
+/// hardware default on scope exit, even through a failing assertion.
+struct KernelThreadsGuard {
+  explicit KernelThreadsGuard(std::size_t threads) {
+    set_kernel_threads(threads);
+  }
+  ~KernelThreadsGuard() { set_kernel_threads(0); }
+};
+
+constexpr double kAboveThreshold = 2.0 * kParallelMinFlops;
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  KernelThreadsGuard guard(4);
+  constexpr std::size_t kN = 1003;
+  std::vector<int> visits(kN, 0);
+  // Chunks are disjoint, so the writes below race-free by construction;
+  // the assertion catches both gaps and overlaps.
+  parallel_for(0, kN, kAboveThreshold, 1,
+               [&visits](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+               });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, RunsInlineBelowCostThreshold) {
+  KernelThreadsGuard guard(4);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(5, 905, kParallelMinFlops / 2.0, 1,
+               [&chunks](std::size_t lo, std::size_t hi) {
+                 chunks.emplace_back(lo, hi);  // safe: must be one call
+               });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 5u);
+  EXPECT_EQ(chunks[0].second, 905u);
+}
+
+TEST(ParallelFor, RunsInlineWithOneThread) {
+  KernelThreadsGuard guard(1);
+  int calls = 0;
+  std::thread::id body_thread;
+  parallel_for(0, 64, kAboveThreshold, 1,
+               [&](std::size_t lo, std::size_t hi) {
+                 ++calls;
+                 body_thread = std::this_thread::get_id();
+                 EXPECT_EQ(lo, 0u);
+                 EXPECT_EQ(hi, 64u);
+               });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+}
+
+TEST(ParallelFor, ChunkBoundariesAlignToGrain) {
+  KernelThreadsGuard guard(3);
+  constexpr std::size_t kN = 130, kGrain = 4;
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(0, kN, kAboveThreshold, kGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 const std::lock_guard<std::mutex> lock(mu);
+                 chunks.emplace_back(lo, hi);
+               });
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LT(lo, hi);
+    EXPECT_EQ(lo % kGrain, 0u) << "chunk start off-grain";
+    if (hi != kN) {
+      EXPECT_EQ(hi % kGrain, 0u) << "interior boundary off-grain";
+    }
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, kN);
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+  int calls = 0;
+  parallel_for(7, 7, kAboveThreshold, 1,
+               [&calls](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NestedCallsCompleteWithoutDeadlock) {
+  KernelThreadsGuard guard(4);
+  constexpr std::size_t kOuter = 8, kInner = 64;
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, kOuter, kAboveThreshold, 1,
+               [&total](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   // Over-threshold inner loop: serial inside pool
+                   // workers, but either way it must finish and cover.
+                   parallel_for(0, kInner, kAboveThreshold, 1,
+                                [&total](std::size_t ilo, std::size_t ihi) {
+                                  total += ihi - ilo;
+                                });
+                 }
+               });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions) {
+  KernelThreadsGuard guard(3);
+  EXPECT_THROW(
+      parallel_for(0, 300, kAboveThreshold, 1,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 0) throw std::runtime_error("kernel boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after an exception unwound through it.
+  std::vector<int> visits(100, 0);
+  parallel_for(0, 100, kAboveThreshold, 1,
+               [&visits](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+               });
+  for (int v : visits) ASSERT_EQ(v, 1);
+}
+
+TEST(ParallelFor, SetKernelThreadsReconfigures) {
+  set_kernel_threads(2);
+  EXPECT_EQ(kernel_threads(), 2u);
+  set_kernel_threads(5);
+  EXPECT_EQ(kernel_threads(), 5u);
+  set_kernel_threads(0);
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  EXPECT_EQ(kernel_threads(), hw);
 }
 
 TEST(AllReduce, ReusableAcrossGenerations) {

@@ -1,6 +1,10 @@
 // GRU layer: BPTT gradient checks, sequence semantics, and Dropout.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "gradient_check.hpp"
 #include "nn/dropout.hpp"
 #include "nn/gru.hpp"
@@ -70,6 +74,59 @@ TEST(GRU, GradientMatchesFiniteDifferencesLongerSequence) {
   const Tensor3 x = random_tensor(1, 8, 3, rng, 0.6);
   const Tensor3 target = random_tensor(1, 8, 4, rng, 0.5);
   check_layer_gradients(layer, x, target, 1e-5, 3e-6);
+}
+
+TEST(GRU, GradientMatchesFiniteDifferencesTightTolerance) {
+  GRU layer(3, 5);
+  Rng rng(10);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(2, 4, 3, rng, 0.6);
+  const Tensor3 target = random_tensor(2, 4, 5, rng, 0.5);
+  check_layer_gradients(layer, x, target, 1e-5, 1e-6);
+}
+
+TEST(GRU, ForwardMatchesScalarReferenceAtPaperScale) {
+  // Paper-scale shape (batch 32, units 40, 8 steps): the split z/r and
+  // candidate recurrent GEMMs must agree with a plain per-sample scalar
+  // recurrence to round-off.
+  constexpr std::size_t kB = 32, kT = 8, kIn = 5, kU = 40;
+  GRU layer(kIn, kU);
+  Rng rng(11);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(kB, kT, kIn, rng, 0.8);
+  const Tensor3* ptr = &x;
+  const Tensor3 y = layer.forward({&ptr, 1}, false);
+
+  const Matrix& wx = *layer.parameters()[0];
+  const Matrix& wh = *layer.parameters()[1];
+  const Matrix& b = *layer.parameters()[2];
+  std::vector<double> h(kU), a(3 * kU);
+  for (std::size_t bi = 0; bi < kB; ++bi) {
+    std::fill(h.begin(), h.end(), 0.0);
+    for (std::size_t t = 0; t < kT; ++t) {
+      // z and r see the raw previous state.
+      for (std::size_t j = 0; j < 2 * kU; ++j) {
+        double acc = b(0, j);
+        for (std::size_t i = 0; i < kIn; ++i) acc += x(bi, t, i) * wx(i, j);
+        for (std::size_t u = 0; u < kU; ++u) acc += h[u] * wh(u, j);
+        a[j] = 1.0 / (1.0 + std::exp(-acc));
+      }
+      // The candidate sees r .* h_{t-1}.
+      for (std::size_t j = 2 * kU; j < 3 * kU; ++j) {
+        double acc = b(0, j);
+        for (std::size_t i = 0; i < kIn; ++i) acc += x(bi, t, i) * wx(i, j);
+        for (std::size_t u = 0; u < kU; ++u) {
+          acc += a[kU + u] * h[u] * wh(u, j);
+        }
+        a[j] = std::tanh(acc);
+      }
+      for (std::size_t u = 0; u < kU; ++u) {
+        h[u] = (1.0 - a[u]) * h[u] + a[u] * a[2 * kU + u];
+        ASSERT_NEAR(y(bi, t, u), h[u], 1e-10)
+            << "b=" << bi << " t=" << t << " u=" << u;
+      }
+    }
+  }
 }
 
 TEST(GRU, RejectsBadShapes) {

@@ -2,6 +2,10 @@
 // between batches, and parameter accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "gradient_check.hpp"
 #include "nn/lstm.hpp"
 
@@ -119,6 +123,57 @@ TEST(LSTM, GradientMatchesFiniteDifferencesLongerSequence) {
   const Tensor3 x = random_tensor(1, 8, 3, rng, 0.6);
   const Tensor3 target = random_tensor(1, 8, 4, rng, 0.5);
   check_layer_gradients(layer, x, target, 1e-5, 3e-6);
+}
+
+TEST(LSTM, GradientMatchesFiniteDifferencesTightTolerance) {
+  // The batched-GEMM formulation must hold analytic gradients to 1e-6
+  // against central differences across both batch and time.
+  LSTM layer(3, 5);
+  Rng rng(9);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(2, 4, 3, rng, 0.6);
+  const Tensor3 target = random_tensor(2, 4, 5, rng, 0.5);
+  check_layer_gradients(layer, x, target, 1e-5, 1e-6);
+}
+
+TEST(LSTM, ForwardMatchesScalarReferenceAtPaperScale) {
+  // Paper-scale shape (batch 32, units 40, 8 steps): the whole-sequence
+  // input GEMM + per-step recurrent GEMM must agree with a plain
+  // per-sample scalar recurrence to round-off.
+  constexpr std::size_t kB = 32, kT = 8, kIn = 5, kU = 40;
+  LSTM layer(kIn, kU);
+  Rng rng(10);
+  layer.init_params(rng);
+  const Tensor3 x = random_tensor(kB, kT, kIn, rng, 0.8);
+  const Tensor3* ptr = &x;
+  const Tensor3 y = layer.forward({&ptr, 1}, false);
+
+  const Matrix& wx = *layer.parameters()[0];
+  const Matrix& wh = *layer.parameters()[1];
+  const Matrix& b = *layer.parameters()[2];
+  std::vector<double> h(kU), c(kU), z(4 * kU);
+  for (std::size_t bi = 0; bi < kB; ++bi) {
+    std::fill(h.begin(), h.end(), 0.0);
+    std::fill(c.begin(), c.end(), 0.0);
+    for (std::size_t t = 0; t < kT; ++t) {
+      for (std::size_t j = 0; j < 4 * kU; ++j) {
+        double acc = b(0, j);
+        for (std::size_t i = 0; i < kIn; ++i) acc += x(bi, t, i) * wx(i, j);
+        for (std::size_t u = 0; u < kU; ++u) acc += h[u] * wh(u, j);
+        z[j] = acc;
+      }
+      for (std::size_t u = 0; u < kU; ++u) {
+        const double ig = 1.0 / (1.0 + std::exp(-z[u]));
+        const double fg = 1.0 / (1.0 + std::exp(-z[kU + u]));
+        const double gg = std::tanh(z[2 * kU + u]);
+        const double og = 1.0 / (1.0 + std::exp(-z[3 * kU + u]));
+        c[u] = fg * c[u] + ig * gg;
+        h[u] = og * std::tanh(c[u]);
+        ASSERT_NEAR(y(bi, t, u), h[u], 1e-10)
+            << "b=" << bi << " t=" << t << " u=" << u;
+      }
+    }
+  }
 }
 
 TEST(LSTM, RejectsBadShapes) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "gradient_check.hpp"
+#include "hpc/parallel_for.hpp"
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
@@ -144,6 +145,23 @@ TEST(Trainer, LossDecreasesMonotonicallyOnAverage) {
           .fit(net, x, y, Tensor3{}, Tensor3{});
   EXPECT_LT(hist.train_loss.back(), 1e-3);
   EXPECT_TRUE(hist.val_r2.empty());
+}
+
+TEST(Trainer, KernelThreadsConfigPinsKernelPool) {
+  Rng rng(10);
+  const Tensor3 x = random_tensor(8, 3, 2, rng);
+  Tensor3 y = x;
+  GraphNetwork net;
+  net.add_node(std::make_unique<Dense>(2, 2), {GraphNetwork::input_id()});
+  net.init_params(11);
+  Trainer({.epochs = 1, .kernel_threads = 2})
+      .fit(net, x, y, Tensor3{}, Tensor3{});
+  EXPECT_EQ(hpc::kernel_threads(), 2u);
+  // 0 leaves the process-wide setting alone.
+  Trainer({.epochs = 1, .kernel_threads = 0})
+      .fit(net, x, y, Tensor3{}, Tensor3{});
+  EXPECT_EQ(hpc::kernel_threads(), 2u);
+  hpc::set_kernel_threads(0);  // restore the hardware default
 }
 
 TEST(Trainer, PredictMatchesForward) {
