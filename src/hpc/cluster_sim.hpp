@@ -20,6 +20,13 @@
 // Simulated time is wholly decoupled from wall time: a 3-hour, 512-node
 // campaign with tens of thousands of surrogate evaluations replays in
 // milliseconds, deterministically for a given seed.
+//
+// Thread-safety: each simulate_* call owns its entire event state
+// (queues, trackers, RNG, agents), so concurrent campaigns may run from
+// different threads as long as each has its own SearchMethod and the
+// shared evaluator advertises thread_safe(). Determinism is per-call:
+// a campaign's results depend only on its own config.seed, never on
+// what runs beside it.
 #pragma once
 
 #include <cstdint>

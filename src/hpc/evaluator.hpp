@@ -31,6 +31,11 @@ class ArchitectureEvaluator {
   [[nodiscard]] virtual EvalOutcome evaluate(
       const searchspace::Architecture& arch, std::uint64_t eval_seed) = 0;
 
+  /// A thread-safe evaluator may be shared by concurrent campaigns —
+  /// the parallel NAS driver and simultaneously running cluster
+  /// simulations all funnel through one instance (exercised under TSan
+  /// by tests/hpc_stress_test.cpp). Implementations returning true must
+  /// keep evaluate() free of unsynchronized mutable state.
   [[nodiscard]] virtual bool thread_safe() const { return false; }
 };
 

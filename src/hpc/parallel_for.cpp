@@ -38,16 +38,25 @@ std::size_t configured_threads_locked(KernelPoolState& s) {
 }
 
 /// Returns the pool to use for `participants` (creating it lazily), or
-/// nullptr when one participant suffices.
+/// nullptr when one participant suffices. A pool of the wrong size is
+/// retired and destroyed outside the state mutex: its shutdown joins
+/// worker threads, and that wait must not block concurrent
+/// kernel_threads()/set_kernel_threads callers.
 std::shared_ptr<ThreadPool> acquire_pool(std::size_t& participants) {
   KernelPoolState& s = state();
-  std::lock_guard lock(s.mutex);
-  participants = configured_threads_locked(s);
-  if (participants <= 1) return nullptr;
-  if (!s.pool || s.pool->size() != participants - 1) {
-    s.pool = std::make_shared<ThreadPool>(participants - 1);
+  std::shared_ptr<ThreadPool> retired;
+  std::shared_ptr<ThreadPool> pool;
+  {
+    std::lock_guard lock(s.mutex);
+    participants = configured_threads_locked(s);
+    if (participants <= 1) return nullptr;
+    if (!s.pool || s.pool->size() != participants - 1) {
+      retired = std::move(s.pool);
+      s.pool = std::make_shared<ThreadPool>(participants - 1);
+    }
+    pool = s.pool;
   }
-  return s.pool;
+  return pool;  // `retired` (if any) joins here, lock released
 }
 
 }  // namespace
@@ -60,9 +69,16 @@ std::size_t kernel_threads() noexcept {
 
 void set_kernel_threads(std::size_t threads) {
   KernelPoolState& s = state();
-  std::lock_guard lock(s.mutex);
-  s.configured = threads;
-  s.pool.reset();  // joined here; recreated lazily at the next dispatch
+  std::shared_ptr<ThreadPool> retired;
+  {
+    std::lock_guard lock(s.mutex);
+    s.configured = threads;
+    retired = std::move(s.pool);  // recreated lazily at the next dispatch
+  }
+  // The retired pool is destroyed (and its workers joined) here, outside
+  // the state mutex. Kernels already dispatched keep a shared_ptr to it,
+  // so they finish on the old pool; whoever drops the last reference
+  // performs the join.
 }
 
 void parallel_for(std::size_t begin, std::size_t end, double cost_flops,

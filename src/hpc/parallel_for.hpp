@@ -33,9 +33,12 @@ inline constexpr double kParallelMinFlops = 1.0e6;
 [[nodiscard]] std::size_t kernel_threads() noexcept;
 
 /// Reconfigures the kernel pool to `threads` participants (0 restores
-/// the hardware default). Existing workers are joined; the new pool is
-/// created lazily on the next over-threshold parallel_for. Not safe to
-/// call concurrently with running kernels.
+/// the hardware default). The current pool is retired and a new one is
+/// created lazily on the next over-threshold parallel_for. Safe to call
+/// concurrently with running kernels and with other reconfigurations:
+/// kernels already dispatched hold a reference to the retired pool and
+/// finish on it; the last reference released performs the join, outside
+/// the configuration lock.
 void set_kernel_threads(std::size_t threads);
 
 /// Runs body(lo, hi) over a partition of [begin, end).

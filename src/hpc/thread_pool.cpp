@@ -35,7 +35,16 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // submit() routes tasks through std::packaged_task, which stores
+      // exceptions in the future instead of throwing here; this catch is
+      // the backstop for any directly-enqueued task. Letting an exception
+      // escape the thread function would std::terminate the whole
+      // process and the destructor could never join — the error belongs
+      // to whoever owns the task's result, so keep the worker alive.
+    }
   }
 }
 

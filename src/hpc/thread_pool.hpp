@@ -20,6 +20,12 @@
 namespace geonas::hpc {
 
 /// Fixed-size pool executing submitted tasks FIFO.
+///
+/// Shutdown contract: the destructor drains the queue and joins every
+/// worker, even when tasks threw — submit() stores task exceptions in
+/// the returned future, and the worker loop additionally refuses to let
+/// any exception escape the thread function (which would terminate the
+/// process and make the join unreachable).
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);

@@ -1,0 +1,123 @@
+// Enforces the kernel layer's determinism contract (DESIGN.md "Kernel
+// layer"): the parallel_for M-split assigns every output element to
+// exactly one task with a fixed k-summation order, so GEMM and the
+// batched-GEMM recurrent layers must produce bitwise-identical results
+// at every kernel thread count — not merely close ones. A tolerance
+// here would hide partition bugs that silently perturb NAS rewards.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "hpc/parallel_for.hpp"
+#include "nn/lstm.hpp"
+#include "tensor/blas.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas {
+namespace {
+
+/// Thread counts the rig pins: serial, minimal split, and an
+/// oversubscribed pool (8 participants regardless of core count).
+constexpr std::array<std::size_t, 3> kThreadCounts{1, 2, 8};
+
+/// Restores the hardware-default kernel pool on scope exit so a failing
+/// assertion cannot leak a pinned thread count into later tests.
+struct KernelThreadsGuard {
+  explicit KernelThreadsGuard(std::size_t threads) {
+    hpc::set_kernel_threads(threads);
+  }
+  ~KernelThreadsGuard() { hpc::set_kernel_threads(0); }
+};
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(Determinism, GemmBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(2026);
+  // 2 * 180 * 96 * 80 = 2.8 MFLOP: comfortably above kParallelMinFlops,
+  // so thread counts > 1 genuinely split the M dimension.
+  const Matrix a = random_matrix(180, 80, rng);
+  const Matrix b = random_matrix(80, 96, rng);
+  const Matrix c_seed = random_matrix(180, 96, rng);
+
+  Matrix product_ref, accum_ref;
+  {
+    KernelThreadsGuard guard(1);
+    product_ref = matmul(a, b);
+    accum_ref = c_seed;
+    gemm(a, b, accum_ref, 0.75, -0.5);
+  }
+
+  for (const std::size_t threads : kThreadCounts) {
+    KernelThreadsGuard guard(threads);
+    SCOPED_TRACE(::testing::Message() << "kernel_threads=" << threads);
+    const Matrix product = matmul(a, b);
+    ASSERT_EQ(product, product_ref);
+    Matrix accum = c_seed;
+    gemm(a, b, accum, 0.75, -0.5);
+    ASSERT_EQ(accum, accum_ref);
+  }
+}
+
+struct LstmPass {
+  Tensor3 output;
+  Tensor3 dx;
+  std::vector<Matrix> weight_grads;
+
+  bool operator==(const LstmPass& other) const = default;
+};
+
+/// One full forward+backward through a fresh, deterministically
+/// initialized LSTM at the given kernel thread count. in=32, units=64,
+/// T=12, B=16 puts the whole-sequence input-projection GEMM
+/// (192 x 32) x (32 x 256) = 3.1 MFLOP over the parallel threshold, so
+/// the slab GEMMs of both passes exercise the thread split.
+LstmPass run_lstm_pass(std::size_t threads) {
+  KernelThreadsGuard guard(threads);
+  constexpr std::size_t kIn = 32, kUnits = 64, kT = 12, kB = 16;
+
+  nn::LSTM lstm(kIn, kUnits);
+  Rng wrng(7);
+  lstm.init_params(wrng);
+
+  Tensor3 x(kB, kT, kIn);
+  Rng xrng(9);
+  for (std::size_t i = 0; i < kB; ++i) {
+    for (double& v : x.block(i)) v = xrng.uniform(-1.0, 1.0);
+  }
+  const Tensor3* input = &x;
+  LstmPass pass;
+  pass.output = lstm.forward(std::span<const Tensor3* const>(&input, 1),
+                             /*training=*/true);
+
+  Tensor3 grad(kB, kT, kUnits);
+  Rng grng(11);
+  for (std::size_t i = 0; i < kB; ++i) {
+    for (double& v : grad.block(i)) v = grng.uniform(-1.0, 1.0);
+  }
+  auto input_grads = lstm.backward(grad);
+  pass.dx = std::move(input_grads.at(0));
+  for (Matrix* g : lstm.gradients()) pass.weight_grads.push_back(*g);
+  return pass;
+}
+
+TEST(Determinism, LstmTrainStepBitwiseIdenticalAcrossThreadCounts) {
+  const LstmPass reference = run_lstm_pass(1);
+  ASSERT_EQ(reference.output.dim0(), 16u);
+  ASSERT_FALSE(reference.weight_grads.empty());
+  for (const std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "kernel_threads=" << threads);
+    const LstmPass pass = run_lstm_pass(threads);
+    ASSERT_EQ(pass.output, reference.output);
+    ASSERT_EQ(pass.dx, reference.dx);
+    ASSERT_EQ(pass.weight_grads, reference.weight_grads);
+  }
+}
+
+}  // namespace
+}  // namespace geonas

@@ -1,0 +1,287 @@
+// TSan-targeted stress tests for the concurrent evaluation stack
+// (DESIGN.md "Correctness tooling"): the shared kernel ThreadPool,
+// parallel_for reconfiguration under fire, the parallel local NAS
+// driver, threaded multi-agent PPO over the MPI-style collectives, and
+// concurrent cluster-simulator campaigns sharing one evaluator. These
+// run in every flavor, but their purpose is the TSan preset — each test
+// creates genuine cross-thread contention on the exact structures a
+// scaled NAS campaign leans on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "core/nas_driver.hpp"
+#include "core/surrogate.hpp"
+#include "hpc/cluster_sim.hpp"
+#include "hpc/parallel_for.hpp"
+#include "hpc/theta.hpp"
+#include "hpc/thread_pool.hpp"
+#include "search/aging_evolution.hpp"
+#include "search/ppo.hpp"
+#include "search/random_search.hpp"
+#include "searchspace/space.hpp"
+
+namespace geonas {
+namespace {
+
+// Sanitizer runtimes are 5-20x slower; shrink iteration counts there so
+// the instrumented suite stays in CI budget (coverage per iteration is
+// identical, the races TSan hunts are per-operation, not per-volume).
+#if defined(GEONAS_SANITIZE_BUILD)
+constexpr std::size_t kScale = 1;
+#else
+constexpr std::size_t kScale = 4;
+#endif
+
+struct KernelThreadsGuard {
+  explicit KernelThreadsGuard(std::size_t threads) {
+    hpc::set_kernel_threads(threads);
+  }
+  ~KernelThreadsGuard() { hpc::set_kernel_threads(0); }
+};
+
+constexpr double kAboveThreshold = 2.0 * hpc::kParallelMinFlops;
+
+TEST(ThreadPoolStress, ConcurrentProducersAllTasksRun) {
+  constexpr std::size_t kProducers = 4;
+  const std::size_t tasks_per_producer = 100 * kScale;
+  hpc::ThreadPool pool(3);
+  std::atomic<std::size_t> executed{0};
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<std::size_t>>> futures(kProducers);
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      futures[p].reserve(tasks_per_producer);
+      for (std::size_t i = 0; i < tasks_per_producer; ++i) {
+        futures[p].push_back(pool.submit([&executed, p, i] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return p * 1000 + i;
+        }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t i = 0; i < futures[p].size(); ++i) {
+      EXPECT_EQ(futures[p][i].get(), p * 1000 + i);
+    }
+  }
+  EXPECT_EQ(executed.load(), kProducers * tasks_per_producer);
+}
+
+TEST(ThreadPoolStress, DestructorJoinsWithThrownTasksAndDroppedFutures) {
+  std::future<void> kept;
+  {
+    hpc::ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      // Futures intentionally discarded: the stored exceptions must not
+      // affect shutdown.
+      (void)pool.submit([] { throw std::runtime_error("task boom"); });
+    }
+    kept = pool.submit([] { throw std::runtime_error("kept boom"); });
+    // Pool destructor runs here with throwing tasks possibly still
+    // queued; it must drain and join without terminating.
+  }
+  EXPECT_THROW(kept.get(), std::runtime_error);
+}
+
+TEST(ParallelForStress, ReconfigureConcurrentWithRunningKernels) {
+  // One thread cycles set_kernel_threads through pool sizes (retiring
+  // and recreating the shared pool) while two compute threads keep
+  // over-threshold parallel_for loops in flight. Every loop must still
+  // cover its range exactly once, whichever pool generation it lands on.
+  const std::size_t reconfigs = 60 * kScale;
+  std::atomic<bool> done{false};
+  std::thread reconfigurer([&] {
+    std::size_t k = 2;
+    for (std::size_t i = 0; i < reconfigs; ++i) {
+      hpc::set_kernel_threads(k);
+      k = (k % 4) + 2;  // 2, 3, 4, 5, 2, ...
+    }
+    done.store(true);
+  });
+
+  auto compute = [&](std::size_t salt, std::atomic<bool>& failed) {
+    constexpr std::size_t kN = 991;
+    while (!done.load()) {
+      std::vector<int> visits(kN, 0);
+      hpc::parallel_for(0, kN, kAboveThreshold, 1 + salt,
+                        [&visits](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+                        });
+      for (std::size_t i = 0; i < kN; ++i) {
+        if (visits[i] != 1) failed.store(true);
+      }
+    }
+  };
+  std::atomic<bool> failed_a{false}, failed_b{false};
+  std::thread worker_a(compute, 0, std::ref(failed_a));
+  std::thread worker_b(compute, 2, std::ref(failed_b));
+  reconfigurer.join();
+  worker_a.join();
+  worker_b.join();
+  hpc::set_kernel_threads(0);
+  EXPECT_FALSE(failed_a.load());
+  EXPECT_FALSE(failed_b.load());
+}
+
+TEST(ParallelForStress, NestedDispatchFromConcurrentCallers) {
+  KernelThreadsGuard guard(3);
+  constexpr std::size_t kCallers = 3, kOuter = 6, kInner = 128;
+  const std::size_t rounds = 10 * kScale;
+  std::vector<std::thread> callers;
+  std::atomic<std::size_t> total{0};
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        hpc::parallel_for(
+            0, kOuter, kAboveThreshold, 1,
+            [&total](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                hpc::parallel_for(0, kInner, kAboveThreshold, 1,
+                                  [&total](std::size_t ilo, std::size_t ihi) {
+                                    total.fetch_add(
+                                        ihi - ilo,
+                                        std::memory_order_relaxed);
+                                  });
+              }
+            });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * rounds * kOuter * kInner);
+}
+
+TEST(NasDriverStress, ParallelLocalSearchSharedEvaluator) {
+  const searchspace::StackedLSTMSpace space;
+  core::SurrogateEvaluator evaluator(space);
+  ASSERT_TRUE(evaluator.thread_safe());
+  search::AgingEvolution method(
+      space, {.population_size = 20, .sample_size = 5, .seed = 5});
+  const std::size_t evaluations = 60 * kScale;
+  const auto result =
+      core::run_local_search_parallel(method, evaluator, evaluations,
+                                      /*workers=*/8, /*seed=*/3);
+  EXPECT_EQ(result.history.size(), evaluations);
+  EXPECT_GT(result.best_reward, 0.0);
+  EXPECT_LT(result.best_reward, 1.0);
+  for (const auto& e : result.history) {
+    EXPECT_TRUE(std::isfinite(e.reward));
+    EXPECT_GT(e.params, 0u);
+  }
+}
+
+TEST(PPOStress, ThreadedAgentsStayBitwiseIdentical) {
+  // The real-threads analogue of the paper's 11-agent synchronous RL:
+  // each thread owns a PPOAgent, gathers its own batch against a shared
+  // thread-safe evaluator, and the agents all-reduce gradients through
+  // hpc::AllReduceMean with a Barrier separating rounds. The paper's
+  // invariant — agent policies stay bitwise identical because they all
+  // start uniform and apply the same averaged gradient — must survive
+  // genuine concurrency.
+  const searchspace::StackedLSTMSpace space;
+  core::SurrogateEvaluator evaluator(space);
+  constexpr std::size_t kAgents = 4, kBatch = 5;
+  const std::size_t rounds = 2 * kScale;
+
+  hpc::AllReduceMean allreduce(kAgents);
+  hpc::Barrier round_barrier(kAgents);
+  std::vector<std::vector<Matrix>> final_logits(kAgents);
+  std::vector<std::thread> threads;
+  threads.reserve(kAgents);
+  for (std::size_t a = 0; a < kAgents; ++a) {
+    threads.emplace_back([&, a] {
+      search::PPOAgent agent(space, search::PPOConfig{}, a);
+      for (std::size_t r = 0; r < rounds; ++r) {
+        std::vector<search::PPOAgent::Sample> batch;
+        batch.reserve(kBatch);
+        for (std::size_t b = 0; b < kBatch; ++b) {
+          auto arch = agent.ask();
+          const auto outcome = evaluator.evaluate(
+              arch, a * 1000 + r * 100 + b);
+          batch.push_back({std::move(arch), outcome.reward});
+        }
+        auto grads = agent.compute_gradient(batch);
+        // Flatten for the collective, reduce, unflatten, step.
+        std::vector<double> flat;
+        for (const Matrix& g : grads) {
+          flat.insert(flat.end(), g.flat().begin(), g.flat().end());
+        }
+        allreduce.reduce(flat);
+        std::size_t off = 0;
+        for (Matrix& g : grads) {
+          std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                    flat.begin() + static_cast<std::ptrdiff_t>(off + g.size()),
+                    g.flat().begin());
+          off += g.size();
+        }
+        agent.apply_gradient(grads);
+        round_barrier.arrive();
+      }
+      final_logits[a] = agent.logits();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t a = 1; a < kAgents; ++a) {
+    ASSERT_EQ(final_logits[a].size(), final_logits[0].size());
+    for (std::size_t g = 0; g < final_logits[0].size(); ++g) {
+      ASSERT_EQ(final_logits[a][g], final_logits[0][g])
+          << "agent " << a << " diverged at gene " << g;
+    }
+  }
+}
+
+TEST(ClusterSimStress, ConcurrentCampaignsShareEvaluator) {
+  // Two asynchronous and one synchronous-RL simulated campaign run
+  // concurrently against one shared thread-safe SurrogateEvaluator —
+  // the pattern a sharded evaluation service will use. Each simulator
+  // instance owns its own event state; only the evaluator is shared.
+  const searchspace::StackedLSTMSpace space;
+  core::SurrogateEvaluator evaluator(space);
+
+  hpc::ClusterConfig async_cfg;
+  async_cfg.nodes = 8;
+  async_cfg.wall_time_seconds = 1500.0 * static_cast<double>(kScale);
+
+  hpc::ClusterConfig rl_cfg;
+  rl_cfg.nodes = 24;  // rl_partition: 11 agents + 11 workers + 2 idle
+  rl_cfg.wall_time_seconds = 1500.0 * static_cast<double>(kScale);
+
+  hpc::SimResult async_a, async_b, rl;
+  std::thread ta([&] {
+    search::RandomSearch rs(space, 11);
+    const auto part = hpc::async_partition(async_cfg.nodes);
+    EXPECT_EQ(part.workers, async_cfg.nodes);
+    async_a = hpc::simulate_async(rs, evaluator, async_cfg);
+  });
+  std::thread tb([&] {
+    search::AgingEvolution ae(space,
+                              {.population_size = 10, .sample_size = 3});
+    async_b = hpc::simulate_async(ae, evaluator, async_cfg);
+  });
+  std::thread tc([&] {
+    const auto part = hpc::rl_partition(rl_cfg.nodes);
+    EXPECT_EQ(part.agents, hpc::kRLAgents);
+    rl = hpc::simulate_rl(space, search::PPOConfig{}, evaluator, rl_cfg);
+  });
+  ta.join();
+  tb.join();
+  tc.join();
+
+  for (const auto* r : {&async_a, &async_b, &rl}) {
+    EXPECT_GT(r->num_evaluations(), 0u);
+    EXPECT_GE(r->utilization, 0.0);
+    EXPECT_LE(r->utilization, 1.0);
+  }
+  EXPECT_GE(rl.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace geonas

@@ -21,7 +21,8 @@ Matrix synthetic_snapshots(std::size_t nh, std::size_t ns, std::size_t rank,
   for (std::size_t k = 0; k < rank; ++k) {
     const double scale = std::pow(2.0, static_cast<double>(rank - k));
     for (std::size_t j = 0; j < ns; ++j) {
-      v(k, j) = scale * std::sin(0.1 * static_cast<double>((k + 1) * j) + k);
+      v(k, j) = scale * std::sin(0.1 * static_cast<double>((k + 1) * j) +
+                                 static_cast<double>(k));
     }
   }
   Matrix s = matmul(u, v);

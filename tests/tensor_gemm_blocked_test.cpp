@@ -127,6 +127,7 @@ TEST(BlockedGemm, StridedSubmatrixUpdateLeavesNeighborsUntouched) {
     for (std::size_t j = 0; j < ldc; ++j) {
       const double got = c_buf[i * ldc + j];
       if (j < col0 || j >= col0 + n) {
+        // geonas-lint: allow(float-eq-in-tests) sentinel must be bitwise untouched
         ASSERT_EQ(got, 123.5) << "sentinel overwritten at " << i << "," << j;
       } else {
         double acc = 0.0;

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Correctness gate for geonas (see DESIGN.md "Correctness tooling").
+#
+#   tools/run_checks.sh            full rig: lint, ASan+UBSan ctest,
+#                                  TSan ctest, release build + clang-tidy
+#   tools/run_checks.sh --quick    pre-merge gate: lint + ASan+UBSan
+#                                  tier-1 suite only
+#
+# Each sanitizer flavor is a CMake preset (CMakePresets.json) building
+# into build-<preset>/ so flavors never share object files. clang-tidy
+# is skipped with a notice when the binary is not installed (the config
+# in .clang-tidy still gates environments that have it).
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+quick=0
+jobs="$(nproc 2>/dev/null || echo 2)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --jobs) jobs="$2"; shift ;;
+    -h|--help) sed -n '2,12p' "$0"; exit 0 ;;
+    *) echo "run_checks: unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+failures=()
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+run_flavor() {
+  local preset="$1"
+  step "configure+build [$preset]"
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$jobs"
+  step "ctest [$preset]"
+  if ! ctest --preset "$preset" -j "$jobs"; then
+    failures+=("ctest:$preset")
+  fi
+}
+
+step "geonas_lint"
+if ! python3 tools/geonas_lint.py; then
+  failures+=(geonas_lint)
+fi
+
+run_flavor asan
+
+if [[ $quick -eq 0 ]]; then
+  run_flavor tsan
+
+  step "configure+build [release] (clang-tidy compilation database)"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs"
+
+  step "clang-tidy"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      if ! run-clang-tidy -quiet -p build-release "${tidy_sources[@]}"; then
+        failures+=(clang-tidy)
+      fi
+    else
+      tidy_rc=0
+      for f in "${tidy_sources[@]}"; do
+        clang-tidy --quiet -p build-release "$f" || tidy_rc=1
+      done
+      [[ $tidy_rc -eq 0 ]] || failures+=(clang-tidy)
+    fi
+  else
+    echo "clang-tidy not installed; skipping static analysis" \
+         "(config: .clang-tidy)"
+  fi
+fi
+
+step "summary"
+if [[ ${#failures[@]} -gt 0 ]]; then
+  echo "FAILED: ${failures[*]}"
+  exit 1
+fi
+echo "all checks passed ($([[ $quick -eq 1 ]] && echo quick || echo full) rig)"
