@@ -1,0 +1,63 @@
+#include "core/eval_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/random.hpp"
+
+namespace geonas::core {
+
+RetryingEvaluator::RetryingEvaluator(hpc::ArchitectureEvaluator& inner,
+                                     EvalRetryPolicy policy)
+    : inner_(&inner), policy_(policy) {
+  if (policy_.max_attempts == 0) {
+    throw std::invalid_argument("RetryingEvaluator: zero attempts");
+  }
+}
+
+hpc::EvalOutcome RetryingEvaluator::evaluate(
+    const searchspace::Architecture& arch, std::uint64_t eval_seed) {
+  double wasted_seconds = 0.0;  // node time burned by failed attempts
+  std::size_t params = 0;
+  for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    // Attempt 0 keeps the caller's seed so a policy with retries enabled
+    // is bitwise-identical to one without as long as nothing fails.
+    const std::uint64_t seed =
+        attempt == 0 ? eval_seed : hash_combine(eval_seed, attempt);
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      wasted_seconds += policy_.backoff_seconds *
+                        std::pow(2.0, static_cast<double>(attempt - 1));
+    }
+    bool attempt_failed = false;
+    hpc::EvalOutcome outcome;
+    try {
+      outcome = inner_->evaluate(arch, seed);
+      params = outcome.params;
+      if (!std::isfinite(outcome.reward)) {
+        attempt_failed = true;  // diverged training
+        wasted_seconds += std::max(0.0, outcome.duration_seconds);
+      } else if (policy_.timeout_seconds > 0.0 &&
+                 outcome.duration_seconds > policy_.timeout_seconds) {
+        attempt_failed = true;  // straggler: cut at the timeout
+        wasted_seconds += policy_.timeout_seconds;
+      }
+    } catch (const std::exception&) {
+      attempt_failed = true;  // crashed evaluation; duration unknown
+    }
+    if (!attempt_failed) {
+      outcome.duration_seconds += wasted_seconds;
+      return outcome;
+    }
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  hpc::EvalOutcome failed;
+  failed.reward = policy_.failure_reward;
+  failed.duration_seconds = wasted_seconds;
+  failed.params = params;
+  failed.failed = true;
+  return failed;
+}
+
+}  // namespace geonas::core

@@ -1,0 +1,71 @@
+// Evaluation fault policy: retry-with-backoff and per-evaluation timeout.
+//
+// On a real cluster an evaluation can throw (a bad architecture build, a
+// worker dying mid-training), diverge (NaN reward), or straggle. The
+// paper's asynchronous design tolerates all three by construction — a
+// lost evaluation is just one worker slot — and the local drivers get the
+// same behaviour through this wrapper: a failing evaluation is retried
+// with a reseeded training (fresh initialization draws a different basin)
+// up to `max_attempts` times, each retry adding an exponentially growing
+// backoff to the accounted duration; if every attempt fails, a sentinel
+// failed outcome is reported instead of aborting the whole campaign.
+//
+// Timeouts are enforced post-hoc on the reported duration (a training
+// cannot be preempted mid-flight from this layer): an attempt whose
+// duration exceeds `timeout_seconds` is discarded as a straggler and the
+// node is accounted busy for exactly the timeout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "hpc/evaluator.hpp"
+
+namespace geonas::core {
+
+struct EvalRetryPolicy {
+  /// Total attempts per evaluation (1 = fail fast, no retry).
+  std::size_t max_attempts = 1;
+  /// Attempts whose duration exceeds this are discarded (0 = no timeout).
+  double timeout_seconds = 0.0;
+  /// Accounted delay before retry r (1-based): backoff * 2^(r-1) seconds.
+  double backoff_seconds = 5.0;
+  /// Reward reported when every attempt fails. Low enough to never win a
+  /// tournament, finite so search statistics stay well-defined.
+  double failure_reward = -1.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_attempts > 1 || timeout_seconds > 0.0;
+  }
+};
+
+/// Wraps any evaluator with the retry/timeout policy. Thread-safe iff the
+/// inner evaluator is (counters are atomic).
+class RetryingEvaluator final : public hpc::ArchitectureEvaluator {
+ public:
+  RetryingEvaluator(hpc::ArchitectureEvaluator& inner,
+                    EvalRetryPolicy policy);
+
+  /// Never throws on evaluation failure; returns the sentinel outcome
+  /// (reward = policy.failure_reward, failed = true) after the last
+  /// attempt. Retries are reseeded via hash_combine(eval_seed, attempt).
+  [[nodiscard]] hpc::EvalOutcome evaluate(
+      const searchspace::Architecture& arch, std::uint64_t eval_seed) override;
+  [[nodiscard]] bool thread_safe() const override {
+    return inner_->thread_safe();
+  }
+
+  [[nodiscard]] std::size_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::size_t failures() const noexcept { return failures_; }
+  [[nodiscard]] const EvalRetryPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  hpc::ArchitectureEvaluator* inner_;
+  EvalRetryPolicy policy_;
+  std::atomic<std::size_t> retries_{0};
+  std::atomic<std::size_t> failures_{0};
+};
+
+}  // namespace geonas::core

@@ -1,5 +1,7 @@
 #include "core/nas_driver.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 
@@ -7,28 +9,167 @@
 
 namespace geonas::core {
 
+namespace {
+
+constexpr const char* kCheckpointMagic = "GEONASC1";
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// The retry policy wraps the evaluator transparently; with the policy
+/// disabled the raw evaluator is used and behaviour is unchanged.
+struct PolicyWrap {
+  hpc::ArchitectureEvaluator* active;
+  RetryingEvaluator* retrying = nullptr;
+
+  PolicyWrap(hpc::ArchitectureEvaluator& inner, const EvalRetryPolicy& policy,
+             RetryingEvaluator& storage)
+      : active(&inner) {
+    if (policy.enabled()) {
+      retrying = &storage;
+      active = retrying;
+    }
+  }
+  void harvest(LocalSearchResult& result) const {
+    if (retrying != nullptr) {
+      result.eval_retries = retrying->retries();
+      result.eval_failures = retrying->failures();
+    }
+  }
+};
+
+void record_outcome(LocalSearchResult& result, searchspace::Architecture arch,
+                    const hpc::EvalOutcome& outcome) {
+  if (outcome.reward > result.best_reward || result.history.empty()) {
+    result.best_reward = outcome.reward;
+    result.best = arch;
+  }
+  result.history.push_back({std::move(arch), outcome.reward, outcome.params});
+}
+
+}  // namespace
+
+void save_search_checkpoint(const search::SearchMethod& method,
+                            const LocalSearchResult& state,
+                            std::uint64_t seed, const std::string& path) {
+  if (!method.checkpointable()) {
+    throw std::invalid_argument("save_search_checkpoint: method '" +
+                                method.name() + "' is not checkpointable");
+  }
+  // Write-then-rename so a crash mid-write never clobbers the previous
+  // good checkpoint.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("save_search_checkpoint: cannot open " + tmp);
+    }
+    io::BinaryWriter writer(os, kCheckpointMagic, kCheckpointVersion);
+    writer.str(method.name());
+    writer.u64(seed);
+    writer.u64(state.history.size());
+    for (const LocalEval& eval : state.history) {
+      search::write_architecture(writer, eval.arch);
+      writer.f64(eval.reward);
+      writer.u64(eval.params);
+    }
+    search::write_architecture(writer, state.best);
+    writer.f64(state.best_reward);
+    writer.u64(state.eval_retries);
+    writer.u64(state.eval_failures);
+    method.save(writer);
+    writer.finish();
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("save_search_checkpoint: cannot rename " + tmp +
+                             " to " + path);
+  }
+}
+
+std::size_t load_search_checkpoint(search::SearchMethod& method,
+                                   LocalSearchResult& state,
+                                   std::uint64_t expected_seed,
+                                   const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("load_search_checkpoint: cannot open " + path);
+  }
+  io::BinaryReader reader(is, kCheckpointMagic, kCheckpointVersion,
+                          kCheckpointVersion);
+  const std::string name = reader.str("method name", 64);
+  if (name != method.name()) {
+    throw std::runtime_error("load_search_checkpoint: checkpoint is for '" +
+                             name + "', resuming method is '" +
+                             method.name() + "'");
+  }
+  const std::uint64_t seed = reader.u64("campaign seed");
+  if (seed != expected_seed) {
+    throw std::runtime_error(
+        "load_search_checkpoint: campaign seed mismatch (checkpoint " +
+        std::to_string(seed) + ", requested " +
+        std::to_string(expected_seed) +
+        ") — resuming under a different seed would fork the trajectory");
+  }
+  const std::uint64_t completed = reader.u64("completed evaluations");
+  if (completed > (1ULL << 32)) {
+    throw std::runtime_error(
+        "load_search_checkpoint: implausible completed-evaluation count");
+  }
+  LocalSearchResult loaded;
+  loaded.history.reserve(static_cast<std::size_t>(completed));
+  for (std::uint64_t i = 0; i < completed; ++i) {
+    LocalEval eval;
+    eval.arch = search::read_architecture(reader);
+    eval.reward = reader.f64("history reward");
+    eval.params = reader.u64("history params");
+    loaded.history.push_back(std::move(eval));
+  }
+  loaded.best = search::read_architecture(reader);
+  loaded.best_reward = reader.f64("best reward");
+  loaded.eval_retries = reader.u64("retry count");
+  loaded.eval_failures = reader.u64("failure count");
+  method.load(reader);
+  reader.finish();  // CRC over everything consumed
+  state = std::move(loaded);
+  return state.history.size();
+}
+
 LocalSearchResult run_local_search(search::SearchMethod& method,
                                    hpc::ArchitectureEvaluator& evaluator,
                                    std::size_t evaluations,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   const SearchRunOptions& options) {
+  RetryingEvaluator retrying(evaluator, options.retry);
+  const PolicyWrap wrap(evaluator, options.retry, retrying);
+
   LocalSearchResult result;
   result.best_reward = -1e300;
-  for (std::size_t i = 0; i < evaluations; ++i) {
+  std::size_t start = 0;
+  if (options.resume) {
+    start = load_search_checkpoint(method, result, seed,
+                                   options.checkpoint_path);
+  }
+
+  for (std::size_t i = start; i < evaluations; ++i) {
     searchspace::Architecture arch = method.ask();
-    const auto outcome = evaluator.evaluate(arch, hash_combine(seed, i));
+    const auto outcome = wrap.active->evaluate(arch, hash_combine(seed, i));
     method.tell(arch, outcome.reward);
-    if (outcome.reward > result.best_reward) {
-      result.best_reward = outcome.reward;
-      result.best = arch;
+    record_outcome(result, std::move(arch), outcome);
+    wrap.harvest(result);
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        result.history.size() % options.checkpoint_every == 0) {
+      save_search_checkpoint(method, result, seed, options.checkpoint_path);
     }
-    result.history.push_back({std::move(arch), outcome.reward, outcome.params});
+  }
+  wrap.harvest(result);
+  if (!options.checkpoint_path.empty()) {
+    save_search_checkpoint(method, result, seed, options.checkpoint_path);
   }
   return result;
 }
 
 LocalSearchResult run_local_search_parallel(
     search::SearchMethod& method, hpc::ArchitectureEvaluator& evaluator,
-    std::size_t evaluations, std::size_t workers, std::uint64_t seed) {
+    std::size_t evaluations, std::size_t workers, std::uint64_t seed,
+    const SearchRunOptions& options) {
   if (!evaluator.thread_safe()) {
     throw std::invalid_argument(
         "run_local_search_parallel: evaluator is not thread-safe");
@@ -36,12 +177,18 @@ LocalSearchResult run_local_search_parallel(
   if (workers == 0) {
     throw std::invalid_argument("run_local_search_parallel: zero workers");
   }
+  RetryingEvaluator retrying(evaluator, options.retry);
+  const PolicyWrap wrap(evaluator, options.retry, retrying);
 
   LocalSearchResult result;
   result.best_reward = -1e300;
   std::mutex method_mutex;   // serializes ask/tell (the "coordinator")
   std::mutex result_mutex;
   std::size_t issued = 0;
+  if (options.resume) {
+    issued = load_search_checkpoint(method, result, seed,
+                                    options.checkpoint_path);
+  }
 
   hpc::ThreadPool pool(workers);
   std::vector<std::future<void>> futures;
@@ -57,22 +204,27 @@ LocalSearchResult run_local_search_parallel(
           eval_seed = hash_combine(seed, issued++);
           arch = method.ask();
         }
-        const auto outcome = evaluator.evaluate(arch, eval_seed);
-        {
-          std::lock_guard lock(method_mutex);
-          method.tell(arch, outcome.reward);
+        const auto outcome = wrap.active->evaluate(arch, eval_seed);
+        // Lock order is always method -> result (tell and checkpoint
+        // both honor it), so the pair can never deadlock.
+        std::scoped_lock locks(method_mutex, result_mutex);
+        method.tell(arch, outcome.reward);
+        record_outcome(result, std::move(arch), outcome);
+        wrap.harvest(result);
+        if (!options.checkpoint_path.empty() &&
+            options.checkpoint_every > 0 &&
+            result.history.size() % options.checkpoint_every == 0) {
+          save_search_checkpoint(method, result, seed,
+                                 options.checkpoint_path);
         }
-        std::lock_guard lock(result_mutex);
-        if (outcome.reward > result.best_reward) {
-          result.best_reward = outcome.reward;
-          result.best = arch;
-        }
-        result.history.push_back({std::move(arch), outcome.reward,
-                                  outcome.params});
       }
     }));
   }
   for (auto& f : futures) f.get();
+  wrap.harvest(result);
+  if (!options.checkpoint_path.empty()) {
+    save_search_checkpoint(method, result, seed, options.checkpoint_path);
+  }
   return result;
 }
 

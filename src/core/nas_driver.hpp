@@ -5,11 +5,22 @@
 // thread behaves like an asynchronous Theta worker (ask -> evaluate ->
 // tell). Used by the examples and by benches that need "the best
 // architecture AE found" before post-training.
+//
+// Campaigns are fault-tolerant and resumable: a SearchRunOptions can
+// attach a retry/timeout policy (failing evaluations are retried with a
+// reseeded training instead of aborting the run) and a checkpoint file
+// that is atomically rewritten every N completed evaluations. Resuming a
+// serial campaign from a checkpoint replays the uninterrupted run
+// bitwise — the checkpoint stores the search method's complete state
+// (RNG streams included), the evaluation history, and the campaign seed,
+// and per-evaluation seeds are derived from the global completion index.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/eval_policy.hpp"
 #include "hpc/evaluator.hpp"
 #include "hpc/thread_pool.hpp"
 #include "search/search_method.hpp"
@@ -26,18 +37,56 @@ struct LocalSearchResult {
   std::vector<LocalEval> history;  // completion order
   searchspace::Architecture best;
   double best_reward = 0.0;
+  /// Fault-policy accounting (0 unless a retry policy was enabled).
+  std::size_t eval_retries = 0;
+  std::size_t eval_failures = 0;
+};
+
+struct SearchRunOptions {
+  /// Retry/timeout policy applied around the evaluator (default: off —
+  /// a throwing evaluation aborts the campaign, as before).
+  EvalRetryPolicy retry;
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Rewrite the checkpoint after every N completed evaluations (0 =
+  /// only the final state, written when checkpoint_path is set).
+  std::size_t checkpoint_every = 0;
+  /// Load checkpoint_path before running and continue from it. The
+  /// method must match the checkpointed one (name + configuration) and
+  /// the campaign seed must be identical.
+  bool resume = false;
 };
 
 /// Runs `evaluations` sequential ask/evaluate/tell cycles.
 [[nodiscard]] LocalSearchResult run_local_search(
     search::SearchMethod& method, hpc::ArchitectureEvaluator& evaluator,
-    std::size_t evaluations, std::uint64_t seed = 0);
+    std::size_t evaluations, std::uint64_t seed = 0,
+    const SearchRunOptions& options = {});
 
 /// Same, with `workers` concurrent evaluations (evaluator must be
 /// thread_safe()). ask/tell are serialized; evaluations overlap — the
 /// shared-memory equivalent of the paper's asynchronous AE/RS campaigns.
+/// Checkpoint/resume works here too, but completion order (and therefore
+/// the resumed trajectory) depends on thread timing; only the serial
+/// driver guarantees bitwise-identical resumption.
 [[nodiscard]] LocalSearchResult run_local_search_parallel(
     search::SearchMethod& method, hpc::ArchitectureEvaluator& evaluator,
-    std::size_t evaluations, std::size_t workers, std::uint64_t seed = 0);
+    std::size_t evaluations, std::size_t workers, std::uint64_t seed = 0,
+    const SearchRunOptions& options = {});
+
+/// Atomically writes a campaign checkpoint (method state + history +
+/// seed) as a versioned geonas::io container ("GEONASC1", CRC-32
+/// trailer). The method must be checkpointable().
+void save_search_checkpoint(const search::SearchMethod& method,
+                            const LocalSearchResult& state,
+                            std::uint64_t seed, const std::string& path);
+
+/// Restores a checkpoint into `method` and `state`; returns the number of
+/// completed evaluations. Throws when the file is truncated/corrupt, the
+/// method name differs, or the stored campaign seed != `expected_seed`
+/// (resuming under a different seed would silently fork the trajectory).
+[[nodiscard]] std::size_t load_search_checkpoint(
+    search::SearchMethod& method, LocalSearchResult& state,
+    std::uint64_t expected_seed, const std::string& path);
 
 }  // namespace geonas::core

@@ -23,9 +23,27 @@ void write_u64(std::ostream& os, std::uint64_t value) {
   os.write(reinterpret_cast<const char*>(bytes.data()), 8);
 }
 
-std::uint64_t read_u64(std::istream& is) {
+/// Reads exactly `size` bytes, tracking `offset` (bytes consumed so far);
+/// a short or failed read throws naming the field and the byte offset at
+/// which the stream died — instead of leaving zero-filled garbage that
+/// later surfaces as an "implausible dimensions" error (or worse, as
+/// silently plausible dimensions).
+void read_exact(std::istream& is, void* data, std::size_t size,
+                std::uint64_t& offset, const char* what) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(is.gcount()) != size || !is) {
+    throw std::runtime_error(
+        std::string("snapshot_io: truncated stream reading ") + what +
+        " at byte offset " +
+        std::to_string(offset + static_cast<std::uint64_t>(is.gcount())));
+  }
+  offset += size;
+}
+
+std::uint64_t read_u64(std::istream& is, std::uint64_t& offset,
+                       const char* what) {
   std::array<unsigned char, 8> bytes{};
-  is.read(reinterpret_cast<char*>(bytes.data()), 8);
+  read_exact(is, bytes.data(), 8, offset, what);
   std::uint64_t value = 0;
   for (int i = 7; i >= 0; --i) {
     value = (value << 8) | bytes[static_cast<std::size_t>(i)];
@@ -59,28 +77,31 @@ void write_snapshots(const SnapshotRecord& record, std::ostream& os) {
 }
 
 SnapshotRecord read_snapshots(std::istream& is) {
+  std::uint64_t offset = 0;
   char magic[8];
-  is.read(magic, 8);
-  require_stream(is, "read_snapshots header");
+  read_exact(is, magic, 8, offset, "snapshot magic");
   if (std::memcmp(magic, kSnapshotMagic, 8) != 0) {
     throw std::runtime_error("snapshot_io: bad snapshot magic");
   }
-  const std::uint64_t rows = read_u64(is);
-  const std::uint64_t cols = read_u64(is);
+  const std::uint64_t rows = read_u64(is, offset, "snapshot rows");
+  const std::uint64_t cols = read_u64(is, offset, "snapshot cols");
   SnapshotRecord record;
-  record.first_week = read_u64(is);
+  record.first_week = read_u64(is, offset, "snapshot first_week");
   if (rows == 0 || cols == 0 || rows > (1ULL << 32) || cols > (1ULL << 32)) {
-    throw std::runtime_error("snapshot_io: implausible snapshot dimensions");
+    throw std::runtime_error("snapshot_io: implausible snapshot dimensions (" +
+                             std::to_string(rows) + " x " +
+                             std::to_string(cols) + ")");
   }
   record.snapshots.resize(static_cast<std::size_t>(rows),
                           static_cast<std::size_t>(cols));
   std::vector<double> column(static_cast<std::size_t>(rows));
   for (std::size_t c = 0; c < cols; ++c) {
-    is.read(reinterpret_cast<char*>(column.data()),
-            static_cast<std::streamsize>(column.size() * sizeof(double)));
+    // Per-column checked read: a truncated payload reports the failing
+    // byte offset instead of silently zero-filling the tail columns.
+    read_exact(is, column.data(), column.size() * sizeof(double), offset,
+               "snapshot payload column");
     for (std::size_t r = 0; r < rows; ++r) record.snapshots(r, c) = column[r];
   }
-  require_stream(is, "read_snapshots payload");
   return record;
 }
 
@@ -110,22 +131,23 @@ void write_mask(const MaskRecord& record, std::ostream& os) {
 }
 
 MaskRecord read_mask(std::istream& is) {
+  std::uint64_t offset = 0;
   char magic[8];
-  is.read(magic, 8);
-  require_stream(is, "read_mask header");
+  read_exact(is, magic, 8, offset, "mask magic");
   if (std::memcmp(magic, kMaskMagic, 8) != 0) {
     throw std::runtime_error("snapshot_io: bad mask magic");
   }
   MaskRecord record;
-  record.grid.nlat = static_cast<std::size_t>(read_u64(is));
-  record.grid.nlon = static_cast<std::size_t>(read_u64(is));
+  record.grid.nlat = static_cast<std::size_t>(read_u64(is, offset, "mask nlat"));
+  record.grid.nlon = static_cast<std::size_t>(read_u64(is, offset, "mask nlon"));
   if (record.grid.cells() == 0 || record.grid.cells() > (1ULL << 32)) {
-    throw std::runtime_error("snapshot_io: implausible mask dimensions");
+    throw std::runtime_error("snapshot_io: implausible mask dimensions (" +
+                             std::to_string(record.grid.nlat) + " x " +
+                             std::to_string(record.grid.nlon) + ")");
   }
   record.land.resize(record.grid.cells());
-  is.read(reinterpret_cast<char*>(record.land.data()),
-          static_cast<std::streamsize>(record.land.size()));
-  require_stream(is, "read_mask payload");
+  read_exact(is, record.land.data(), record.land.size(), offset,
+             "mask payload");
   return record;
 }
 

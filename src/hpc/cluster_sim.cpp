@@ -11,8 +11,53 @@
 namespace geonas::hpc {
 
 namespace {
+
 constexpr double kCurveDt = 60.0;
+
+/// What became of one launched evaluation under the failure model.
+enum class EvalFate : std::uint8_t { kOk, kCrashed, kStraggler, kLost };
+
+/// Draws the fate of an evaluation. Every probability is guarded so a
+/// zero-rate model consumes no RNG draws at all — the contract that keeps
+/// failure-free configs bitwise identical to the pre-failure simulator.
+/// `busy_end` (node occupied until) and `resume_at` (worker available
+/// again) are updated in place from the failure semantics.
+EvalFate draw_fate(const FailureModel& model, Rng& rng, double start,
+                   double expected_duration, double& busy_end,
+                   double& resume_at) {
+  busy_end = start + expected_duration;
+  resume_at = busy_end;
+  if (model.crash_prob > 0.0 && rng.bernoulli(model.crash_prob)) {
+    // The node dies a uniform fraction into the evaluation and needs a
+    // restart before it can request work again.
+    busy_end = start + rng.uniform() * expected_duration;
+    resume_at = busy_end + model.restart_penalty_seconds;
+    return EvalFate::kCrashed;
+  }
+  if (model.straggler_prob > 0.0 && rng.bernoulli(model.straggler_prob)) {
+    // The evaluation hangs; the coordinator cuts it at the timeout
+    // multiple and discards the partial result.
+    busy_end = start + model.straggler_timeout_multiple * expected_duration;
+    resume_at = busy_end;
+    return EvalFate::kStraggler;
+  }
+  if (model.lost_result_prob > 0.0 &&
+      rng.bernoulli(model.lost_result_prob)) {
+    return EvalFate::kLost;  // full duration burned, result never arrives
+  }
+  return EvalFate::kOk;
 }
+
+void count_fate(FailureCounts& counts, EvalFate fate) {
+  switch (fate) {
+    case EvalFate::kCrashed: ++counts.worker_crashes; break;
+    case EvalFate::kStraggler: ++counts.stragglers_killed; break;
+    case EvalFate::kLost: ++counts.lost_results; break;
+    case EvalFate::kOk: break;
+  }
+}
+
+}  // namespace
 
 std::pair<std::vector<double>, std::vector<double>>
 SimResult::reward_trajectory(std::size_t window) const {
@@ -67,10 +112,12 @@ SimResult simulate_async(search::SearchMethod& method,
   // simulated-time order so the search method sees exactly the information
   // a real asynchronous campaign would provide.
   struct Pending {
-    double completion;
+    double completion;   // when the node frees up (or dies)
+    double resume_at;    // when the worker may request again
     std::size_t worker;
     searchspace::Architecture arch;
     EvalOutcome outcome;
+    EvalFate fate;
     bool operator>(const Pending& other) const {
       return completion > other.completion;
     }
@@ -95,12 +142,17 @@ SimResult simulate_async(search::SearchMethod& method,
     searchspace::Architecture arch = method.ask();
     const EvalOutcome outcome =
         evaluator.evaluate(arch, hash_combine(config.seed, eval_counter++));
-    const double completion = start + outcome.duration_seconds;
-    // Busy until completion or the wall, whichever first; evaluations cut
-    // by the wall still occupied the node but return no result.
-    tracker.add_busy(start, completion);
-    if (completion <= config.wall_time_seconds) {
-      running.push({completion, worker, std::move(arch), outcome});
+    double busy_end = 0.0, resume_at = 0.0;
+    const EvalFate fate = draw_fate(config.failures, rng, start,
+                                    outcome.duration_seconds, busy_end,
+                                    resume_at);
+    // Busy until the node frees (completion, crash, or straggler cut) or
+    // the wall, whichever first; evaluations cut by the wall still
+    // occupied the node but return no result.
+    tracker.add_busy(start, busy_end);
+    if (busy_end <= config.wall_time_seconds) {
+      running.push({busy_end, resume_at, worker, std::move(arch), outcome,
+                    fate});
     }
   };
 
@@ -109,11 +161,17 @@ SimResult simulate_async(search::SearchMethod& method,
   while (!running.empty()) {
     Pending done = running.top();
     running.pop();
-    method.tell(done.arch, done.outcome.reward);
-    result.evals.push_back({done.completion, done.outcome.reward,
-                            done.outcome.duration_seconds, done.outcome.params,
-                            done.arch.key()});
-    launch(done.worker, done.completion);
+    if (done.fate == EvalFate::kOk) {
+      method.tell(done.arch, done.outcome.reward);
+      result.evals.push_back({done.completion, done.outcome.reward,
+                              done.outcome.duration_seconds,
+                              done.outcome.params, done.arch.key()});
+    } else {
+      // Failed evaluations never reach tell(); the asynchronous design
+      // shrugs — only this worker's slot is affected.
+      count_fate(result.failures, done.fate);
+    }
+    launch(done.worker, done.resume_at);
   }
 
   result.utilization = tracker.utilization_auc();
@@ -157,19 +215,32 @@ SimResult simulate_rl(const searchspace::StackedLSTMSpace& space,
         searchspace::Architecture arch = agents[a].ask();
         const EvalOutcome outcome =
             evaluator.evaluate(arch, hash_combine(config.seed, eval_counter++));
-        const double completion = start + outcome.duration_seconds;
-        tracker.add_busy(start, completion);
-        round_max_completion = std::max(round_max_completion, completion);
-        if (completion <= config.wall_time_seconds) {
-          result.evals.push_back({completion, outcome.reward,
-                                  outcome.duration_seconds, outcome.params,
-                                  arch.key()});
-          batches[a].push_back({std::move(arch), outcome.reward});
-          any_counted = true;
+        double busy_end = 0.0, resume_at = 0.0;
+        const EvalFate fate = draw_fate(config.failures, rng, start,
+                                        outcome.duration_seconds, busy_end,
+                                        resume_at);
+        tracker.add_busy(start, busy_end);
+        // The synchronous barrier gates on every worker: a straggler cut
+        // late holds the whole round, and a crashed node must restart
+        // before the next round can use it.
+        round_max_completion = std::max(round_max_completion, resume_at);
+        if (busy_end <= config.wall_time_seconds) {
+          if (fate == EvalFate::kOk) {
+            result.evals.push_back({busy_end, outcome.reward,
+                                    outcome.duration_seconds, outcome.params,
+                                    arch.key()});
+            batches[a].push_back({std::move(arch), outcome.reward});
+            any_counted = true;
+          } else {
+            // A failed evaluation shrinks (or empties) its agent's batch;
+            // an agent whose whole batch died contributes no gradient
+            // this round, and the all-reduce proceeds over the survivors.
+            count_fate(result.failures, fate);
+          }
         }
       }
     }
-    if (!any_counted) break;  // the wall cut the whole round
+    if (!any_counted) break;  // the wall cut (or failures ate) the round
 
     // Intra-agent barrier happened implicitly (batch collection); now the
     // inter-agent synchronous gradient all-reduce (paper §III-B2).

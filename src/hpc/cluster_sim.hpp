@@ -41,6 +41,35 @@
 
 namespace geonas::hpc {
 
+/// Seeded worker-failure model (paper context: 3-hour campaigns on up to
+/// 512 KNL nodes, where lost and heterogeneous evaluations are the norm —
+/// the asynchronous design exists to tolerate them). All rates default to
+/// zero; a config with every rate at zero consumes exactly the same RNG
+/// draw sequence as the pre-failure-model simulator, so legacy
+/// trajectories reproduce bitwise.
+struct FailureModel {
+  /// Per-evaluation probability the worker node crashes mid-evaluation:
+  /// the evaluation is lost (never told), the node is busy until the
+  /// crash instant (uniform fraction of the evaluation) and then idles
+  /// for `restart_penalty_seconds` before rejoining.
+  double crash_prob = 0.0;
+  double restart_penalty_seconds = 120.0;
+  /// Per-evaluation probability the evaluation straggles: the coordinator
+  /// cuts it at `straggler_timeout_multiple` x its expected duration and
+  /// discards the result (the node was busy until the cut).
+  double straggler_prob = 0.0;
+  double straggler_timeout_multiple = 3.0;
+  /// Per-evaluation probability the finished result is lost in transit:
+  /// the node was busy for the full duration but the search method never
+  /// hears about it.
+  double lost_result_prob = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return crash_prob > 0.0 || straggler_prob > 0.0 ||
+           lost_result_prob > 0.0;
+  }
+};
+
 struct ClusterConfig {
   std::size_t nodes = 128;
   double wall_time_seconds = 3.0 * 3600.0;  // paper: 3 h per search
@@ -53,6 +82,8 @@ struct ClusterConfig {
   double rl_gradient_time = 2.0;
   /// All-reduce latency per RL round (s).
   double rl_allreduce_time = 0.5;
+  /// Seeded fault injection (defaults: no failures).
+  FailureModel failures;
   std::uint64_t seed = 7;
 };
 
@@ -64,11 +95,24 @@ struct CompletedEval {
   std::string arch_key;
 };
 
+/// Failures observed within the wall time (all zero when the failure
+/// model is disabled).
+struct FailureCounts {
+  std::size_t worker_crashes = 0;
+  std::size_t stragglers_killed = 0;
+  std::size_t lost_results = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return worker_crashes + stragglers_killed + lost_results;
+  }
+};
+
 struct SimResult {
   std::vector<CompletedEval> evals;  // ordered by completion time
   double utilization = 0.0;          // trapezoidal AUC ratio
   std::vector<double> busy_curve;    // busy fraction sampled every 60 s
   std::size_t rounds = 0;            // RL only
+  FailureCounts failures;            // injected-fault accounting
 
   [[nodiscard]] std::size_t num_evaluations() const noexcept {
     return evals.size();

@@ -18,6 +18,10 @@ struct EvalOutcome {
   double reward = 0.0;            // validation R^2
   double duration_seconds = 0.0;  // simulated (or measured) node time
   std::size_t params = 0;         // trainable parameter count
+  /// Set by fault-policy wrappers (core::RetryingEvaluator) when every
+  /// attempt threw, diverged, or timed out; `reward` then holds the
+  /// policy's sentinel value.
+  bool failed = false;
 };
 
 class ArchitectureEvaluator {

@@ -1,19 +1,36 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "io/binary.hpp"
+
 namespace geonas::nn {
 
 namespace {
 constexpr const char* kMagic = "geonas-weights-v1";
-}
+constexpr const char* kBinaryMagic = "GEONASW2";
+constexpr std::uint32_t kBinaryVersion = 2;
+}  // namespace
 
 void save_weights(GraphNetwork& net, std::ostream& os) {
   const auto params = net.parameters();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (double v : params[p]->flat()) {
+      if (!std::isfinite(v)) {
+        throw std::runtime_error(
+            "save_weights: parameter " + std::to_string(p) +
+            " holds a non-finite value; the text v1 format cannot "
+            "round-trip it — use save_weights_binary");
+      }
+    }
+  }
   os << kMagic << "\n" << params.size() << "\n";
   os << std::setprecision(17);
   for (const Matrix* p : params) {
@@ -30,38 +47,126 @@ void save_weights(GraphNetwork& net, std::ostream& os) {
 void load_weights(GraphNetwork& net, std::istream& is) {
   std::string magic;
   is >> magic;
-  if (magic != kMagic) {
+  if (!is || magic != kMagic) {
     throw std::runtime_error("load_weights: bad magic header '" + magic + "'");
   }
   std::size_t count = 0;
-  is >> count;
+  if (!(is >> count)) {
+    throw std::runtime_error("load_weights: truncated header");
+  }
   auto params = net.parameters();
   if (count != params.size()) {
     throw std::runtime_error("load_weights: parameter count mismatch (file " +
                              std::to_string(count) + ", network " +
                              std::to_string(params.size()) + ")");
   }
-  for (Matrix* p : params) {
+  for (std::size_t p = 0; p < params.size(); ++p) {
     std::size_t rows = 0, cols = 0;
-    is >> rows >> cols;
-    if (rows != p->rows() || cols != p->cols()) {
-      throw std::runtime_error("load_weights: parameter shape mismatch");
+    if (!(is >> rows >> cols)) {
+      throw std::runtime_error("load_weights: truncated shape of parameter " +
+                               std::to_string(p));
     }
-    for (double& v : p->flat()) is >> v;
+    if (rows != params[p]->rows() || cols != params[p]->cols()) {
+      throw std::runtime_error("load_weights: shape mismatch at parameter " +
+                               std::to_string(p));
+    }
+    for (double& v : params[p]->flat()) {
+      // Read each value as a token first: operator>> rejects the
+      // "nan"/"inf" tokens legacy v1 files may contain, and we owe the
+      // caller a diagnostic that names the culprit instead of a bare
+      // stream failure.
+      std::string token;
+      if (!(is >> token)) {
+        throw std::runtime_error(
+            "load_weights: truncated values of parameter " +
+            std::to_string(p));
+      }
+      char* end = nullptr;
+      v = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        throw std::runtime_error("load_weights: unparseable value '" + token +
+                                 "' in parameter " + std::to_string(p));
+      }
+      if (!std::isfinite(v)) {
+        throw std::runtime_error(
+            "load_weights: non-finite value '" + token + "' in parameter " +
+            std::to_string(p) +
+            " — text v1 cannot round-trip diverged weights; re-save with "
+            "save_weights_binary");
+      }
+    }
   }
-  if (!is) throw std::runtime_error("load_weights: stream read failure");
 }
 
-void save_weights_file(GraphNetwork& net, const std::string& path) {
-  std::ofstream os(path);
+void save_weights_binary(GraphNetwork& net, std::ostream& os) {
+  const auto params = net.parameters();
+  io::BinaryWriter writer(os, kBinaryMagic, kBinaryVersion);
+  writer.u64(params.size());
+  for (const Matrix* p : params) {
+    writer.u64(p->rows());
+    writer.u64(p->cols());
+    const auto flat = p->flat();
+    writer.f64_array(flat.data(), flat.size());
+  }
+  writer.finish();
+}
+
+void load_weights_binary(GraphNetwork& net, std::istream& is) {
+  auto params = net.parameters();
+  io::BinaryReader reader(is, kBinaryMagic, kBinaryVersion, kBinaryVersion);
+  const std::uint64_t count = reader.u64("parameter count");
+  if (count != params.size()) {
+    throw std::runtime_error(
+        "load_weights_binary: parameter count mismatch (file " +
+        std::to_string(count) + ", network " +
+        std::to_string(params.size()) + ")");
+  }
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const std::uint64_t rows = reader.u64("parameter rows");
+    const std::uint64_t cols = reader.u64("parameter cols");
+    if (rows != params[p]->rows() || cols != params[p]->cols()) {
+      throw std::runtime_error(
+          "load_weights_binary: shape mismatch at parameter " +
+          std::to_string(p));
+    }
+    const auto values = reader.f64_array("parameter values");
+    auto flat = params[p]->flat();
+    if (values.size() != flat.size()) {
+      throw std::runtime_error(
+          "load_weights_binary: value count mismatch at parameter " +
+          std::to_string(p));
+    }
+    std::copy(values.begin(), values.end(), flat.begin());
+  }
+  reader.finish();
+}
+
+void save_weights_file(GraphNetwork& net, const std::string& path,
+                       bool text_v1) {
+  std::ofstream os(path, text_v1 ? std::ios::out : std::ios::binary);
   if (!os) throw std::runtime_error("save_weights_file: cannot open " + path);
-  save_weights(net, os);
+  if (text_v1) {
+    save_weights(net, os);
+  } else {
+    save_weights_binary(net, os);
+  }
 }
 
 void load_weights_file(GraphNetwork& net, const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_weights_file: cannot open " + path);
-  load_weights(net, is);
+  // Sniff the leading magic to dispatch between the formats.
+  char head[8] = {};
+  is.read(head, 8);
+  const bool binary = is.gcount() == 8 && std::string_view(head, 8) ==
+                                              std::string_view(kBinaryMagic);
+  is.clear();
+  is.seekg(0);
+  if (binary) {
+    load_weights_binary(net, is);
+  } else {
+    load_weights(net, is);
+  }
 }
 
 }  // namespace geonas::nn

@@ -28,6 +28,15 @@ Tensor3 gather_examples(const Tensor3& data,
   return out;
 }
 
+std::vector<std::size_t> lr_decay_epochs(std::size_t epochs) {
+  std::vector<std::size_t> steps;
+  for (const std::size_t step : {epochs / 2, epochs * 3 / 4}) {
+    if (step == 0) continue;  // never decay before any full-rate epoch
+    if (steps.empty() || steps.back() != step) steps.push_back(step);
+  }
+  return steps;
+}
+
 TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
                           const Tensor3& y, const Tensor3& x_val,
                           const Tensor3& y_val) const {
@@ -50,16 +59,17 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
 
+  const std::vector<std::size_t> decay_epochs = lr_decay_epochs(cfg_.epochs);
   TrainHistory history;
   for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
     if (cfg_.lr_step_decay != 1.0 &&
-        (epoch == cfg_.epochs / 2 || epoch == cfg_.epochs * 3 / 4)) {
+        std::find(decay_epochs.begin(), decay_epochs.end(), epoch) !=
+            decay_epochs.end()) {
       optimizer.set_learning_rate(optimizer.learning_rate() *
                                   cfg_.lr_step_decay);
     }
     if (cfg_.shuffle) rng.shuffle(std::span<std::size_t>(order));
     double epoch_loss = 0.0;
-    std::size_t batches = 0;
     for (std::size_t start = 0; start < n; start += bs) {
       const std::size_t end = std::min(start + bs, n);
       const std::span<const std::size_t> idx(order.data() + start, end - start);
@@ -68,16 +78,16 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
 
       net.zero_grad();
       const Tensor3 pred = net.forward(xb, /*training=*/true);
-      epoch_loss += mse_loss(yb, pred);
+      // mse_loss is a per-element mean; weight each batch by its example
+      // count so a short final batch does not skew the epoch average.
+      epoch_loss += mse_loss(yb, pred) * static_cast<double>(end - start);
       net.backward(mse_grad(yb, pred));
       if (cfg_.grad_clip_norm > 0.0) {
         clip_gradients_by_norm(net.gradients(), cfg_.grad_clip_norm);
       }
       optimizer.step();
-      ++batches;
     }
-    history.train_loss.push_back(epoch_loss /
-                                 static_cast<double>(std::max<std::size_t>(1, batches)));
+    history.train_loss.push_back(epoch_loss / static_cast<double>(n));
 
     if (x_val.dim0() > 0) {
       const Tensor3 pv = predict(net, x_val);

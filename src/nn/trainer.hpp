@@ -64,4 +64,9 @@ class Trainer {
 [[nodiscard]] Tensor3 gather_examples(const Tensor3& data,
                                       std::span<const std::size_t> indices);
 
+/// Epochs at which the step LR decay fires: 1/2 and 3/4 of the budget,
+/// deduplicated (they coincide for epochs < 4) and never epoch 0 (a decay
+/// before any full-rate training would silently shrink the whole run).
+[[nodiscard]] std::vector<std::size_t> lr_decay_epochs(std::size_t epochs);
+
 }  // namespace geonas::nn

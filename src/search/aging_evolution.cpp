@@ -61,4 +61,48 @@ void AgingEvolution::tell(const searchspace::Architecture& arch,
   ++told_;
 }
 
+void AgingEvolution::save(io::BinaryWriter& writer) const {
+  writer.u64(cfg_.population_size);
+  writer.u64(cfg_.sample_size);
+  writer.f64(cfg_.crossover_prob);
+  write_rng_state(writer, rng_);
+  writer.u64(told_);
+  writer.u64(population_.size());
+  for (const Member& member : population_) {
+    write_architecture(writer, member.arch);
+    writer.f64(member.reward);
+  }
+}
+
+void AgingEvolution::load(io::BinaryReader& reader) {
+  const std::uint64_t population_size = reader.u64("AE population size");
+  const std::uint64_t sample_size = reader.u64("AE sample size");
+  const double crossover_prob = reader.f64("AE crossover prob");
+  if (population_size != cfg_.population_size ||
+      sample_size != cfg_.sample_size ||
+      crossover_prob != cfg_.crossover_prob) {
+    throw std::runtime_error(
+        "AgingEvolution::load: checkpoint was taken under a different "
+        "configuration (population/sample/crossover mismatch)");
+  }
+  read_rng_state(reader, rng_);
+  told_ = reader.u64("AE evaluations told");
+  const std::uint64_t members = reader.u64("AE population count");
+  if (members > cfg_.population_size) {
+    throw std::runtime_error(
+        "AgingEvolution::load: population larger than the configured ring");
+  }
+  population_.clear();
+  for (std::uint64_t i = 0; i < members; ++i) {
+    searchspace::Architecture arch = read_architecture(reader);
+    const double reward = reader.f64("AE member reward");
+    if (!space_->valid(arch)) {
+      throw std::runtime_error(
+          "AgingEvolution::load: checkpointed architecture is not a member "
+          "of the current search space");
+    }
+    population_.push_back({std::move(arch), reward});
+  }
+}
+
 }  // namespace geonas::search

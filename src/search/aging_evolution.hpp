@@ -38,6 +38,11 @@ class AgingEvolution final : public SearchMethod {
   void tell(const searchspace::Architecture& arch, double reward) override;
   [[nodiscard]] std::string name() const override { return "AE"; }
 
+  /// Checkpointing: population ring + evaluation counter + RNG stream.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void save(io::BinaryWriter& writer) const override;
+  void load(io::BinaryReader& reader) override;
+
   struct Member {
     searchspace::Architecture arch;
     double reward;

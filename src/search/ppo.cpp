@@ -197,6 +197,101 @@ void PPOAgent::apply_gradient(const std::vector<Matrix>& gradient) {
   }
 }
 
+void PPOAgent::save(io::BinaryWriter& writer) const {
+  write_rng_state(writer, rng_);
+  writer.u64(logits_.size());
+  for (const Matrix& row : logits_) {
+    const auto flat = row.flat();
+    writer.f64_array(flat.data(), flat.size());
+  }
+}
+
+void PPOAgent::load(io::BinaryReader& reader) {
+  read_rng_state(reader, rng_);
+  const std::uint64_t genes = reader.u64("PPO logit row count");
+  if (genes != logits_.size()) {
+    throw std::runtime_error(
+        "PPOAgent::load: checkpoint has " + std::to_string(genes) +
+        " logit rows, this search space needs " +
+        std::to_string(logits_.size()));
+  }
+  for (Matrix& row : logits_) {
+    const auto values = reader.f64_array("PPO logits");
+    auto flat = row.flat();
+    if (values.size() != flat.size()) {
+      throw std::runtime_error(
+          "PPOAgent::load: logit row width mismatch (checkpointed space "
+          "differs from the current one)");
+    }
+    std::copy(values.begin(), values.end(), flat.begin());
+  }
+}
+
+PPOSearch::PPOSearch(const searchspace::StackedLSTMSpace& space,
+                     PPOConfig config, std::size_t batch_size)
+    : space_(&space), batch_size_(batch_size), agent_(space, config, 0) {
+  if (batch_size_ == 0) {
+    throw std::invalid_argument("PPOSearch: zero batch size");
+  }
+}
+
+searchspace::Architecture PPOSearch::ask() { return agent_.ask(); }
+
+void PPOSearch::tell(const searchspace::Architecture& arch, double reward) {
+  if (!space_->valid(arch)) {
+    throw std::invalid_argument("PPOSearch::tell: foreign architecture");
+  }
+  batch_.push_back({arch, reward});
+  ++told_;
+  if (batch_.size() >= batch_size_) {
+    // One-agent all-reduce degenerates to applying the own gradient.
+    agent_.apply_gradient(agent_.compute_gradient(batch_));
+    batch_.clear();
+    ++updates_;
+  }
+}
+
+void PPOSearch::save(io::BinaryWriter& writer) const {
+  writer.u64(batch_size_);
+  agent_.save(writer);
+  writer.u64(told_);
+  writer.u64(updates_);
+  writer.u64(batch_.size());
+  for (const PPOAgent::Sample& sample : batch_) {
+    write_architecture(writer, sample.arch);
+    writer.f64(sample.reward);
+  }
+}
+
+void PPOSearch::load(io::BinaryReader& reader) {
+  const std::uint64_t batch_size = reader.u64("PPO batch size");
+  if (batch_size != batch_size_) {
+    throw std::runtime_error(
+        "PPOSearch::load: checkpoint batch size " +
+        std::to_string(batch_size) + " != configured " +
+        std::to_string(batch_size_));
+  }
+  agent_.load(reader);
+  told_ = reader.u64("PPO evaluations told");
+  updates_ = reader.u64("PPO update count");
+  const std::uint64_t pending = reader.u64("PPO pending batch count");
+  if (pending >= batch_size_) {
+    throw std::runtime_error(
+        "PPOSearch::load: pending batch exceeds the batch size");
+  }
+  batch_.clear();
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    searchspace::Architecture arch = read_architecture(reader);
+    const double reward = reader.f64("PPO pending reward");
+    if (!space_->valid(arch)) {
+      throw std::runtime_error(
+          "PPOSearch::load: checkpointed sample is not a member of the "
+          "current search space");
+    }
+    batch_.push_back({std::move(arch), reward});
+  }
+}
+
 std::vector<Matrix> all_reduce_mean_gradients(
     const std::vector<std::vector<Matrix>>& per_agent) {
   if (per_agent.empty()) {

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "search/search_method.hpp"
 #include "searchspace/space.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random.hpp"
@@ -63,6 +64,11 @@ class PPOAgent {
   [[nodiscard]] double action_probability(std::size_t gene,
                                           std::size_t choice) const;
 
+  /// Checkpointing: policy logits + RNG stream (the agent's whole mutable
+  /// state — compute_gradient works on a scratch copy).
+  void save(io::BinaryWriter& writer) const;
+  void load(io::BinaryReader& reader);
+
  private:
   [[nodiscard]] std::vector<double> softmax_row(std::size_t gene) const;
   /// log pi(arch) under given logits.
@@ -79,5 +85,41 @@ class PPOAgent {
 /// paper §III-B2). All stacks must have identical shapes.
 [[nodiscard]] std::vector<Matrix> all_reduce_mean_gradients(
     const std::vector<std::vector<Matrix>>& per_agent);
+
+/// Serial single-agent PPO behind the ask/tell SearchMethod interface.
+///
+/// Collects `batch_size` finished evaluations, then runs one clipped-
+/// surrogate policy update (the degenerate one-agent case of the paper's
+/// multi-agent all-reduce) and starts the next batch. This is the local /
+/// CLI / checkpointing face of the RL strategy; the cluster simulator
+/// keeps driving the full 11-agent synchronous form through PPOAgent
+/// directly.
+class PPOSearch final : public SearchMethod {
+ public:
+  PPOSearch(const searchspace::StackedLSTMSpace& space, PPOConfig config,
+            std::size_t batch_size = 16);
+
+  [[nodiscard]] searchspace::Architecture ask() override;
+  void tell(const searchspace::Architecture& arch, double reward) override;
+  [[nodiscard]] std::string name() const override { return "PPO"; }
+
+  /// Checkpointing: agent policy + RNG, the partially collected batch,
+  /// and counters.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void save(io::BinaryWriter& writer) const override;
+  void load(io::BinaryReader& reader) override;
+
+  [[nodiscard]] std::size_t evaluations_told() const noexcept { return told_; }
+  [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
+  [[nodiscard]] const PPOAgent& agent() const noexcept { return agent_; }
+
+ private:
+  const searchspace::StackedLSTMSpace* space_;
+  std::size_t batch_size_;
+  PPOAgent agent_;
+  std::vector<PPOAgent::Sample> batch_;
+  std::size_t told_ = 0;
+  std::size_t updates_ = 0;
+};
 
 }  // namespace geonas::search

@@ -22,6 +22,18 @@ class RandomSearch final : public SearchMethod {
   }
   [[nodiscard]] std::string name() const override { return "RS"; }
 
+  /// Checkpointing: the RNG stream and the evaluation counter are the
+  /// whole state.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void save(io::BinaryWriter& writer) const override {
+    write_rng_state(writer, rng_);
+    writer.u64(told_);
+  }
+  void load(io::BinaryReader& reader) override {
+    read_rng_state(reader, rng_);
+    told_ = reader.u64("RS evaluations told");
+  }
+
   [[nodiscard]] std::size_t evaluations_told() const noexcept { return told_; }
 
  private:

@@ -1,0 +1,48 @@
+#include "search/search_method.hpp"
+
+#include <limits>
+
+namespace geonas::search {
+
+void write_rng_state(io::BinaryWriter& writer, const Rng& rng) {
+  const Rng::State state = rng.state();
+  for (const std::uint64_t word : state.s) writer.u64(word);
+  writer.f64(state.cached_normal);
+  writer.u8(state.has_cached_normal ? 1 : 0);
+}
+
+void read_rng_state(io::BinaryReader& reader, Rng& rng) {
+  Rng::State state;
+  for (std::uint64_t& word : state.s) word = reader.u64("rng state word");
+  state.cached_normal = reader.f64("rng cached normal");
+  state.has_cached_normal = reader.u8("rng cached flag") != 0;
+  rng.set_state(state);
+}
+
+void write_architecture(io::BinaryWriter& writer,
+                        const searchspace::Architecture& arch) {
+  writer.u64(arch.genes.size());
+  for (const int gene : arch.genes) {
+    writer.u32(static_cast<std::uint32_t>(gene));
+  }
+}
+
+searchspace::Architecture read_architecture(io::BinaryReader& reader) {
+  const std::uint64_t count = reader.u64("architecture gene count");
+  if (count > 4096) {
+    throw std::runtime_error(
+        "read_architecture: implausible gene count " + std::to_string(count));
+  }
+  searchspace::Architecture arch;
+  arch.genes.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t g = 0; g < count; ++g) {
+    const std::uint32_t gene = reader.u32("architecture gene");
+    if (gene > static_cast<std::uint32_t>(std::numeric_limits<int>::max())) {
+      throw std::runtime_error("read_architecture: gene value out of range");
+    }
+    arch.genes.push_back(static_cast<int>(gene));
+  }
+  return arch;
+}
+
+}  // namespace geonas::search

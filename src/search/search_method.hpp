@@ -8,9 +8,12 @@
 // barriers, as DeepHyper's multimaster-multiworker mode does.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
+#include "io/binary.hpp"
 #include "searchspace/architecture.hpp"
+#include "tensor/random.hpp"
 
 namespace geonas::search {
 
@@ -26,6 +29,28 @@ class SearchMethod {
   virtual void tell(const searchspace::Architecture& arch, double reward) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Checkpointing (fault-tolerant campaigns). A checkpointable method
+  /// serializes its complete mutable state — RNG streams included — into
+  /// the writer, such that load() followed by the same ask()/tell()
+  /// sequence reproduces an uninterrupted run bitwise. Methods that do
+  /// not opt in throw.
+  [[nodiscard]] virtual bool checkpointable() const { return false; }
+  virtual void save(io::BinaryWriter& /*writer*/) const {
+    throw std::logic_error(name() + ": checkpointing not supported");
+  }
+  virtual void load(io::BinaryReader& /*reader*/) {
+    throw std::logic_error(name() + ": checkpointing not supported");
+  }
 };
+
+/// Shared helpers for serializing common state pieces (keeps the per-method
+/// save/load implementations symmetric and the format auditable).
+void write_rng_state(io::BinaryWriter& writer, const Rng& rng);
+void read_rng_state(io::BinaryReader& reader, Rng& rng);
+void write_architecture(io::BinaryWriter& writer,
+                        const searchspace::Architecture& arch);
+[[nodiscard]] searchspace::Architecture read_architecture(
+    io::BinaryReader& reader);
 
 }  // namespace geonas::search

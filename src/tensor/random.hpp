@@ -71,6 +71,23 @@ class Rng {
   /// streams in the cluster simulator).
   [[nodiscard]] Rng fork() noexcept;
 
+  /// Complete generator state, for checkpoint/resume: restoring it
+  /// continues the exact draw sequence (including the cached Box-Muller
+  /// half of normal()).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return {s_, cached_normal_, has_cached_normal_};
+  }
+  void set_state(const State& state) noexcept {
+    s_ = state.s;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
@@ -43,6 +44,77 @@ TEST(SnapshotIO, RejectsTruncatedPayload) {
   bytes.resize(bytes.size() - 16);  // chop the tail
   std::stringstream truncated(bytes);
   EXPECT_THROW((void)read_snapshots(truncated), std::runtime_error);
+}
+
+TEST(SnapshotIO, TruncationDiagnosticNamesFieldAndByteOffset) {
+  Rng rng(4);
+  SnapshotRecord record;
+  record.snapshots.resize(6, 5);
+  for (double& v : record.snapshots.flat()) v = rng.normal();
+  std::stringstream buffer;
+  write_snapshots(record, buffer);
+  const std::string bytes = buffer.str();
+
+  // Cut inside the header: the failing field is one of the u64 dims.
+  {
+    std::stringstream truncated(bytes.substr(0, 12));
+    try {
+      (void)read_snapshots(truncated);
+      FAIL() << "truncated header accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("snapshot rows"), std::string::npos) << what;
+      EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+    }
+  }
+  // Cut inside the payload: the diagnostic points at the column read.
+  {
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 7));
+    try {
+      (void)read_snapshots(truncated);
+      FAIL() << "truncated payload accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("payload column"), std::string::npos) << what;
+      EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(SnapshotIO, ImplausibleDimensionsNameTheValues) {
+  // A forged header with absurd dimensions must be rejected before any
+  // allocation, with the dimensions in the message.
+  std::string bytes(8 + 24, '\0');
+  std::memcpy(bytes.data(), "GEOSNAPS", 8);
+  bytes[8] = '\x01';   // rows = 1
+  bytes[16] = '\0';    // cols = 0 (invalid)
+  std::stringstream forged(bytes);
+  try {
+    (void)read_snapshots(forged);
+    FAIL() << "zero-column snapshot accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos);
+  }
+}
+
+TEST(SnapshotIO, TruncatedMaskReportsOffset) {
+  const Grid grid{6, 8};
+  MaskRecord record;
+  record.grid = grid;
+  record.land.assign(grid.cells(), 1);
+  std::stringstream buffer;
+  write_mask(record, buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 5);
+  std::stringstream truncated(bytes);
+  try {
+    (void)read_mask(truncated);
+    FAIL() << "truncated mask accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mask payload"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+  }
 }
 
 TEST(SnapshotIO, FileRoundTrip) {

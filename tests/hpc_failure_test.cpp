@@ -1,0 +1,172 @@
+// Seeded failure injection in the cluster simulator: determinism, the
+// zero-rate bitwise-identity contract, and graceful degradation of both
+// orchestration patterns under crashes/stragglers/lost results.
+#include <gtest/gtest.h>
+
+#include "core/surrogate.hpp"
+#include "hpc/cluster_sim.hpp"
+#include "search/aging_evolution.hpp"
+#include "search/random_search.hpp"
+
+namespace geonas::hpc {
+namespace {
+
+using core::SurrogateEvaluator;
+using search::AgingEvolution;
+using search::RandomSearch;
+using searchspace::StackedLSTMSpace;
+
+ClusterConfig faulty_cluster(std::size_t nodes, const FailureModel& failures,
+                             std::uint64_t seed = 7) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.wall_time_seconds = 1800.0;
+  cfg.failures = failures;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FailureModel lossy_model() {
+  FailureModel m;
+  m.crash_prob = 0.05;
+  m.restart_penalty_seconds = 90.0;
+  m.straggler_prob = 0.05;
+  m.straggler_timeout_multiple = 3.0;
+  m.lost_result_prob = 0.05;
+  return m;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.num_evaluations(), b.num_evaluations());
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.failures.worker_crashes, b.failures.worker_crashes);
+  EXPECT_EQ(a.failures.stragglers_killed, b.failures.stragglers_killed);
+  EXPECT_EQ(a.failures.lost_results, b.failures.lost_results);
+  for (std::size_t i = 0; i < a.evals.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.evals[i].completed_at, b.evals[i].completed_at);
+    ASSERT_DOUBLE_EQ(a.evals[i].reward, b.evals[i].reward);
+    ASSERT_EQ(a.evals[i].arch_key, b.evals[i].arch_key);
+  }
+}
+
+TEST(FailureModel, DisabledByDefaultAndCountsStayZero) {
+  EXPECT_FALSE(FailureModel{}.enabled());
+  EXPECT_TRUE(lossy_model().enabled());
+
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  AgingEvolution ae(space, {.seed = 1});
+  const SimResult r =
+      simulate_async(ae, oracle, faulty_cluster(64, FailureModel{}));
+  EXPECT_EQ(r.failures.total(), 0u);
+}
+
+TEST(FailureModel, AsyncInjectionIsDeterministicPerSeed) {
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  auto run = [&] {
+    AgingEvolution ae(space, {.seed = 2});
+    return simulate_async(ae, oracle, faulty_cluster(64, lossy_model()));
+  };
+  expect_identical(run(), run());
+}
+
+TEST(FailureModel, RLInjectionIsDeterministicPerSeed) {
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  auto run = [&] {
+    return simulate_rl(space, {.seed = 3}, oracle,
+                       faulty_cluster(128, lossy_model(), 11));
+  };
+  expect_identical(run(), run());
+}
+
+TEST(FailureModel, AsyncLosesThroughputButKeepsRunning) {
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+
+  RandomSearch rs_clean(space, 4);
+  const SimResult clean =
+      simulate_async(rs_clean, oracle, faulty_cluster(64, FailureModel{}));
+
+  RandomSearch rs_faulty(space, 4);
+  const SimResult faulty =
+      simulate_async(rs_faulty, oracle, faulty_cluster(64, lossy_model()));
+
+  EXPECT_GT(faulty.failures.worker_crashes, 0u);
+  EXPECT_GT(faulty.failures.stragglers_killed, 0u);
+  EXPECT_GT(faulty.failures.lost_results, 0u);
+  // Failed evaluations never reach the results; node time burned by
+  // stragglers/restarts costs completed evaluations.
+  EXPECT_LT(faulty.num_evaluations(), clean.num_evaluations());
+  EXPECT_GT(faulty.num_evaluations(), 0u);
+  for (const CompletedEval& e : faulty.evals) {
+    EXPECT_LE(e.completed_at, 1800.0);
+  }
+}
+
+TEST(FailureModel, CrashRestartPenaltyLowersUtilization) {
+  // Crashes idle the node for the restart penalty, so utilization (busy
+  // AUC) must drop relative to the failure-free run.
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  FailureModel crashes;
+  crashes.crash_prob = 0.25;
+  crashes.restart_penalty_seconds = 300.0;
+
+  RandomSearch rs_clean(space, 5);
+  const SimResult clean =
+      simulate_async(rs_clean, oracle, faulty_cluster(64, FailureModel{}));
+  RandomSearch rs_faulty(space, 5);
+  const SimResult faulty =
+      simulate_async(rs_faulty, oracle, faulty_cluster(64, crashes));
+
+  EXPECT_LT(faulty.utilization, clean.utilization);
+}
+
+TEST(FailureModel, RLRoundsDegradeGracefully) {
+  // Even at aggressive failure rates — where whole agent batches can die —
+  // the all-reduce proceeds over the surviving agents and rounds advance.
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  FailureModel harsh;
+  harsh.crash_prob = 0.30;
+  harsh.lost_result_prob = 0.20;
+
+  const SimResult clean = simulate_rl(space, {.seed = 6}, oracle,
+                                      faulty_cluster(128, FailureModel{}, 9));
+  const SimResult faulty = simulate_rl(space, {.seed = 6}, oracle,
+                                       faulty_cluster(128, harsh, 9));
+  EXPECT_GT(faulty.rounds, 0u);
+  EXPECT_GT(faulty.failures.total(), 0u);
+  EXPECT_LT(faulty.num_evaluations(), clean.num_evaluations());
+  // A straggler-free model never extends a round past its slowest honest
+  // worker, but crash restarts may: rounds still complete within the wall.
+  for (const CompletedEval& e : faulty.evals) {
+    EXPECT_LE(e.completed_at, 1800.0);
+  }
+}
+
+TEST(FailureModel, StragglerTimeoutExtendsBusyTime) {
+  // Stragglers occupy the node for timeout_multiple x the expected
+  // duration; with everything else fixed, utilization cannot rise and
+  // completed evaluations must fall.
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  FailureModel stragglers;
+  stragglers.straggler_prob = 0.30;
+  stragglers.straggler_timeout_multiple = 5.0;
+
+  RandomSearch rs_clean(space, 8);
+  const SimResult clean =
+      simulate_async(rs_clean, oracle, faulty_cluster(64, FailureModel{}));
+  RandomSearch rs_faulty(space, 8);
+  const SimResult faulty =
+      simulate_async(rs_faulty, oracle, faulty_cluster(64, stragglers));
+
+  EXPECT_GT(faulty.failures.stragglers_killed, 0u);
+  EXPECT_LT(faulty.num_evaluations(), clean.num_evaluations());
+}
+
+}  // namespace
+}  // namespace geonas::hpc

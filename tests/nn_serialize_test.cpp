@@ -1,0 +1,179 @@
+// Weight serialization: binary v2 round trips (incl. non-finite values),
+// text v1 non-finite refusal/diagnostics, file-level format dispatch.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/random.hpp"
+
+namespace geonas::nn {
+namespace {
+
+GraphNetwork small_net() {
+  GraphNetwork net;
+  const auto l1 = net.add_node(std::make_unique<LSTM>(2, 4),
+                               {GraphNetwork::input_id()});
+  net.add_node(std::make_unique<Dense>(4, 2), {l1});
+  return net;
+}
+
+void poison_first_param(GraphNetwork& net) {
+  auto params = net.parameters();
+  params[1]->flat()[0] = std::numeric_limits<double>::quiet_NaN();
+  params[1]->flat()[1] = std::numeric_limits<double>::infinity();
+}
+
+TEST(SerializeBinary, RoundTripIsBitwise) {
+  GraphNetwork net = small_net();
+  net.init_params(21);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_weights_binary(net, buffer);
+
+  GraphNetwork other = small_net();
+  other.init_params(99);
+  load_weights_binary(other, buffer);
+  const auto a = net.parameters();
+  const auto b = other.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    const auto fa = a[p]->flat();
+    const auto fb = b[p]->flat();
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(fa[i]),
+                std::bit_cast<std::uint64_t>(fb[i]));
+    }
+  }
+}
+
+TEST(SerializeBinary, NonFiniteWeightsRoundTrip) {
+  // A diverged training's NaN/inf weights must survive save/load — the
+  // structural fix the text format cannot provide.
+  GraphNetwork net = small_net();
+  net.init_params(22);
+  poison_first_param(net);
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_weights_binary(net, buffer);
+  GraphNetwork other = small_net();
+  other.init_params(23);
+  load_weights_binary(other, buffer);
+  const auto flat = other.parameters()[1]->flat();
+  EXPECT_TRUE(std::isnan(flat[0]));
+  EXPECT_EQ(flat[1], std::numeric_limits<double>::infinity());
+}
+
+TEST(SerializeBinary, DetectsTruncationAndCorruption) {
+  GraphNetwork net = small_net();
+  net.init_params(24);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_weights_binary(net, buffer);
+  const std::string bytes = buffer.str();
+
+  std::string truncated = bytes.substr(0, bytes.size() / 2);
+  std::istringstream ts(truncated, std::ios::binary);
+  GraphNetwork other = small_net();
+  EXPECT_THROW(load_weights_binary(other, ts), std::runtime_error);
+
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  std::istringstream cs(corrupt, std::ios::binary);
+  GraphNetwork other2 = small_net();
+  EXPECT_THROW(load_weights_binary(other2, cs), std::runtime_error);
+}
+
+TEST(SerializeText, RefusesToSaveNonFiniteNamingParameter) {
+  GraphNetwork net = small_net();
+  net.init_params(25);
+  poison_first_param(net);
+  std::stringstream buffer;
+  try {
+    save_weights(net, buffer);
+    FAIL() << "text v1 accepted non-finite weights";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parameter 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("save_weights_binary"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeText, LoadOfNonFiniteTokenNamesParameter) {
+  // A legacy v1 file written before the save-side guard: "nan" tokens in
+  // the value stream must produce a diagnostic naming the parameter, not
+  // a bare stream failure.
+  GraphNetwork net = small_net();
+  net.init_params(26);
+  std::stringstream buffer;
+  save_weights(net, buffer);
+  std::string text = buffer.str();
+  const std::size_t last_space = text.find_last_of(' ');
+  ASSERT_NE(last_space, std::string::npos);
+  text = text.substr(0, last_space + 1) + "nan\n";
+
+  std::istringstream is(text);
+  GraphNetwork other = small_net();
+  try {
+    load_weights(other, is);
+    FAIL() << "text v1 accepted a nan token";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("parameter"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeText, TruncatedAndGarbageValuesAreDiagnosed) {
+  GraphNetwork net = small_net();
+  net.init_params(27);
+  std::stringstream buffer;
+  save_weights(net, buffer);
+  std::string text = buffer.str();
+
+  std::istringstream truncated(text.substr(0, text.size() / 2));
+  GraphNetwork other = small_net();
+  EXPECT_THROW(load_weights(other, truncated), std::runtime_error);
+
+  const std::size_t last_space = text.find_last_of(' ');
+  std::istringstream garbage(text.substr(0, last_space + 1) + "0x!bad\n");
+  GraphNetwork other2 = small_net();
+  EXPECT_THROW(load_weights(other2, garbage), std::runtime_error);
+}
+
+TEST(SerializeFile, AutoDetectsBothFormats) {
+  const std::string bin_path = "/tmp/geonas_serialize_test_v2.bin";
+  const std::string txt_path = "/tmp/geonas_serialize_test_v1.txt";
+  GraphNetwork net = small_net();
+  net.init_params(28);
+  Rng rng(29);
+  Tensor3 x(2, 3, 2);
+  for (std::size_t i = 0; i < x.size(); ++i) x.flat()[i] = rng.normal();
+  const Tensor3 expected = net.forward(x, false);
+
+  save_weights_file(net, bin_path);            // binary v2 default
+  save_weights_file(net, txt_path, true);      // legacy text v1
+
+  for (const std::string& path : {bin_path, txt_path}) {
+    GraphNetwork other = small_net();
+    other.init_params(999);
+    load_weights_file(other, path);
+    const Tensor3 out = other.forward(x, false);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(out.flat()[i], expected.flat()[i]) << path;
+    }
+  }
+  std::remove(bin_path.c_str());
+  std::remove(txt_path.c_str());
+}
+
+}  // namespace
+}  // namespace geonas::nn

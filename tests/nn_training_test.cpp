@@ -200,6 +200,66 @@ TEST(Trainer, GatherExamples) {
   EXPECT_DOUBLE_EQ(gathered(1, 0, 0), 1.0);
 }
 
+TEST(Trainer, LrDecayEpochsDedupedAndNeverZero) {
+  // epochs < 4 used to schedule a decay at epoch 0 (shrinking the whole
+  // run before any full-rate training) or the same epoch twice.
+  EXPECT_TRUE(lr_decay_epochs(1).empty());
+  EXPECT_EQ(lr_decay_epochs(2), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(lr_decay_epochs(3), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(lr_decay_epochs(4), (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(lr_decay_epochs(100), (std::vector<std::size_t>{50, 75}));
+  for (std::size_t epochs = 1; epochs <= 64; ++epochs) {
+    const auto steps = lr_decay_epochs(epochs);
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      EXPECT_GT(steps[i], 0u) << "epochs=" << epochs;
+      if (i > 0) {
+        EXPECT_GT(steps[i], steps[i - 1]) << "epochs=" << epochs;
+      }
+    }
+  }
+}
+
+TEST(Trainer, ShortRunsStillDecayAndTrain) {
+  Rng rng(31);
+  const Tensor3 x = random_tensor(16, 3, 1, rng);
+  const Tensor3 y = random_tensor(16, 3, 1, rng);
+  for (const std::size_t epochs : {1u, 2u, 3u}) {
+    GraphNetwork net = tiny_net(4);
+    net.init_params(32);
+    const TrainHistory hist =
+        Trainer({.epochs = epochs, .batch_size = 8, .lr_step_decay = 0.5,
+                 .seed = 33})
+            .fit(net, x, y, Tensor3{}, Tensor3{});
+    EXPECT_EQ(hist.train_loss.size(), epochs);
+  }
+}
+
+TEST(Trainer, EpochLossWeightsPartialFinalBatch) {
+  // 10 examples at batch size 8 -> batches of 8 and 2. The epoch loss
+  // must be the example-weighted mean (= whole-set MSE when lr is 0 and
+  // the weights never move), not the mean of the two batch means, which
+  // would overweight every example of the small final batch 4x.
+  const std::size_t n = 10;
+  Rng rng(34);
+  const Tensor3 x = random_tensor(n, 3, 1, rng);
+  Tensor3 y = random_tensor(n, 3, 1, rng);
+  // Skew the tail examples so equal-batch weighting visibly differs.
+  for (std::size_t t = 0; t < 3; ++t) {
+    y(8, t, 0) += 50.0;
+    y(9, t, 0) += 50.0;
+  }
+  GraphNetwork net = tiny_net(4);
+  net.init_params(35);
+  const TrainHistory hist =
+      Trainer({.epochs = 1, .batch_size = 8, .learning_rate = 0.0,
+               .shuffle = false})
+          .fit(net, x, y, Tensor3{}, Tensor3{});
+  ASSERT_EQ(hist.train_loss.size(), 1u);
+  const Tensor3 pred = Trainer::predict(net, x);
+  const double whole_set = mse_loss(y, pred);
+  EXPECT_NEAR(hist.train_loss[0], whole_set, 1e-9 * whole_set);
+}
+
 TEST(Serialize, RoundTripRestoresOutputs) {
   GraphNetwork net = tiny_net();
   net.init_params(13);

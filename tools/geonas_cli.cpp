@@ -8,13 +8,23 @@
 //                        [--nlat 45] [--nlon 90] [--weeks 427] [--start 0]
 //                        [--seed 2020]
 //   geonas_cli pod       --snapshots snaps.bin [--modes 5]
-//   geonas_cli search    --evaluations 500 [--method ae|rs] [--seed 1]
+//   geonas_cli search    --evaluations 500 [--method ae|rs|ppo] [--seed 1]
+//                        [--checkpoint ckpt.bin] [--checkpoint-every 50]
+//                        [--resume 1] [--retries 3] [--eval-timeout 0]
 //   geonas_cli train     --snapshots snaps.bin [--modes 5] [--window 8]
 //                        [--arch GENE-KEY] [--epochs 60] [--seed 1]
+//                        [--weights-out weights.bin]
 //
 // `search` explores the paper's stacked-LSTM space against the calibrated
 // surrogate evaluator and prints the best architecture's gene key, which
 // `train` accepts to run a real training on the snapshot file.
+//
+// Fault tolerance: `--checkpoint` atomically rewrites a versioned binary
+// checkpoint every `--checkpoint-every` evaluations (and at the end);
+// `--resume 1` continues a killed campaign from it — same method, same
+// seed — and replays the uninterrupted trajectory bitwise. `--retries`
+// retries throwing/diverged evaluations with a reseeded training before
+// counting the evaluation as failed.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,9 +39,11 @@
 #include "data/snapshot_io.hpp"
 #include "data/sst.hpp"
 #include "data/windowing.hpp"
+#include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
 #include "pod/pod.hpp"
 #include "search/aging_evolution.hpp"
+#include "search/ppo.hpp"
 #include "search/random_search.hpp"
 #include "searchspace/space.hpp"
 
@@ -135,22 +147,48 @@ int cmd_search(const Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   const std::string method = args.get("method", "ae");
 
+  core::SearchRunOptions options;
+  options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_every =
+      static_cast<std::size_t>(args.get_long("checkpoint-every", 0));
+  options.resume = args.get_long("resume", 0) != 0;
+  options.retry.max_attempts =
+      static_cast<std::size_t>(args.get_long("retries", 0)) + 1;
+  options.retry.timeout_seconds =
+      std::stod(args.get("eval-timeout", "0"));
+  if (options.resume && options.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume 1 requires --checkpoint PATH\n");
+    return 2;
+  }
+
   const searchspace::StackedLSTMSpace space;
   core::SurrogateEvaluator oracle(space);
   core::LocalSearchResult result;
   if (method == "rs") {
     search::RandomSearch rs(space, seed);
-    result = core::run_local_search(rs, oracle, evaluations, seed);
+    result = core::run_local_search(rs, oracle, evaluations, seed, options);
   } else if (method == "ae") {
     search::AgingEvolution ae(space, {.population_size = 100,
                                       .sample_size = 10, .seed = seed});
-    result = core::run_local_search(ae, oracle, evaluations, seed);
+    result = core::run_local_search(ae, oracle, evaluations, seed, options);
+  } else if (method == "ppo") {
+    search::PPOSearch ppo(space, {.seed = seed});
+    result = core::run_local_search(ppo, oracle, evaluations, seed, options);
   } else {
-    std::fprintf(stderr, "unknown --method '%s' (ae|rs)\n", method.c_str());
+    std::fprintf(stderr, "unknown --method '%s' (ae|rs|ppo)\n",
+                 method.c_str());
     return 2;
   }
   std::printf("%zu evaluations, best surrogate reward %.4f\n",
               result.history.size(), result.best_reward);
+  if (options.retry.enabled()) {
+    std::printf("fault policy: %zu retries, %zu evaluations failed\n",
+                result.eval_retries, result.eval_failures);
+  }
+  if (!options.checkpoint_path.empty()) {
+    std::printf("checkpoint written to %s\n",
+                options.checkpoint_path.c_str());
+  }
   std::printf("best architecture key: %s\n%s", result.best.key().c_str(),
               space.describe(result.best).c_str());
   return 0;
@@ -211,6 +249,12 @@ int cmd_train(const Args& args) {
           .fit(net, split.train.x, split.train.y, split.val.x, split.val.y);
   std::printf("final validation R2: %.4f (best %.4f)\n",
               history.val_r2.back(), history.best_val_r2());
+
+  const std::string weights_out = args.get("weights-out", "");
+  if (!weights_out.empty()) {
+    nn::save_weights_file(net, weights_out);  // binary v2
+    std::printf("wrote trained weights to %s\n", weights_out.c_str());
+  }
   return 0;
 }
 

@@ -22,6 +22,14 @@ Rules (see DESIGN.md "Correctness tooling"):
                        the reporting layer narrates. Keeps NAS campaign
                        output machine-parseable and kernels silent.
 
+  unchecked-stream-read
+                       A stream .read(...) or operator>> extraction in
+                       src/ with no visible status check (if/throw/
+                       gcount/fail/require_stream/read_exact) on the same
+                       line or the two lines below. Unchecked reads turn
+                       truncated files into silent garbage; route them
+                       through io::BinaryReader or check the stream.
+
   float-eq-in-tests    EXPECT_EQ/ASSERT_EQ with a floating-point literal
                        as a top-level macro argument in tests/ — compare
                        with EXPECT_NEAR / EXPECT_DOUBLE_EQ, or suppress
@@ -64,6 +72,12 @@ FLOAT_LITERAL_RE = re.compile(
     r"(?<![\w.])(\d+\.\d*(e[+-]?\d+)?|\.\d+(e[+-]?\d+)?|\d+e[+-]?\d+)f?",
     re.IGNORECASE)
 EQ_MACRO_RE = re.compile(r"\b(EXPECT_EQ|ASSERT_EQ)\s*\(")
+# istream member read, or extraction whose LHS is a stream-like name
+# (is/ifs/in/input/stream, optionally trailing underscore / deref).
+STREAM_READ_RE = re.compile(r"(?:\.|->)\s*read\s*\(")
+STREAM_EXTRACT_RE = re.compile(r"\b(?:is|ifs|in|input|stream)_?\s*>>")
+STREAM_CHECK_RE = re.compile(
+    r"\b(?:if|throw|gcount|fail|good|require_stream|read_exact)\b")
 
 
 class Finding:
@@ -230,6 +244,16 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
             if m and not is_reporting:
                 report("iostream-in-library",
                        "console I/O in src/ outside core/reporting")
+            m = STREAM_READ_RE.search(code) or STREAM_EXTRACT_RE.search(code)
+            if m:
+                # Checked when the same line or the two below mention a
+                # stream-status test or a checking helper.
+                window = "\n".join(code_lines[lineno - 1:lineno + 2])
+                if not STREAM_CHECK_RE.search(window):
+                    report("unchecked-stream-read",
+                           "stream read without a visible status check — "
+                           "check the stream (gcount/fail/if) or use "
+                           "io::BinaryReader")
 
         if in_tests:
             for m in EQ_MACRO_RE.finditer(code):
