@@ -1,6 +1,13 @@
 // Google-benchmark microbenchmarks for the geonas substrates: dense
-// kernels, LSTM forward/BPTT, POD fitting, synthetic data generation,
-// search-space operations, and the surrogate evaluator.
+// kernels, vector transcendental math, LSTM forward/BPTT, POD fitting,
+// synthetic data generation, search-space operations, and the surrogate
+// evaluator.
+//
+// Custom main (below): every run stamps the geonas build type and active
+// vmath backend into the benchmark context, so a committed BENCH_*.json
+// carries its own provenance (tools/run_bench.sh refuses non-release
+// captures on that field — the upstream "library_build_type" describes
+// the system benchmark library, not this repo's flags).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -16,6 +23,11 @@
 #include "search/aging_evolution.hpp"
 #include "tensor/blas.hpp"
 #include "tensor/random.hpp"
+#include "tensor/vmath.hpp"
+
+#ifndef GEONAS_BENCH_BUILD_TYPE
+#define GEONAS_BENCH_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -80,6 +92,118 @@ void BM_MatmulAtB(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatmulAtB)->Arg(128)->Arg(427);
+
+std::vector<double> random_span(std::size_t n, std::uint64_t seed,
+                                double lo = -6.0, double hi = 6.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+void BM_Vtanh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = random_span(n, 21);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    tensor::vtanh({x.data(), n}, {y.data(), n});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Vtanh)->Arg(320)->Arg(10240);
+
+// std::tanh loop — the pre-vmath per-element numerics, kept inline as
+// the baseline BM_Vtanh is measured against.
+void BM_VtanhScalarRef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = random_span(n, 21);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VtanhScalarRef)->Arg(320)->Arg(10240);
+
+void BM_Vsigmoid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = random_span(n, 22);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    tensor::vsigmoid({x.data(), n}, {y.data(), n});
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Vsigmoid)->Arg(10240);
+
+// Isolated LSTM pointwise stage at paper scale (batch 32 rows), fused
+// through tensor::vmath.
+void BM_LstmPointwise(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRows = 32;
+  std::vector<double> z = random_span(kRows * 4 * units, 23);
+  const std::vector<double> zin = z;
+  const std::vector<double> c_prev = random_span(kRows * units, 24, -1, 1);
+  std::vector<double> c_new(kRows * units), h_new(kRows * units),
+      h_out(kRows * units);
+  for (auto _ : state) {
+    z = zin;  // the kernel overwrites pre-activations with gate values
+    tensor::lstm_pointwise_forward(kRows, units, z.data(), c_prev.data(),
+                                   c_new.data(), h_new.data(), h_out.data(),
+                                   units);
+    benchmark::DoNotOptimize(h_out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRows * units));
+}
+BENCHMARK(BM_LstmPointwise)->Arg(40)->Arg(80);
+
+// Same stage with the pre-vmath scalar numerics (per-element std::exp /
+// std::tanh sigmoid-gate loop) — the ">= 2x" baseline.
+void BM_LstmPointwiseScalarRef(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRows = 32;
+  std::vector<double> z = random_span(kRows * 4 * units, 23);
+  const std::vector<double> zin = z;
+  const std::vector<double> c_prev = random_span(kRows * units, 24, -1, 1);
+  std::vector<double> c_new(kRows * units), h_new(kRows * units),
+      h_out(kRows * units);
+  for (auto _ : state) {
+    z = zin;
+    for (std::size_t r = 0; r < kRows; ++r) {
+      double* zr = z.data() + r * 4 * units;
+      const double* cp = c_prev.data() + r * units;
+      double* cn = c_new.data() + r * units;
+      double* hn = h_new.data() + r * units;
+      double* ho = h_out.data() + r * units;
+      for (std::size_t u = 0; u < units; ++u) {
+        const double ig = 1.0 / (1.0 + std::exp(-zr[u]));
+        const double fg = 1.0 / (1.0 + std::exp(-zr[units + u]));
+        const double gg = std::tanh(zr[2 * units + u]);
+        const double og = 1.0 / (1.0 + std::exp(-zr[3 * units + u]));
+        const double c = fg * cp[u] + ig * gg;
+        const double h = og * std::tanh(c);
+        zr[u] = ig;
+        zr[units + u] = fg;
+        zr[2 * units + u] = gg;
+        zr[3 * units + u] = og;
+        cn[u] = c;
+        hn[u] = h;
+        ho[u] = h;
+      }
+    }
+    benchmark::DoNotOptimize(h_out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRows * units));
+}
+BENCHMARK(BM_LstmPointwiseScalarRef)->Arg(40)->Arg(80);
 
 void BM_LSTMForward(benchmark::State& state) {
   const auto units = static_cast<std::size_t>(state.range(0));
@@ -267,3 +391,14 @@ void BM_AgingEvolutionCycle(benchmark::State& state) {
 BENCHMARK(BM_AgingEvolutionCycle);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("geonas_build_type", GEONAS_BENCH_BUILD_TYPE);
+  benchmark::AddCustomContext("geonas_vmath_backend",
+                              geonas::tensor::vmath_backend());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

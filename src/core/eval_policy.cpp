@@ -60,4 +60,74 @@ hpc::EvalOutcome RetryingEvaluator::evaluate(
   return failed;
 }
 
+MemoizingEvaluator::MemoizingEvaluator(hpc::ArchitectureEvaluator& inner)
+    : inner_(&inner) {}
+
+hpc::EvalOutcome MemoizingEvaluator::evaluate(
+    const searchspace::Architecture& arch, std::uint64_t eval_seed) {
+  const std::string key = arch.key();
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Evaluate outside the lock: a first visit is a full training and must
+  // not serialize the other workers.
+  const hpc::EvalOutcome outcome = inner_->evaluate(arch, eval_seed);
+  std::lock_guard lock(mutex_);
+  ++misses_;
+  if (!outcome.failed) {
+    const auto [it, inserted] = cache_.emplace(key, outcome);
+    if (inserted) {
+      order_.push_back(key);
+    } else {
+      return it->second;  // a concurrent first visit beat us; its result wins
+    }
+  }
+  return outcome;
+}
+
+std::size_t MemoizingEvaluator::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::size_t MemoizingEvaluator::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::size_t MemoizingEvaluator::size() const {
+  std::lock_guard lock(mutex_);
+  return order_.size();
+}
+
+std::vector<MemoizingEvaluator::Entry> MemoizingEvaluator::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> entries;
+  entries.reserve(order_.size());
+  for (const std::string& key : order_) {
+    entries.push_back({key, cache_.at(key)});
+  }
+  return entries;
+}
+
+void MemoizingEvaluator::restore(const std::vector<Entry>& entries,
+                                 std::size_t hits, std::size_t misses) {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+  order_.clear();
+  for (const Entry& entry : entries) {
+    const auto [it, inserted] = cache_.insert_or_assign(entry.key,
+                                                        entry.outcome);
+    (void)it;
+    if (inserted) order_.push_back(entry.key);
+  }
+  hits_ = hits;
+  misses_ = misses;
+}
+
 }  // namespace geonas::core

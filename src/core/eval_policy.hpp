@@ -18,6 +18,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "hpc/evaluator.hpp"
 
@@ -66,6 +70,59 @@ class RetryingEvaluator final : public hpc::ArchitectureEvaluator {
   EvalRetryPolicy policy_;
   std::atomic<std::size_t> retries_{0};
   std::atomic<std::size_t> failures_{0};
+};
+
+/// Campaign-level evaluation memoization. Mutation-based search revisits
+/// architectures constantly (Li & Talwalkar); training a duplicate buys
+/// no new information, so the first outcome is cached under the
+/// architecture's canonical key() and returned for every later visit —
+/// regardless of eval_seed, which is the point: a duplicate costs a hash
+/// lookup instead of a training run.
+///
+/// Layering: wrap the memoizer OUTSIDE a RetryingEvaluator so cache hits
+/// skip the retry machinery entirely. Sentinel `failed` outcomes are
+/// never cached — a transient failure must not pin an architecture to
+/// the failure reward for the rest of the campaign.
+///
+/// Thread-safe iff the inner evaluator is (one mutex guards the table;
+/// it is never held across an inner evaluation, so concurrent first
+/// visits of the SAME architecture may both train — the first completed
+/// outcome wins and later ones are discarded, keeping the cache stable).
+class MemoizingEvaluator final : public hpc::ArchitectureEvaluator {
+ public:
+  explicit MemoizingEvaluator(hpc::ArchitectureEvaluator& inner);
+
+  [[nodiscard]] hpc::EvalOutcome evaluate(
+      const searchspace::Architecture& arch, std::uint64_t eval_seed) override;
+  [[nodiscard]] bool thread_safe() const override {
+    return inner_->thread_safe();
+  }
+
+  /// Evaluations served from the cache / forwarded to the inner
+  /// evaluator. hits + misses == total evaluate() calls.
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+  struct Entry {
+    std::string key;  // searchspace::Architecture::key()
+    hpc::EvalOutcome outcome;
+  };
+  /// Insertion-ordered snapshot — deterministic, so checkpoints of the
+  /// same campaign state are byte-identical.
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+  /// Replaces the cache and counters (checkpoint resume). Later entries
+  /// win on duplicate keys.
+  void restore(const std::vector<Entry>& entries, std::size_t hits,
+               std::size_t misses);
+
+ private:
+  hpc::ArchitectureEvaluator* inner_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, hpc::EvalOutcome> cache_;
+  std::vector<std::string> order_;  // cache_ keys in insertion order
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
 };
 
 }  // namespace geonas::core

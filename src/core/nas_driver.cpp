@@ -12,27 +12,50 @@ namespace geonas::core {
 namespace {
 
 constexpr const char* kCheckpointMagic = "GEONASC1";
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v1: method/seed/history/best/retry counters/method state.
+// v2: + cache hit/miss counters and the memoization cache entries
+//     (between the failure counter and the method state).
+constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint32_t kCheckpointMinVersion = 1;
 
-/// The retry policy wraps the evaluator transparently; with the policy
-/// disabled the raw evaluator is used and behaviour is unchanged.
-struct PolicyWrap {
+/// Evaluator stack for one campaign: inner evaluator, optionally wrapped
+/// by the retry policy, optionally wrapped by the memoization cache (in
+/// that order — a cache hit skips the retry machinery). With both
+/// features off the raw evaluator is used and behaviour is unchanged.
+struct EvalStack {
+  RetryingEvaluator retrying;
+  MemoizingEvaluator memo;
   hpc::ArchitectureEvaluator* active;
-  RetryingEvaluator* retrying = nullptr;
+  bool memoized;
 
-  PolicyWrap(hpc::ArchitectureEvaluator& inner, const EvalRetryPolicy& policy,
-             RetryingEvaluator& storage)
-      : active(&inner) {
-    if (policy.enabled()) {
-      retrying = &storage;
-      active = retrying;
-    }
+  EvalStack(hpc::ArchitectureEvaluator& inner,
+            const SearchRunOptions& options)
+      : retrying(inner, options.retry),
+        memo(options.retry.enabled()
+                 ? static_cast<hpc::ArchitectureEvaluator&>(retrying)
+                 : inner),
+        active(options.retry.enabled()
+                   ? static_cast<hpc::ArchitectureEvaluator*>(&retrying)
+                   : &inner),
+        memoized(options.memoize) {
+    if (memoized) active = &memo;
   }
   void harvest(LocalSearchResult& result) const {
-    if (retrying != nullptr) {
-      result.eval_retries = retrying->retries();
-      result.eval_failures = retrying->failures();
+    if (retrying.policy().enabled()) {
+      result.eval_retries = retrying.retries();
+      result.eval_failures = retrying.failures();
     }
+    if (memoized) {
+      result.cache_hits = memo.hits();
+      result.cache_misses = memo.misses();
+    }
+  }
+  /// What the checkpoint writer should serialize (nullptr = no cache).
+  [[nodiscard]] const MemoizingEvaluator* checkpoint_memo() const {
+    return memoized ? &memo : nullptr;
+  }
+  [[nodiscard]] MemoizingEvaluator* resume_memo() {
+    return memoized ? &memo : nullptr;
   }
 };
 
@@ -49,7 +72,8 @@ void record_outcome(LocalSearchResult& result, searchspace::Architecture arch,
 
 void save_search_checkpoint(const search::SearchMethod& method,
                             const LocalSearchResult& state,
-                            std::uint64_t seed, const std::string& path) {
+                            std::uint64_t seed, const std::string& path,
+                            const MemoizingEvaluator* memo) {
   if (!method.checkpointable()) {
     throw std::invalid_argument("save_search_checkpoint: method '" +
                                 method.name() + "' is not checkpointable");
@@ -75,6 +99,19 @@ void save_search_checkpoint(const search::SearchMethod& method,
     writer.f64(state.best_reward);
     writer.u64(state.eval_retries);
     writer.u64(state.eval_failures);
+    writer.u64(state.cache_hits);
+    writer.u64(state.cache_misses);
+    const auto entries = memo != nullptr
+                             ? memo->snapshot()
+                             : std::vector<MemoizingEvaluator::Entry>{};
+    writer.u64(entries.size());
+    for (const auto& entry : entries) {
+      writer.str(entry.key);
+      writer.f64(entry.outcome.reward);
+      writer.f64(entry.outcome.duration_seconds);
+      writer.u64(entry.outcome.params);
+      writer.u8(entry.outcome.failed ? 1 : 0);
+    }
     method.save(writer);
     writer.finish();
   }
@@ -87,12 +124,13 @@ void save_search_checkpoint(const search::SearchMethod& method,
 std::size_t load_search_checkpoint(search::SearchMethod& method,
                                    LocalSearchResult& state,
                                    std::uint64_t expected_seed,
-                                   const std::string& path) {
+                                   const std::string& path,
+                                   MemoizingEvaluator* memo) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     throw std::runtime_error("load_search_checkpoint: cannot open " + path);
   }
-  io::BinaryReader reader(is, kCheckpointMagic, kCheckpointVersion,
+  io::BinaryReader reader(is, kCheckpointMagic, kCheckpointMinVersion,
                           kCheckpointVersion);
   const std::string name = reader.str("method name", 64);
   if (name != method.name()) {
@@ -126,8 +164,31 @@ std::size_t load_search_checkpoint(search::SearchMethod& method,
   loaded.best_reward = reader.f64("best reward");
   loaded.eval_retries = reader.u64("retry count");
   loaded.eval_failures = reader.u64("failure count");
+  std::vector<MemoizingEvaluator::Entry> entries;
+  if (reader.version() >= 2) {
+    loaded.cache_hits = reader.u64("cache hit count");
+    loaded.cache_misses = reader.u64("cache miss count");
+    const std::uint64_t cached = reader.u64("cache entry count");
+    if (cached > (1ULL << 32)) {
+      throw std::runtime_error(
+          "load_search_checkpoint: implausible cache entry count");
+    }
+    entries.reserve(static_cast<std::size_t>(cached));
+    for (std::uint64_t i = 0; i < cached; ++i) {
+      MemoizingEvaluator::Entry entry;
+      entry.key = reader.str("cache key", 4096);
+      entry.outcome.reward = reader.f64("cached reward");
+      entry.outcome.duration_seconds = reader.f64("cached duration");
+      entry.outcome.params = reader.u64("cached params");
+      entry.outcome.failed = reader.u8("cached failed flag") != 0;
+      entries.push_back(std::move(entry));
+    }
+  }
   method.load(reader);
   reader.finish();  // CRC over everything consumed
+  if (memo != nullptr) {
+    memo->restore(entries, loaded.cache_hits, loaded.cache_misses);
+  }
   state = std::move(loaded);
   return state.history.size();
 }
@@ -137,31 +198,33 @@ LocalSearchResult run_local_search(search::SearchMethod& method,
                                    std::size_t evaluations,
                                    std::uint64_t seed,
                                    const SearchRunOptions& options) {
-  RetryingEvaluator retrying(evaluator, options.retry);
-  const PolicyWrap wrap(evaluator, options.retry, retrying);
+  EvalStack stack(evaluator, options);
 
   LocalSearchResult result;
   result.best_reward = -1e300;
   std::size_t start = 0;
   if (options.resume) {
     start = load_search_checkpoint(method, result, seed,
-                                   options.checkpoint_path);
+                                   options.checkpoint_path,
+                                   stack.resume_memo());
   }
 
   for (std::size_t i = start; i < evaluations; ++i) {
     searchspace::Architecture arch = method.ask();
-    const auto outcome = wrap.active->evaluate(arch, hash_combine(seed, i));
+    const auto outcome = stack.active->evaluate(arch, hash_combine(seed, i));
     method.tell(arch, outcome.reward);
     record_outcome(result, std::move(arch), outcome);
-    wrap.harvest(result);
+    stack.harvest(result);
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         result.history.size() % options.checkpoint_every == 0) {
-      save_search_checkpoint(method, result, seed, options.checkpoint_path);
+      save_search_checkpoint(method, result, seed, options.checkpoint_path,
+                             stack.checkpoint_memo());
     }
   }
-  wrap.harvest(result);
+  stack.harvest(result);
   if (!options.checkpoint_path.empty()) {
-    save_search_checkpoint(method, result, seed, options.checkpoint_path);
+    save_search_checkpoint(method, result, seed, options.checkpoint_path,
+                           stack.checkpoint_memo());
   }
   return result;
 }
@@ -177,8 +240,7 @@ LocalSearchResult run_local_search_parallel(
   if (workers == 0) {
     throw std::invalid_argument("run_local_search_parallel: zero workers");
   }
-  RetryingEvaluator retrying(evaluator, options.retry);
-  const PolicyWrap wrap(evaluator, options.retry, retrying);
+  EvalStack stack(evaluator, options);
 
   LocalSearchResult result;
   result.best_reward = -1e300;
@@ -187,7 +249,8 @@ LocalSearchResult run_local_search_parallel(
   std::size_t issued = 0;
   if (options.resume) {
     issued = load_search_checkpoint(method, result, seed,
-                                    options.checkpoint_path);
+                                    options.checkpoint_path,
+                                    stack.resume_memo());
   }
 
   hpc::ThreadPool pool(workers);
@@ -204,26 +267,28 @@ LocalSearchResult run_local_search_parallel(
           eval_seed = hash_combine(seed, issued++);
           arch = method.ask();
         }
-        const auto outcome = wrap.active->evaluate(arch, eval_seed);
+        const auto outcome = stack.active->evaluate(arch, eval_seed);
         // Lock order is always method -> result (tell and checkpoint
         // both honor it), so the pair can never deadlock.
         std::scoped_lock locks(method_mutex, result_mutex);
         method.tell(arch, outcome.reward);
         record_outcome(result, std::move(arch), outcome);
-        wrap.harvest(result);
+        stack.harvest(result);
         if (!options.checkpoint_path.empty() &&
             options.checkpoint_every > 0 &&
             result.history.size() % options.checkpoint_every == 0) {
           save_search_checkpoint(method, result, seed,
-                                 options.checkpoint_path);
+                                 options.checkpoint_path,
+                                 stack.checkpoint_memo());
         }
       }
     }));
   }
   for (auto& f : futures) f.get();
-  wrap.harvest(result);
+  stack.harvest(result);
   if (!options.checkpoint_path.empty()) {
-    save_search_checkpoint(method, result, seed, options.checkpoint_path);
+    save_search_checkpoint(method, result, seed, options.checkpoint_path,
+                           stack.checkpoint_memo());
   }
   return result;
 }

@@ -40,6 +40,9 @@ struct LocalSearchResult {
   /// Fault-policy accounting (0 unless a retry policy was enabled).
   std::size_t eval_retries = 0;
   std::size_t eval_failures = 0;
+  /// Memoization accounting (0 unless SearchRunOptions::memoize).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 struct SearchRunOptions {
@@ -55,6 +58,13 @@ struct SearchRunOptions {
   /// method must match the checkpointed one (name + configuration) and
   /// the campaign seed must be identical.
   bool resume = false;
+  /// Memoize evaluations on the canonical architecture key: duplicate
+  /// candidates (constant under mutation-based search) return the first
+  /// outcome instead of retraining. The cache rides in the checkpoint,
+  /// so a resumed campaign replays hits exactly as the uninterrupted run
+  /// would. Off by default — memoized rewards are seed-independent,
+  /// which changes trajectories relative to the re-training baseline.
+  bool memoize = false;
 };
 
 /// Runs `evaluations` sequential ask/evaluate/tell cycles.
@@ -76,17 +86,23 @@ struct SearchRunOptions {
 
 /// Atomically writes a campaign checkpoint (method state + history +
 /// seed) as a versioned geonas::io container ("GEONASC1", CRC-32
-/// trailer). The method must be checkpointable().
+/// trailer). The method must be checkpointable(). Format v2 appends the
+/// memoization cache; pass the campaign's MemoizingEvaluator (or nullptr
+/// for an empty cache section).
 void save_search_checkpoint(const search::SearchMethod& method,
                             const LocalSearchResult& state,
-                            std::uint64_t seed, const std::string& path);
+                            std::uint64_t seed, const std::string& path,
+                            const MemoizingEvaluator* memo = nullptr);
 
 /// Restores a checkpoint into `method` and `state`; returns the number of
 /// completed evaluations. Throws when the file is truncated/corrupt, the
 /// method name differs, or the stored campaign seed != `expected_seed`
 /// (resuming under a different seed would silently fork the trajectory).
+/// Accepts format v1 (pre-memoization) and v2; a v2 cache section is
+/// restored into `memo` when given, consumed and dropped otherwise.
 [[nodiscard]] std::size_t load_search_checkpoint(
     search::SearchMethod& method, LocalSearchResult& state,
-    std::uint64_t expected_seed, const std::string& path);
+    std::uint64_t expected_seed, const std::string& path,
+    MemoizingEvaluator* memo = nullptr);
 
 }  // namespace geonas::core

@@ -1,5 +1,9 @@
 #include "nn/activations.hpp"
 
+#include <stdexcept>
+
+#include "tensor/vmath.hpp"
+
 namespace geonas::nn {
 
 const char* activation_name(Activation a) noexcept {
@@ -10,6 +14,49 @@ const char* activation_name(Activation a) noexcept {
     case Activation::kSigmoid: return "sigmoid";
   }
   return "unknown";
+}
+
+void apply_activation(Activation a, std::span<double> x) {
+  switch (a) {
+    case Activation::kReLU:
+      for (double& v : x) v = relu(v);
+      break;
+    case Activation::kTanh:
+      tensor::vtanh(x, x);
+      break;
+    case Activation::kSigmoid:
+      tensor::vsigmoid(x, x);
+      break;
+    case Activation::kIdentity:
+      break;
+  }
+}
+
+void activation_grad_mul(Activation a, std::span<double> dz,
+                         std::span<const double> pre,
+                         std::span<const double> post) {
+  if (dz.size() != pre.size() || dz.size() != post.size()) {
+    throw std::invalid_argument("activation_grad_mul: span size mismatch");
+  }
+  switch (a) {
+    case Activation::kReLU:
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        dz[i] *= relu_grad_from_input(pre[i]);
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        dz[i] *= tanh_grad_from_value(post[i]);
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        dz[i] *= sigmoid_grad_from_value(post[i]);
+      }
+      break;
+    case Activation::kIdentity:
+      break;
+  }
 }
 
 }  // namespace geonas::nn

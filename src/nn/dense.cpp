@@ -57,9 +57,8 @@ Tensor3 Dense::forward(std::span<const Tensor3* const> inputs, bool training) {
     input_cache_ = x;
     preact_cache_ = out;
   }
-  if (activation_ != Activation::kIdentity) {
-    for (double& v : out.flat()) v = apply_activation(activation_, v);
-  }
+  // Span form dispatches tanh/sigmoid to the tensor::vmath backend.
+  apply_activation(activation_, out.flat());
   if (training) output_cache_ = out;
   return out;
 }
@@ -75,12 +74,8 @@ std::vector<Tensor3> Dense::backward(const Tensor3& grad_output) {
   // Gradient through the activation.
   Tensor3 dz = grad_output;
   if (activation_ != Activation::kIdentity) {
-    auto dzf = dz.flat();
-    const auto pre = preact_cache_.flat();
-    const auto post = output_cache_.flat();
-    for (std::size_t i = 0; i < dzf.size(); ++i) {
-      dzf[i] *= activation_grad(activation_, pre[i], post[i]);
-    }
+    activation_grad_mul(activation_, dz.flat(), preact_cache_.flat(),
+                        output_cache_.flat());
   }
 
   // dW += X^T dZ and dX = dZ W^T as whole-batch slab GEMMs.

@@ -5,8 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
-#include "nn/activations.hpp"
 #include "tensor/blas.hpp"
+#include "tensor/vmath.hpp"
 
 namespace geonas::nn {
 
@@ -74,36 +74,19 @@ Tensor3 GRU::forward(std::span<const Tensor3* const> inputs, bool training) {
     // column block of Wh is a strided (units x 2*units) submatrix.
     gemm_raw(Trans::kNone, Trans::kNone, batch, 2 * units_, units_, 1.0,
              h_prev, units_, whp, g3, 1.0, a, g3);
-    // z and r gates; the candidate's recurrent input r .* h_{t-1}.
+    // Fused z/r gate sigmoids + the candidate's recurrent input
+    // r .* h_{t-1} (tensor::vmath).
     double* rh = rh_.flat().data() + t * batch * units_;
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      double* arow = a + bi * g3;
-      const double* hp = h_prev + bi * units_;
-      double* rhrow = rh + bi * units_;
-      for (std::size_t u = 0; u < units_; ++u) {
-        arow[u] = sigmoid(arow[u]);                    // z
-        arow[units_ + u] = sigmoid(arow[units_ + u]);  // r
-        rhrow[u] = arow[units_ + u] * hp[u];
-      }
-    }
+    tensor::gru_pointwise_zr(batch, units_, a, h_prev, rh);
     // Candidate recurrent term against the [h] column block of Wh.
     gemm_raw(Trans::kNone, Trans::kNone, batch, units_, units_, 1.0, rh,
              units_, whp + 2 * units_, g3, 1.0, a + 2 * units_, g3);
+    // Fused candidate tanh + state blend, scattered straight into the
+    // batch-major output (tensor::vmath).
     double* h_new = h_seq_.flat().data() + (t + 1) * batch * units_;
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      double* arow = a + bi * g3;
-      const double* hp = h_prev + bi * units_;
-      double* hn = h_new + bi * units_;
-      double* orow = out.flat().data() + (bi * steps + t) * units_;
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double zg = arow[u];
-        const double hh = tanh_act(arow[2 * units_ + u]);
-        arow[2 * units_ + u] = hh;
-        const double h_val = (1.0 - zg) * hp[u] + zg * hh;
-        hn[u] = h_val;
-        orow[u] = h_val;
-      }
-    }
+    tensor::gru_pointwise_out(batch, units_, a, h_prev, h_new,
+                              out.flat().data() + t * units_,
+                              steps * units_);
   }
 
   fwd_batch_ = batch;
@@ -136,44 +119,23 @@ std::vector<Tensor3> GRU::backward(const Tensor3& grad_output) {
     const double* rh = rh_.flat().data() + t * batch * units_;
     double* da = da_.flat().data() + t * batch * g3;
 
-    // Through h_new = (1 - z) h_prev + z hh: fill the z and candidate
-    // pre-activation gradients; dh_ is rewritten with the direct
-    // (1 - z) path and the remaining contributions accumulate below.
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      const double* grow = gates + bi * g3;
-      double* darow = da + bi * g3;
-      double* dhrow = dh_.flat().data() + bi * units_;
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double zg = grow[u];
-        const double hh = grow[2 * units_ + u];
-        const double h_prev_v = h_prev[bi * units_ + u];
-        const double dh = grad_output(bi, t, u) + dhrow[u];
-        const double dz = dh * (hh - h_prev_v);
-        const double dhh = dh * zg;
-        darow[u] = dz * sigmoid_grad_from_value(zg);
-        darow[2 * units_ + u] = dhh * tanh_grad_from_value(hh);
-        dhrow[u] = dh * (1.0 - zg);
-      }
-    }
+    // Through h_new = (1 - z) h_prev + z hh (tensor::vmath): fill the z
+    // and candidate pre-activation gradients; dh_ is rewritten with the
+    // direct (1 - z) path and the remaining contributions accumulate
+    // below.
+    tensor::gru_pointwise_backward_zh(batch, units_, gates, h_prev,
+                                      grad_output.flat().data() + t * units_,
+                                      steps * units_, dh_.flat().data(), da);
 
     // d(r .* h_prev) = da_h Uh^T over the candidate column block.
     gemm_raw(Trans::kNone, Trans::kTranspose, batch, units_, units_, 1.0,
              da + 2 * units_, g3, whp + 2 * units_, g3, 0.0,
              drh_.flat().data(), units_);
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      const double* grow = gates + bi * g3;
-      double* darow = da + bi * g3;
-      double* dhrow = dh_.flat().data() + bi * units_;
-      const double* drhrow = drh_.flat().data() + bi * units_;
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double rg = grow[units_ + u];
-        const double h_prev_v = h_prev[bi * units_ + u];
-        darow[units_ + u] =
-            drhrow[u] * h_prev_v * sigmoid_grad_from_value(rg);
-        dhrow[u] += drhrow[u] * rg;
-      }
-      for (std::size_t j = 0; j < g3; ++j) bg[j] += darow[j];
-    }
+    // Through rh = r .* h_prev, plus the deterministic row-order bias
+    // accumulation over all three gate blocks (tensor::vmath).
+    tensor::gru_pointwise_backward_r(batch, units_, gates, h_prev,
+                                     drh_.flat().data(), dh_.flat().data(),
+                                     da, bg);
 
     // Remaining recurrent paths, one GEMM each: dh_{t-1} += da_zr W_zr^T,
     // Wh_grad[:, z|r] += h_{t-1}^T da_zr, Wh_grad[:, h] += rh^T da_h.

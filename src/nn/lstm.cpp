@@ -5,8 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
-#include "nn/activations.hpp"
 #include "tensor/blas.hpp"
+#include "tensor/vmath.hpp"
 
 namespace geonas::nn {
 
@@ -79,33 +79,15 @@ Tensor3 LSTM::forward(std::span<const Tensor3* const> inputs, bool training) {
     const double* h_prev = h_seq_.flat().data() + t * batch * units_;
     gemm_raw(Trans::kNone, Trans::kNone, batch, g4, units_, 1.0, h_prev,
              units_, wh_.flat().data(), g4, 1.0, z, g4);
-    // Gate nonlinearities + state update; gates_ holds post-activation
-    // values afterwards (what BPTT needs).
+    // Fused gate nonlinearities + state update (tensor::vmath); gates_
+    // holds post-activation values afterwards (what BPTT needs), and the
+    // hidden state is scattered straight into the batch-major output.
     const double* c_prev = c_seq_.flat().data() + t * batch * units_;
     double* c_new = c_seq_.flat().data() + (t + 1) * batch * units_;
     double* h_new = h_seq_.flat().data() + (t + 1) * batch * units_;
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      double* zrow = z + bi * g4;
-      const double* cp = c_prev + bi * units_;
-      double* cn = c_new + bi * units_;
-      double* hn = h_new + bi * units_;
-      double* orow = out.flat().data() + (bi * steps + t) * units_;
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double ig = sigmoid(zrow[u]);
-        const double fg = sigmoid(zrow[units_ + u]);
-        const double gg = tanh_act(zrow[2 * units_ + u]);
-        const double og = sigmoid(zrow[3 * units_ + u]);
-        const double c_val = fg * cp[u] + ig * gg;
-        const double h_val = og * tanh_act(c_val);
-        zrow[u] = ig;
-        zrow[units_ + u] = fg;
-        zrow[2 * units_ + u] = gg;
-        zrow[3 * units_ + u] = og;
-        cn[u] = c_val;
-        hn[u] = h_val;
-        orow[u] = h_val;
-      }
-    }
+    tensor::lstm_pointwise_forward(batch, units_, z, c_prev, c_new, h_new,
+                                   out.flat().data() + t * units_,
+                                   steps * units_);
   }
 
   fwd_batch_ = batch;
@@ -137,38 +119,14 @@ std::vector<Tensor3> LSTM::backward(const Tensor3& grad_output) {
     const double* h_prev = h_seq_.flat().data() + t * batch * units_;
     double* dz = dz_.flat().data() + t * batch * g4;
 
-    // Elementwise gate backward for the whole timestep slab; dh_/dc_
-    // carry dL/dh_t, dL/dc_t in and leave dL/dc_{t-1} behind (dh_{t-1}
-    // is produced by the GEMM below).
-    for (std::size_t bi = 0; bi < batch; ++bi) {
-      const double* grow = gates + bi * g4;
-      double* dzrow = dz + bi * g4;
-      double* dhrow = dh_.flat().data() + bi * units_;
-      double* dcrow = dc_.flat().data() + bi * units_;
-      for (std::size_t u = 0; u < units_; ++u) {
-        const double ig = grow[u];
-        const double fg = grow[units_ + u];
-        const double gg = grow[2 * units_ + u];
-        const double og = grow[3 * units_ + u];
-        const double tanh_c = tanh_act(c_new[bi * units_ + u]);
-
-        const double dh = grad_output(bi, t, u) + dhrow[u];
-        // h = o * tanh(c): route dh into the o-gate and the cell state.
-        double dc = dcrow[u] + dh * og * tanh_grad_from_value(tanh_c);
-        const double d_og = dh * tanh_c;
-
-        const double d_ig = dc * gg;
-        const double d_fg = dc * c_prev[bi * units_ + u];
-        const double d_gg = dc * ig;
-        dcrow[u] = dc * fg;  // dL/dc_{t-1}
-
-        dzrow[u] = d_ig * sigmoid_grad_from_value(ig);
-        dzrow[units_ + u] = d_fg * sigmoid_grad_from_value(fg);
-        dzrow[2 * units_ + u] = d_gg * tanh_grad_from_value(gg);
-        dzrow[3 * units_ + u] = d_og * sigmoid_grad_from_value(og);
-      }
-      for (std::size_t j = 0; j < g4; ++j) bg[j] += dzrow[j];
-    }
+    // Fused elementwise gate backward for the whole timestep slab
+    // (tensor::vmath); dh_/dc_ carry dL/dh_t, dL/dc_t in and leave
+    // dL/dc_{t-1} behind (dh_{t-1} is produced by the GEMM below), and
+    // the bias gradient accumulates in deterministic row order.
+    tensor::lstm_pointwise_backward(batch, units_, gates, c_prev, c_new,
+                                    grad_output.flat().data() + t * units_,
+                                    steps * units_, dh_.flat().data(),
+                                    dc_.flat().data(), dz, bg);
 
     // Wh_grad += H_{t-1}^T dZ_t and dH_{t-1} = dZ_t Wh^T: one GEMM each.
     gemm_raw(Trans::kTranspose, Trans::kNone, units_, g4, batch, 1.0, h_prev,

@@ -28,9 +28,7 @@ Tensor3 AddMerge::forward(std::span<const Tensor3* const> inputs,
     for (std::size_t k = 0; k < of.size(); ++k) of[k] += inf[k];
   }
   if (training && relu_) sum_cache_ = out;
-  if (relu_) {
-    for (double& v : out.flat()) v = relu(v);
-  }
+  if (relu_) apply_activation(Activation::kReLU, out.flat());
   return out;
 }
 
@@ -42,9 +40,7 @@ std::vector<Tensor3> AddMerge::backward(const Tensor3& grad_output) {
     if (df.size() != sf.size()) {
       throw std::invalid_argument("AddMerge::backward: shape mismatch");
     }
-    for (std::size_t k = 0; k < df.size(); ++k) {
-      df[k] *= relu_grad_from_input(sf[k]);
-    }
+    activation_grad_mul(Activation::kReLU, df, sf, sf);
   }
   // d(sum)/d(input_i) = 1 for every input.
   std::vector<Tensor3> grads(arity_, dsum);

@@ -1,0 +1,126 @@
+// Vectorized transcendental math and fused recurrent pointwise kernels.
+//
+// Every per-element sigmoid/tanh/exp in the training hot path funnels
+// through this layer. Three interchangeable backends sit behind one
+// runtime-dispatched table (the same mechanism gemm_blocked.cpp uses for
+// its micro-kernel):
+//
+//   avx2-fma          4-wide AVX2+FMA polynomial kernels (Cephes-style
+//                     rational approximations), selected at runtime via
+//                     __builtin_cpu_supports on x86-64.
+//   portable-fma      scalar mirror of the vector algorithm: the exact
+//                     same operation sequence written with std::fma, so a
+//                     value computed by the scalar path (loop tails,
+//                     non-AVX2 hosts) is bitwise identical to the same
+//                     element computed in a SIMD lane.
+//   scalar-reference  std::exp/std::tanh loops (the pre-vmath numerics),
+//                     compiled in with GEONAS_SCALAR_MATH=ON for A/B
+//                     accuracy baselines.
+//
+// Accuracy budget (enforced by tests/tensor_vmath_test.cpp): vexp, vtanh
+// and vsigmoid stay within 4 ULP of the scalar reference on [-40, 40],
+// saturate exactly beyond (tanh -> +/-1, sigmoid -> 0/1, exp -> 0/inf at
+// the IEEE-754 double limits), preserve signed zero and denormal inputs
+// where the function is ~identity, and propagate NaN.
+//
+// Determinism: per-element results do not depend on where an element
+// falls in a chunk or SIMD lane (see portable-fma above), so the span
+// transforms may be split across the hpc kernel pool at any boundary and
+// stay bitwise identical across kernel_threads settings. The fused
+// recurrent kernels run serially per timestep slab (their per-slab cost
+// sits far below the parallel_for threshold and the backward kernels
+// accumulate bias gradients in row order).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace geonas::tensor {
+
+/// Active backend name: "avx2-fma", "portable-fma" or "scalar-reference".
+[[nodiscard]] const char* vmath_backend() noexcept;
+
+// ---------------------------------------------------------------------
+// Scalar reference implementations (the A/B baseline, always available).
+// ---------------------------------------------------------------------
+namespace vref {
+
+[[nodiscard]] double exp(double x) noexcept;
+[[nodiscard]] double tanh(double x) noexcept;
+/// Numerically stable two-sided sigmoid: never evaluates std::exp of a
+/// positive argument, so large-magnitude inputs cannot overflow to inf
+/// on the way to a saturated 0/1.
+[[nodiscard]] double sigmoid(double x) noexcept;
+
+}  // namespace vref
+
+// ---------------------------------------------------------------------
+// Elementwise span transforms. out.size() must equal x.size(); out may
+// alias x only exactly (out.data() == x.data(), in-place update). Large
+// spans are split across the kernel pool (bitwise-safe, see above).
+// ---------------------------------------------------------------------
+void vexp(std::span<const double> x, std::span<double> out);
+void vtanh(std::span<const double> x, std::span<double> out);
+void vsigmoid(std::span<const double> x, std::span<double> out);
+
+// ---------------------------------------------------------------------
+// Fused recurrent pointwise kernels. One pass per timestep slab computes
+// every gate nonlinearity, the state update and the cached activations
+// together — no per-gate passes, no intermediate temporaries. All
+// pointers follow the nn layer workspace layout: `z`/`a`/`gates` are
+// [rows, 4*units] (LSTM, gate order i|f|g|o) or [rows, 3*units] (GRU,
+// z|r|h), state slabs are [rows, units] contiguous, and `h_out` /
+// `grad_out` address a batch-major [B, T, units] tensor at fixed t (row
+// r lives at base + r * stride). Buffers must not overlap except where a
+// parameter is documented in/out.
+// ---------------------------------------------------------------------
+
+/// LSTM forward gate stage. In: z holds pre-activations. Out: z holds
+/// post-activation gate values (what BPTT consumes), c_new/h_new the new
+/// cell/hidden state, h_out the hidden state scattered to the output
+/// tensor.
+void lstm_pointwise_forward(std::size_t rows, std::size_t units, double* z,
+                            const double* c_prev, double* c_new,
+                            double* h_new, double* h_out,
+                            std::size_t h_out_stride);
+
+/// LSTM backward gate stage. Reads the cached post-activation gates and
+/// cell states, the incoming dL/dh_t (grad_out + carried dh) and carried
+/// dL/dc_t (dc); writes the gate pre-activation gradients dz, overwrites
+/// dc with dL/dc_{t-1}, and accumulates the bias gradient (row order,
+/// deterministic). dh is read-only here — the recurrent GEMM rewrites it.
+void lstm_pointwise_backward(std::size_t rows, std::size_t units,
+                             const double* gates, const double* c_prev,
+                             const double* c_new, const double* grad_out,
+                             std::size_t grad_out_stride, const double* dh,
+                             double* dc, double* dz, double* bias_grad);
+
+/// GRU forward stage 1: a[z] and a[r] pre-activations -> sigmoid values
+/// in place, rh = r .* h_prev.
+void gru_pointwise_zr(std::size_t rows, std::size_t units, double* a,
+                      const double* h_prev, double* rh);
+
+/// GRU forward stage 2: a[h] candidate pre-activation -> tanh value in
+/// place, h_new = (1 - z) h_prev + z hh, scattered to h_out as well.
+void gru_pointwise_out(std::size_t rows, std::size_t units, double* a,
+                       const double* h_prev, double* h_new, double* h_out,
+                       std::size_t h_out_stride);
+
+/// GRU backward stage 1 (through h_new = (1-z) h_prev + z hh): fills the
+/// z and candidate pre-activation gradients in da, rewrites dh with the
+/// direct (1 - z) path. Plain arithmetic — backend-independent.
+void gru_pointwise_backward_zh(std::size_t rows, std::size_t units,
+                               const double* gates, const double* h_prev,
+                               const double* grad_out,
+                               std::size_t grad_out_stride, double* dh,
+                               double* da);
+
+/// GRU backward stage 2 (through rh = r .* h_prev): fills the r-gate
+/// pre-activation gradient, accumulates dh += drh .* r and the bias
+/// gradient over all three gate blocks (row order, deterministic).
+void gru_pointwise_backward_r(std::size_t rows, std::size_t units,
+                              const double* gates, const double* h_prev,
+                              const double* drh, double* dh, double* da,
+                              double* bias_grad);
+
+}  // namespace geonas::tensor

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "hpc/parallel_for.hpp"
+#include "nn/gru.hpp"
 #include "nn/lstm.hpp"
 #include "tensor/blas.hpp"
 #include "tensor/random.hpp"
+#include "tensor/vmath.hpp"
 
 namespace geonas {
 namespace {
@@ -116,6 +118,82 @@ TEST(Determinism, LstmTrainStepBitwiseIdenticalAcrossThreadCounts) {
     ASSERT_EQ(pass.output, reference.output);
     ASSERT_EQ(pass.dx, reference.dx);
     ASSERT_EQ(pass.weight_grads, reference.weight_grads);
+  }
+}
+
+/// GRU mirror of run_lstm_pass: both recurrent cells now route their
+/// pointwise stages through the fused tensor::vmath kernels, so the
+/// fused path must uphold the same bitwise contract the GEMMs do.
+LstmPass run_gru_pass(std::size_t threads) {
+  KernelThreadsGuard guard(threads);
+  constexpr std::size_t kIn = 32, kUnits = 64, kT = 12, kB = 16;
+
+  nn::GRU gru(kIn, kUnits);
+  Rng wrng(17);
+  gru.init_params(wrng);
+
+  Tensor3 x(kB, kT, kIn);
+  Rng xrng(19);
+  for (std::size_t i = 0; i < kB; ++i) {
+    for (double& v : x.block(i)) v = xrng.uniform(-1.0, 1.0);
+  }
+  const Tensor3* input = &x;
+  LstmPass pass;
+  pass.output = gru.forward(std::span<const Tensor3* const>(&input, 1),
+                            /*training=*/true);
+
+  Tensor3 grad(kB, kT, kUnits);
+  Rng grng(21);
+  for (std::size_t i = 0; i < kB; ++i) {
+    for (double& v : grad.block(i)) v = grng.uniform(-1.0, 1.0);
+  }
+  auto input_grads = gru.backward(grad);
+  pass.dx = std::move(input_grads.at(0));
+  for (Matrix* g : gru.gradients()) pass.weight_grads.push_back(*g);
+  return pass;
+}
+
+TEST(Determinism, GruTrainStepBitwiseIdenticalAcrossThreadCounts) {
+  const LstmPass reference = run_gru_pass(1);
+  ASSERT_EQ(reference.output.dim0(), 16u);
+  ASSERT_FALSE(reference.weight_grads.empty());
+  for (const std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "kernel_threads=" << threads);
+    const LstmPass pass = run_gru_pass(threads);
+    ASSERT_EQ(pass.output, reference.output);
+    ASSERT_EQ(pass.dx, reference.dx);
+    ASSERT_EQ(pass.weight_grads, reference.weight_grads);
+  }
+}
+
+TEST(Determinism, VmathSpansBitwiseIdenticalAcrossThreadCounts) {
+  // 200k elements is far above the span parallel threshold, so thread
+  // counts > 1 genuinely split the range at arbitrary boundaries. The
+  // portable-fma scalar tail mirrors the SIMD lanes bitwise (vmath.hpp),
+  // which is exactly what this pins down.
+  constexpr std::size_t kN = 200000;
+  Rng rng(31);
+  std::vector<double> x(kN);
+  for (double& v : x) v = rng.uniform(-45.0, 45.0);
+  const std::span<const double> in(x);
+
+  std::vector<double> ref_exp(kN), ref_tanh(kN), ref_sig(kN);
+  {
+    KernelThreadsGuard guard(1);
+    tensor::vexp(in, std::span<double>(ref_exp));
+    tensor::vtanh(in, std::span<double>(ref_tanh));
+    tensor::vsigmoid(in, std::span<double>(ref_sig));
+  }
+  for (const std::size_t threads : kThreadCounts) {
+    KernelThreadsGuard guard(threads);
+    SCOPED_TRACE(::testing::Message() << "kernel_threads=" << threads);
+    std::vector<double> got(kN);
+    tensor::vexp(in, std::span<double>(got));
+    ASSERT_EQ(got, ref_exp);
+    tensor::vtanh(in, std::span<double>(got));
+    ASSERT_EQ(got, ref_tanh);
+    tensor::vsigmoid(in, std::span<double>(got));
+    ASSERT_EQ(got, ref_sig);
   }
 }
 

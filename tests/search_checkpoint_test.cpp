@@ -15,6 +15,7 @@
 
 #include "core/eval_policy.hpp"
 #include "core/nas_driver.hpp"
+#include "io/binary.hpp"
 #include "core/surrogate.hpp"
 #include "search/aging_evolution.hpp"
 #include "search/ppo.hpp"
@@ -293,6 +294,197 @@ TEST(EvalRetryPolicy, DisabledPolicyIsBitwiseNeutral) {
   }
   EXPECT_EQ(wrapped.eval_retries, 0u);
   EXPECT_EQ(wrapped.eval_failures, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Evaluation memoization (MemoizingEvaluator + SearchRunOptions::memoize).
+// ---------------------------------------------------------------------
+
+/// Counts inner evaluations; reward is a pure function of the
+/// architecture key so cache hits are observable and checkable.
+class CountingEvaluator final : public hpc::ArchitectureEvaluator {
+ public:
+  [[nodiscard]] hpc::EvalOutcome evaluate(
+      const searchspace::Architecture& arch, std::uint64_t) override {
+    const std::lock_guard lock(mutex_);
+    ++calls_;
+    const double reward =
+        static_cast<double>(std::hash<std::string>{}(arch.key()) % 1000) /
+        1000.0;
+    return {reward, 1.0, arch.key().size()};
+  }
+  [[nodiscard]] bool thread_safe() const override { return true; }
+  [[nodiscard]] std::size_t calls() const {
+    const std::lock_guard lock(mutex_);
+    return calls_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t calls_ = 0;
+};
+
+TEST(EvalMemoization, CacheHitSkipsInnerEvaluation) {
+  const StackedLSTMSpace space;
+  CountingEvaluator inner;
+  MemoizingEvaluator memo(inner);
+  Rng rng(11);
+  const auto arch_a = space.random_architecture(rng);
+  const auto arch_b = space.random_architecture(rng);
+  ASSERT_NE(arch_a.key(), arch_b.key());
+
+  const auto first = memo.evaluate(arch_a, 1);
+  const auto second = memo.evaluate(arch_a, 999);  // different eval seed
+  (void)memo.evaluate(arch_b, 2);  // distinct key: must reach the inner
+  EXPECT_EQ(inner.calls(), 2u);
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.size(), 2u);
+  // The cached outcome is returned verbatim, independent of the seed.
+  EXPECT_DOUBLE_EQ(second.reward, first.reward);
+  EXPECT_EQ(second.params, first.params);
+}
+
+TEST(EvalMemoization, FailedOutcomesAreNeverCached) {
+  class AlwaysFails final : public hpc::ArchitectureEvaluator {
+   public:
+    [[nodiscard]] hpc::EvalOutcome evaluate(const searchspace::Architecture&,
+                                            std::uint64_t) override {
+      hpc::EvalOutcome out;
+      out.reward = -2.0;
+      out.failed = true;
+      return out;
+    }
+  };
+  const StackedLSTMSpace space;
+  AlwaysFails bad;
+  MemoizingEvaluator memo(bad);
+  Rng rng(12);
+  const auto arch = space.random_architecture(rng);
+  (void)memo.evaluate(arch, 1);
+  (void)memo.evaluate(arch, 2);
+  // A failure must not poison future attempts at the same architecture.
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(EvalMemoization, AgingEvolutionCampaignReportsHits) {
+  // Mutation-based search revisits architectures, so a few hundred
+  // evaluations must produce cache hits (the ISSUE acceptance check).
+  const StackedLSTMSpace space;
+  CountingEvaluator inner;
+  AgingEvolution ae(space, {.population_size = 20, .sample_size = 5,
+                            .seed = 8});
+  SearchRunOptions opts;
+  opts.memoize = true;
+  const LocalSearchResult result = run_local_search(ae, inner, 300, 8, opts);
+  ASSERT_EQ(result.history.size(), 300u);
+  EXPECT_GT(result.cache_hits, 0u);
+  EXPECT_EQ(result.cache_hits + result.cache_misses, 300u);
+  // Every miss — and nothing else — reached the inner evaluator.
+  EXPECT_EQ(inner.calls(), result.cache_misses);
+}
+
+TEST(EvalMemoization, DisabledMemoizationLeavesCountersZero) {
+  const StackedLSTMSpace space;
+  CountingEvaluator inner;
+  RandomSearch rs(space, 9);
+  const LocalSearchResult result = run_local_search(rs, inner, 15, 9);
+  EXPECT_EQ(result.cache_hits, 0u);
+  EXPECT_EQ(result.cache_misses, 0u);
+  EXPECT_EQ(inner.calls(), 15u);
+}
+
+TEST(SearchCheckpoint, KillAndResumeIsBitwiseWithMemoization) {
+  // The cache rides in the v2 checkpoint: a resumed campaign must replay
+  // the uninterrupted one bitwise, including the hit/miss counters (a
+  // resume that re-trained cached architectures would inflate misses).
+  const StackedLSTMSpace space;
+  const std::string path = "/tmp/geonas_ckpt_memo.bin";
+  constexpr std::size_t kTotal = 120;
+  constexpr std::size_t kKillAt = 77;
+  const std::uint64_t seed = 15;
+  const auto make = [&] {
+    return std::make_unique<AgingEvolution>(
+        space, search::AgingEvolutionConfig{.population_size = 20,
+                                            .sample_size = 5, .seed = 15});
+  };
+
+  CountingEvaluator full_inner;
+  SearchRunOptions memo_opts;
+  memo_opts.memoize = true;
+  const auto full_method = make();
+  const LocalSearchResult full =
+      run_local_search(*full_method, full_inner, kTotal, seed, memo_opts);
+  ASSERT_GT(full.cache_hits, 0u);
+
+  CountingEvaluator resumed_inner;
+  const auto first = make();
+  SearchRunOptions save_opts = memo_opts;
+  save_opts.checkpoint_path = path;
+  save_opts.checkpoint_every = 25;
+  (void)run_local_search(*first, resumed_inner, kKillAt, seed, save_opts);
+
+  const auto second = make();
+  SearchRunOptions resume_opts = save_opts;
+  resume_opts.resume = true;
+  const LocalSearchResult resumed =
+      run_local_search(*second, resumed_inner, kTotal, seed, resume_opts);
+
+  ASSERT_EQ(resumed.history.size(), full.history.size());
+  for (std::size_t i = 0; i < full.history.size(); ++i) {
+    ASSERT_EQ(resumed.history[i].arch.key(), full.history[i].arch.key())
+        << "diverged at evaluation " << i;
+    ASSERT_DOUBLE_EQ(resumed.history[i].reward, full.history[i].reward);
+  }
+  EXPECT_EQ(resumed.cache_hits, full.cache_hits);
+  EXPECT_EQ(resumed.cache_misses, full.cache_misses);
+  // Architectures cached before the kill were not re-trained after it.
+  EXPECT_EQ(resumed_inner.calls(), full_inner.calls());
+  std::remove(path.c_str());
+}
+
+TEST(SearchCheckpoint, LoadsVersion1CheckpointsWithoutCache) {
+  // Campaigns checkpointed by the previous release (format v1, no
+  // memoization block) must still resume; cache counters stay zero.
+  const StackedLSTMSpace space;
+  SurrogateEvaluator oracle(space);
+  const std::string path = "/tmp/geonas_ckpt_v1.bin";
+  const std::uint64_t seed = 31;
+
+  RandomSearch source(space, seed);
+  const LocalSearchResult state =
+      run_local_search(source, oracle, 12, seed);
+  {
+    // Hand-written v1 layout: everything up to the failure counter, then
+    // straight to the method state (mirrors the pre-v2 writer).
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(os.good());
+    io::BinaryWriter writer(os, "GEONASC1", 1);
+    writer.str(source.name());
+    writer.u64(seed);
+    writer.u64(state.history.size());
+    for (const LocalEval& eval : state.history) {
+      search::write_architecture(writer, eval.arch);
+      writer.f64(eval.reward);
+      writer.u64(eval.params);
+    }
+    search::write_architecture(writer, state.best);
+    writer.f64(state.best_reward);
+    writer.u64(state.eval_retries);
+    writer.u64(state.eval_failures);
+    source.save(writer);
+    writer.finish();
+  }
+
+  RandomSearch fresh(space, seed);
+  LocalSearchResult loaded;
+  ASSERT_EQ(load_search_checkpoint(fresh, loaded, seed, path), 12u);
+  EXPECT_EQ(loaded.best.key(), state.best.key());
+  EXPECT_EQ(loaded.cache_hits, 0u);
+  EXPECT_EQ(loaded.cache_misses, 0u);
+  std::remove(path.c_str());
 }
 
 TEST(EvalRetryPolicy, ParallelDriverSurvivesFlakyEvaluator) {

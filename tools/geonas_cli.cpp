@@ -11,6 +11,7 @@
 //   geonas_cli search    --evaluations 500 [--method ae|rs|ppo] [--seed 1]
 //                        [--checkpoint ckpt.bin] [--checkpoint-every 50]
 //                        [--resume 1] [--retries 3] [--eval-timeout 0]
+//                        [--memoize 1]
 //   geonas_cli train     --snapshots snaps.bin [--modes 5] [--window 8]
 //                        [--arch GENE-KEY] [--epochs 60] [--seed 1]
 //                        [--weights-out weights.bin]
@@ -24,7 +25,10 @@
 // `--resume 1` continues a killed campaign from it — same method, same
 // seed — and replays the uninterrupted trajectory bitwise. `--retries`
 // retries throwing/diverged evaluations with a reseeded training before
-// counting the evaluation as failed.
+// counting the evaluation as failed. `--memoize 1` caches outcomes on
+// the canonical architecture key so duplicate candidates (common under
+// mutation-based search) are never re-trained; the cache rides in the
+// checkpoint.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -156,6 +160,7 @@ int cmd_search(const Args& args) {
       static_cast<std::size_t>(args.get_long("retries", 0)) + 1;
   options.retry.timeout_seconds =
       std::stod(args.get("eval-timeout", "0"));
+  options.memoize = args.get_long("memoize", 0) != 0;
   if (options.resume && options.checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume 1 requires --checkpoint PATH\n");
     return 2;
@@ -184,6 +189,11 @@ int cmd_search(const Args& args) {
   if (options.retry.enabled()) {
     std::printf("fault policy: %zu retries, %zu evaluations failed\n",
                 result.eval_retries, result.eval_failures);
+  }
+  if (options.memoize) {
+    std::printf("memoization: %zu cache hits, %zu misses (trainings saved: "
+                "%zu)\n",
+                result.cache_hits, result.cache_misses, result.cache_hits);
   }
   if (!options.checkpoint_path.empty()) {
     std::printf("checkpoint written to %s\n",

@@ -30,6 +30,15 @@ Rules (see DESIGN.md "Correctness tooling"):
                        truncated files into silent garbage; route them
                        through io::BinaryReader or check the stream.
 
+  transcendental-in-nn Direct std::tanh/std::exp/std::log calls in
+                       src/nn/ — per-element loops there must route
+                       through tensor::vmath (vtanh/vsigmoid/vexp or the
+                       fused pointwise kernels) so the whole training hot
+                       path shares one vectorized, accuracy-budgeted,
+                       deterministic implementation. Scalar helpers that
+                       ARE the reference (nn/activations.hpp) carry
+                       reasoned suppressions.
+
   float-eq-in-tests    EXPECT_EQ/ASSERT_EQ with a floating-point literal
                        as a top-level macro argument in tests/ — compare
                        with EXPECT_NEAR / EXPECT_DOUBLE_EQ, or suppress
@@ -68,6 +77,7 @@ RNG_RE = re.compile(
 IOSTREAM_RE = re.compile(
     r"(#\s*include\s*<iostream>|std::(cout|cerr|clog)\b"
     r"|\bprintf\s*\(|\bfprintf\s*\(\s*std(out|err)\b)")
+TRANSCENDENTAL_RE = re.compile(r"std::(tanh|exp|log)\s*\(")
 FLOAT_LITERAL_RE = re.compile(
     r"(?<![\w.])(\d+\.\d*(e[+-]?\d+)?|\.\d+(e[+-]?\d+)?|\d+e[+-]?\d+)f?",
     re.IGNORECASE)
@@ -201,6 +211,7 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
     in_src = rel_str.startswith("src/")
     in_tests = rel_str.startswith("tests/")
     in_hpc = rel_str.startswith("src/hpc/")
+    in_nn = rel_str.startswith("src/nn/")
     is_reporting = rel_str.startswith("src/core/reporting.")
 
     raw_lines = path.read_text(encoding="utf-8").splitlines()
@@ -254,6 +265,14 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
                            "stream read without a visible status check — "
                            "check the stream (gcount/fail/if) or use "
                            "io::BinaryReader")
+
+        if in_nn:
+            m = TRANSCENDENTAL_RE.search(code)
+            if m:
+                report("transcendental-in-nn",
+                       f"std::{m.group(1)} in src/nn/ — route per-element "
+                       "math through tensor::vmath (or suppress on a scalar "
+                       "reference helper with a reason)")
 
         if in_tests:
             for m in EQ_MACRO_RE.finditer(code):

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Captures BENCH_*.json from a release build, with provenance enforcement.
+#
+#   tools/run_bench.sh                      write BENCH_kernels.json
+#   tools/run_bench.sh --out FILE.json      alternate output path
+#   tools/run_bench.sh --filter REGEX       restrict benchmark selection
+#
+# Configures and builds the `release` CMake preset, runs micro_substrate
+# with --benchmark_out, and commits the JSON to the requested path ONLY
+# if the binary's self-reported `geonas_build_type` context field says
+# Release. That field is stamped by micro_substrate's custom main() from
+# CMAKE_BUILD_TYPE; the upstream `library_build_type` field describes how
+# the *system benchmark library* was compiled and says nothing about
+# this repo's flags (committing a debug-flagged capture is exactly the
+# provenance bug this script exists to prevent).
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+out="BENCH_kernels.json"
+filter=""
+jobs="$(nproc 2>/dev/null || echo 2)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out="$2"; shift ;;
+    --filter) filter="$2"; shift ;;
+    --jobs) jobs="$2"; shift ;;
+    -h|--help) sed -n '2,8p' "$0"; exit 0 ;;
+    *) echo "run_bench: unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+case "$out" in
+  BENCH_*|*/BENCH_*) ;;
+  *) echo "run_bench: output should be named BENCH_*.json (got: $out)" >&2
+     exit 2 ;;
+esac
+
+echo "==== configure+build [release] ===="
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$jobs" --target micro_substrate
+
+bench="build-release/bench/micro_substrate"
+tmp="$(mktemp --suffix=.json)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==== run micro_substrate ===="
+args=(--benchmark_out="$tmp" --benchmark_out_format=json)
+[[ -n "$filter" ]] && args+=(--benchmark_filter="$filter")
+"$bench" "${args[@]}"
+
+build_type="$(python3 - "$tmp" <<'EOF'
+import json, sys
+ctx = json.load(open(sys.argv[1]))["context"]
+print(ctx.get("geonas_build_type", "missing"))
+EOF
+)"
+if [[ "${build_type,,}" != "release" ]]; then
+  echo "run_bench: refusing to write $out — geonas_build_type is" \
+       "'$build_type', not Release (is the binary from an instrumented" \
+       "or debug tree?)" >&2
+  exit 1
+fi
+
+mv "$tmp" "$out"
+trap - EXIT
+echo "wrote $out (geonas_build_type: $build_type)"

@@ -4,7 +4,9 @@
 #   tools/run_checks.sh            full rig: lint, ASan+UBSan ctest,
 #                                  TSan ctest, release build + clang-tidy
 #   tools/run_checks.sh --quick    pre-merge gate: lint + ASan+UBSan
-#                                  tier-1 suite only
+#                                  tier-1 suite + TSan over the threaded
+#                                  kernel layer (determinism + vmath +
+#                                  hpc stress suites)
 #
 # Each sanitizer flavor is a CMake preset (CMakePresets.json) building
 # into build-<preset>/ so flavors never share object files. clang-tidy
@@ -32,12 +34,12 @@ failures=()
 step() { printf '\n==== %s ====\n' "$*"; }
 
 run_flavor() {
-  local preset="$1"
+  local preset="$1" filter="${2-}"
   step "configure+build [$preset]"
   cmake --preset "$preset" >/dev/null
   cmake --build --preset "$preset" -j "$jobs"
-  step "ctest [$preset]"
-  if ! ctest --preset "$preset" -j "$jobs"; then
+  step "ctest [$preset]${filter:+ -R $filter}"
+  if ! ctest --preset "$preset" -j "$jobs" ${filter:+-R "$filter"}; then
     failures+=("ctest:$preset")
   fi
 }
@@ -49,7 +51,12 @@ fi
 
 run_flavor asan
 
-if [[ $quick -eq 0 ]]; then
+if [[ $quick -eq 1 ]]; then
+  # Pre-merge TSan slice: the suites that exercise the kernel pool from
+  # multiple threads (vmath spans, GEMM splits, recurrent fused kernels,
+  # stress rigs) — races there corrupt every NAS reward downstream.
+  run_flavor tsan '^(Determinism|Vmath|ParallelFor|ThreadPool)'
+else
   run_flavor tsan
 
   step "configure+build [release] (clang-tidy compilation database)"
