@@ -18,6 +18,7 @@
 #include "data/sst.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
+#include "obs/metrics.hpp"
 #include "pod/pod.hpp"
 #include "searchspace/space.hpp"
 #include "search/aging_evolution.hpp"
@@ -315,6 +316,91 @@ void BM_LSTMTrainStepPaperScale(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LSTMTrainStepPaperScale)->Arg(40)->Arg(80);
+
+// --- Observability overhead -------------------------------------------
+//
+// The obs contract: instrumented code with NO registry installed pays a
+// relaxed atomic load plus a null branch per site; the overhead budget
+// on real kernels is <1% (compare BM_LSTMTrainStep/96 against the
+// committed BENCH_kernels.json baseline, and against the MetricsOn
+// variant below for the enabled-path delta).
+
+// Cost of one disabled instrumentation site (the hot-path case).
+void BM_ObsDisabledSite(benchmark::State& state) {
+  obs::set_registry(nullptr);
+  std::uint64_t fallback = 0;
+  for (auto _ : state) {
+    if (obs::MetricsRegistry* reg = obs::registry()) {
+      reg->counter("bench.never").add(1);
+    } else {
+      ++fallback;  // keep the branch observable
+    }
+    benchmark::DoNotOptimize(fallback);
+  }
+}
+BENCHMARK(BM_ObsDisabledSite);
+
+// Enabled per-event cost including the name lookup (what call sites at
+// per-batch/per-eval granularity pay).
+void BM_ObsCounterLookupAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::set_registry(&registry);
+  for (auto _ : state) {
+    obs::registry()->counter("bench.counter").add(1);
+  }
+  obs::set_registry(nullptr);
+  benchmark::DoNotOptimize(registry.counter("bench.counter").value());
+}
+BENCHMARK(BM_ObsCounterLookupAdd);
+
+// Histogram hot path with a held reference (no lookup, no allocation).
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("bench.hist");
+  double x = 1e-6;
+  for (auto _ : state) {
+    h.observe(x);
+    x = x < 1.0 ? x * 1.0001 : 1e-6;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+// RAII span open/close on the enabled path.
+void BM_ObsScopedTimer(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::set_registry(&registry);
+  for (auto _ : state) {
+    const obs::ScopedTimer span(obs::registry(), "bench.span");
+    benchmark::ClobberMemory();
+  }
+  obs::set_registry(nullptr);
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+// BM_LSTMTrainStep with a registry installed: the enabled-path cost of
+// the kernel-pool instrumentation on a real training step. Compare
+// against BM_LSTMTrainStep at the same Arg.
+void BM_LSTMTrainStepMetricsOn(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  obs::MetricsRegistry registry;
+  obs::set_registry(&registry);
+  nn::LSTM lstm(5, units);
+  Rng rng(6);
+  lstm.init_params(rng);
+  Tensor3 x(64, 8, 5), target(64, 8, units);
+  for (double& v : x.flat()) v = rng.normal();
+  for (double& v : target.flat()) v = rng.normal();
+  const Tensor3* ptr = &x;
+  for (auto _ : state) {
+    lstm.zero_grad();
+    const Tensor3 y = lstm.forward({&ptr, 1}, true);
+    auto grads = lstm.backward(nn::mse_grad(target, y));
+    benchmark::DoNotOptimize(grads[0].flat().data());
+  }
+  obs::set_registry(nullptr);
+}
+BENCHMARK(BM_LSTMTrainStepMetricsOn)->Arg(16)->Arg(96);
 
 void BM_PodFit(benchmark::State& state) {
   const auto ns = static_cast<std::size_t>(state.range(0));

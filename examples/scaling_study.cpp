@@ -6,14 +6,21 @@
 // shared-memory path: the same aging-evolution search executed by a
 // ThreadPool of workers with genuinely concurrent evaluations.
 //
-// Usage: scaling_study [nodes] [minutes] (defaults: 128, 180)
+// Usage: scaling_study [nodes] [minutes] [metrics-out]
+// (defaults: 128, 180, no telemetry). With a third argument, the whole
+// study runs under a metrics registry and writes a telemetry.json
+// sidecar there — including every simulator's busy-fraction curve and
+// best-reward timeline as data series.
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/nas_driver.hpp"
 #include "core/surrogate.hpp"
 #include "hpc/cluster_sim.hpp"
+#include "hpc/parallel_for.hpp"
 #include "hpc/thread_pool.hpp"
+#include "obs/json_export.hpp"
+#include "obs/metrics.hpp"
 #include "search/aging_evolution.hpp"
 #include "search/random_search.hpp"
 
@@ -22,6 +29,13 @@ int main(int argc, char** argv) {
   const std::size_t nodes =
       argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 128;
   const double minutes = argc > 2 ? std::atof(argv[2]) : 180.0;
+  const char* metrics_out = argc > 3 ? argv[3] : nullptr;
+
+  obs::MetricsRegistry registry;
+  if (metrics_out != nullptr) {
+    obs::set_registry(&registry);
+    hpc::register_kernel_metrics();
+  }
 
   const searchspace::StackedLSTMSpace space;
   core::SurrogateEvaluator oracle(space);
@@ -64,5 +78,11 @@ int main(int argc, char** argv) {
       core::run_local_search_parallel(ae_local, oracle, 2000, 4, 13);
   std::printf("best reward %.3f over %zu evaluations\n", local.best_reward,
               local.history.size());
+
+  if (metrics_out != nullptr) {
+    obs::set_registry(nullptr);  // all campaigns joined: quiescent
+    obs::write_telemetry_file(registry, metrics_out);
+    std::printf("telemetry written to %s\n", metrics_out);
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "tensor/random.hpp"
 
 namespace geonas::core {
@@ -14,10 +15,21 @@ RetryingEvaluator::RetryingEvaluator(hpc::ArchitectureEvaluator& inner,
   if (policy_.max_attempts == 0) {
     throw std::invalid_argument("RetryingEvaluator: zero attempts");
   }
+  // Pre-register the retry section so the telemetry sidecar carries it
+  // (at zero) even for campaigns where nothing ever fails.
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->counter("eval.attempts");
+    reg->counter("eval.retries");
+    reg->counter("eval.exhausted_failures");
+  }
 }
 
 hpc::EvalOutcome RetryingEvaluator::evaluate(
     const searchspace::Architecture& arch, std::uint64_t eval_seed) {
+  // Obs counters mirror the member atomics (which stay the source of
+  // truth: campaign reports and checkpoints read them).
+  obs::MetricsRegistry* reg = obs::registry();
+  if (reg != nullptr) reg->counter("eval.attempts").add(1);
   double wasted_seconds = 0.0;  // node time burned by failed attempts
   std::size_t params = 0;
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
@@ -27,8 +39,14 @@ hpc::EvalOutcome RetryingEvaluator::evaluate(
         attempt == 0 ? eval_seed : hash_combine(eval_seed, attempt);
     if (attempt > 0) {
       retries_.fetch_add(1, std::memory_order_relaxed);
-      wasted_seconds += policy_.backoff_seconds *
-                        std::pow(2.0, static_cast<double>(attempt - 1));
+      const double backoff = policy_.backoff_seconds *
+                             std::pow(2.0, static_cast<double>(attempt - 1));
+      wasted_seconds += backoff;
+      if (reg != nullptr) {
+        reg->counter("eval.retries").add(1);
+        reg->counter("eval.attempts").add(1);
+        reg->histogram("eval.backoff_seconds").observe(backoff);
+      }
     }
     bool attempt_failed = false;
     hpc::EvalOutcome outcome;
@@ -52,6 +70,7 @@ hpc::EvalOutcome RetryingEvaluator::evaluate(
     }
   }
   failures_.fetch_add(1, std::memory_order_relaxed);
+  if (reg != nullptr) reg->counter("eval.exhausted_failures").add(1);
   hpc::EvalOutcome failed;
   failed.reward = policy_.failure_reward;
   failed.duration_seconds = wasted_seconds;
@@ -61,22 +80,31 @@ hpc::EvalOutcome RetryingEvaluator::evaluate(
 }
 
 MemoizingEvaluator::MemoizingEvaluator(hpc::ArchitectureEvaluator& inner)
-    : inner_(&inner) {}
+    : inner_(&inner) {
+  // Pre-register so an all-miss campaign still exports memo.hits = 0.
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->counter("memo.hits");
+    reg->counter("memo.misses");
+  }
+}
 
 hpc::EvalOutcome MemoizingEvaluator::evaluate(
     const searchspace::Architecture& arch, std::uint64_t eval_seed) {
+  obs::MetricsRegistry* reg = obs::registry();
   const std::string key = arch.key();
   {
     std::lock_guard lock(mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
+      if (reg != nullptr) reg->counter("memo.hits").add(1);
       return it->second;
     }
   }
   // Evaluate outside the lock: a first visit is a full training and must
   // not serialize the other workers.
   const hpc::EvalOutcome outcome = inner_->evaluate(arch, eval_seed);
+  if (reg != nullptr) reg->counter("memo.misses").add(1);
   std::lock_guard lock(mutex_);
   ++misses_;
   if (!outcome.failed) {

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "tensor/random.hpp"
 
 namespace geonas::core {
@@ -61,11 +62,23 @@ struct EvalStack {
 
 void record_outcome(LocalSearchResult& result, searchspace::Architecture arch,
                     const hpc::EvalOutcome& outcome) {
-  if (outcome.reward > result.best_reward || result.history.empty()) {
+  const bool improved =
+      outcome.reward > result.best_reward || result.history.empty();
+  if (improved) {
     result.best_reward = outcome.reward;
     result.best = arch;
   }
   result.history.push_back({std::move(arch), outcome.reward, outcome.params});
+  // Telemetry mirrors the campaign state; it never feeds back into it.
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->counter("search.evals_completed").add(1);
+    if (outcome.failed) reg->counter("search.evals_failed").add(1);
+    reg->histogram("search.reward").observe(outcome.reward);
+    if (improved) {
+      reg->series("search.best_reward")
+          .append(reg->seconds_since_start(), result.best_reward);
+    }
+  }
 }
 
 }  // namespace
@@ -209,8 +222,13 @@ LocalSearchResult run_local_search(search::SearchMethod& method,
                                    stack.resume_memo());
   }
 
+  obs::MetricsRegistry* reg = obs::registry();
+  const obs::ScopedTimer campaign_span(reg, "search.campaign");
+  if (reg != nullptr) reg->gauge("driver.workers").set(1.0);
+
   for (std::size_t i = start; i < evaluations; ++i) {
     searchspace::Architecture arch = method.ask();
+    if (reg != nullptr) reg->counter("search.evals_started").add(1);
     const auto outcome = stack.active->evaluate(arch, hash_combine(seed, i));
     method.tell(arch, outcome.reward);
     record_outcome(result, std::move(arch), outcome);
@@ -253,21 +271,40 @@ LocalSearchResult run_local_search_parallel(
                                     stack.resume_memo());
   }
 
+  obs::MetricsRegistry* reg = obs::registry();
+  const obs::ScopedTimer campaign_span(reg, "search.campaign");
+  if (reg != nullptr) {
+    reg->gauge("driver.workers").set(static_cast<double>(workers));
+  }
   hpc::ThreadPool pool(workers);
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     futures.push_back(pool.submit([&] {
+      const obs::ScopedTimer worker_span(reg, "search.worker");
+      obs::StopWatch busy_watch;
+      double busy_seconds = 0.0;
+      const obs::StopWatch worker_watch;
       for (;;) {
         searchspace::Architecture arch;
         std::uint64_t eval_seed = 0;
         {
           std::lock_guard lock(method_mutex);
-          if (issued >= evaluations) return;
+          if (issued >= evaluations) {
+            if (reg != nullptr) {
+              const double wall = worker_watch.seconds();
+              reg->histogram("driver.worker_busy_fraction")
+                  .observe(wall > 0.0 ? busy_seconds / wall : 0.0);
+            }
+            return;
+          }
           eval_seed = hash_combine(seed, issued++);
           arch = method.ask();
         }
+        if (reg != nullptr) reg->counter("search.evals_started").add(1);
+        busy_watch.reset();
         const auto outcome = stack.active->evaluate(arch, eval_seed);
+        busy_seconds += busy_watch.seconds();
         // Lock order is always method -> result (tell and checkpoint
         // both honor it), so the pair can never deadlock.
         std::scoped_lock locks(method_mutex, result_mutex);

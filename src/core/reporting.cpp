@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -61,30 +62,46 @@ std::string TextTable::integer(std::size_t value) {
 std::string ascii_series(const std::vector<double>& values, std::size_t width,
                          std::size_t height, double y_min, double y_max) {
   if (values.empty() || width == 0 || height == 0) return "(empty series)\n";
+  // A diverged training curve feeds NaN/Inf through here; those points
+  // must not reach the row cast below (casting NaN to size_t is UB).
+  // Non-finite samples are excluded from auto-ranging and bucket means
+  // and render as blank columns.
+  const bool any_finite =
+      std::any_of(values.begin(), values.end(),
+                  [](double v) { return std::isfinite(v); });
+  if (!any_finite) return "(no finite data)\n";
   double lo = y_min, hi = y_max;
   if (lo == hi) {
-    lo = *std::min_element(values.begin(), values.end());
-    hi = *std::max_element(values.begin(), values.end());
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const double v : values) {
+      if (!std::isfinite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
     if (lo == hi) {
       lo -= 0.5;
       hi += 0.5;
     }
   }
-  // Downsample the series into `width` buckets (bucket mean).
+  // Downsample the series into `width` buckets (bucket mean over the
+  // finite samples; all-non-finite buckets carry the previous value).
   std::vector<double> buckets(width, 0.0);
   std::vector<std::size_t> counts(width, 0);
   for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) continue;
     const std::size_t b =
         std::min(width - 1, i * width / std::max<std::size_t>(1, values.size()));
     buckets[b] += values[i];
     ++counts[b];
   }
   std::vector<std::string> canvas(height, std::string(width, ' '));
-  double last = values.front();
+  double last = std::numeric_limits<double>::quiet_NaN();
   for (std::size_t b = 0; b < width; ++b) {
     const double v = counts[b] > 0 ? buckets[b] / static_cast<double>(counts[b])
                                    : last;
     last = v;
+    if (!std::isfinite(v)) continue;  // leading gap: nothing to carry yet
     const double frac = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
     const auto row = static_cast<std::size_t>(
         std::round((1.0 - frac) * static_cast<double>(height - 1)));

@@ -1,5 +1,7 @@
 #include "core/training_eval.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace geonas::core {
 
 TrainingEvaluator::TrainingEvaluator(const searchspace::StackedLSTMSpace& space,
@@ -16,7 +18,9 @@ TrainingEvaluator::TrainingEvaluator(const searchspace::StackedLSTMSpace& space,
 
 hpc::EvalOutcome TrainingEvaluator::evaluate(
     const searchspace::Architecture& arch, std::uint64_t eval_seed) {
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::MetricsRegistry* reg = obs::registry();
+  const obs::ScopedTimer span(reg, "eval.training");
+  const obs::StopWatch watch;
 
   nn::GraphNetwork net = space_->build(arch);
   net.init_params(eval_seed);
@@ -25,14 +29,17 @@ hpc::EvalOutcome TrainingEvaluator::evaluate(
   const nn::TrainHistory history =
       nn::Trainer(cfg).fit(net, *x_train_, *y_train_, *x_val_, *y_val_);
 
-  const auto t1 = std::chrono::steady_clock::now();
-  ++count_;
+  count_.fetch_add(1, std::memory_order_relaxed);
   hpc::EvalOutcome outcome;
   // Reward: the R^2 reached on the validation set at the end of the
   // evaluation budget (the metric DeepHyper returns to the search).
   outcome.reward = history.val_r2.empty() ? 0.0 : history.val_r2.back();
-  outcome.duration_seconds = std::chrono::duration<double>(t1 - t0).count();
+  outcome.duration_seconds = watch.seconds();
   outcome.params = net.param_count();
+  if (reg != nullptr) {
+    reg->counter("eval.trainings").add(1);
+    reg->histogram("eval.train_seconds").observe(outcome.duration_seconds);
+  }
   return outcome;
 }
 

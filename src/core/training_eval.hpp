@@ -7,7 +7,7 @@
 // measured wall-clock of the training.
 #pragma once
 
-#include <chrono>
+#include <atomic>
 
 #include "hpc/evaluator.hpp"
 #include "nn/trainer.hpp"
@@ -28,7 +28,9 @@ class TrainingEvaluator final : public hpc::ArchitectureEvaluator {
   /// Each evaluate() builds its own network; safe from multiple threads.
   [[nodiscard]] bool thread_safe() const override { return true; }
 
-  [[nodiscard]] std::size_t evaluations() const noexcept { return count_; }
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
 
  private:
   const searchspace::StackedLSTMSpace* space_;
@@ -37,7 +39,8 @@ class TrainingEvaluator final : public hpc::ArchitectureEvaluator {
   const Tensor3* x_val_;
   const Tensor3* y_val_;
   nn::TrainConfig cfg_;
-  std::size_t count_ = 0;
+  // Atomic: evaluate() runs concurrently from parallel driver workers.
+  std::atomic<std::size_t> count_{0};
 };
 
 }  // namespace geonas::core

@@ -1,5 +1,6 @@
 #include "data/windowing.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -8,9 +9,15 @@
 namespace geonas::data {
 
 std::size_t window_count(std::size_t ns, const WindowConfig& config) {
+  if (config.stride == 0) {
+    // A zero stride would make make_windows emit N identical windows all
+    // starting at 0 (it multiplies by the raw stride); silently treating
+    // it as 1 here made the two functions disagree. Reject it outright.
+    throw std::invalid_argument("window_count: stride must be >= 1");
+  }
   const std::size_t width = 2 * config.window;
   if (ns < width || config.window == 0) return 0;
-  return (ns - width) / std::max<std::size_t>(1, config.stride) + 1;
+  return (ns - width) / config.stride + 1;
 }
 
 WindowedDataset make_windows(const Matrix& coefficients,
@@ -38,17 +45,30 @@ WindowedDataset make_windows(const Matrix& coefficients,
 
 SplitDataset train_val_split(const WindowedDataset& data,
                              double train_fraction, std::uint64_t seed) {
-  if (train_fraction <= 0.0 || train_fraction > 1.0) {
-    throw std::invalid_argument("train_val_split: bad fraction");
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    // 1.0 used to be accepted and rounded to an empty validation set,
+    // which downstream evaluation divides by. Both splits must be
+    // non-empty, so the fraction is strictly interior.
+    throw std::invalid_argument(
+        "train_val_split: train_fraction must be in (0, 1); both splits "
+        "must be non-empty");
   }
   const std::size_t n = data.size();
+  if (n < 2) {
+    throw std::invalid_argument(
+        "train_val_split: need at least 2 windows to form non-empty "
+        "train and validation splits");
+  }
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   Rng rng(seed);
   rng.shuffle(std::span<std::size_t>(order));
 
-  const auto n_train = static_cast<std::size_t>(
+  // Round, then clamp so extreme-but-valid fractions (e.g. 0.99 at small
+  // n) still leave at least one example on each side.
+  const auto rounded = static_cast<std::size_t>(
       train_fraction * static_cast<double>(n) + 0.5);
+  const std::size_t n_train = std::clamp<std::size_t>(rounded, 1, n - 1);
   const std::size_t k = data.x.dim1();
   const std::size_t nr = data.x.dim2();
 

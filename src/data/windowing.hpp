@@ -20,7 +20,7 @@ namespace geonas::data {
 
 struct WindowConfig {
   std::size_t window = 8;  // K: input length == output length
-  std::size_t stride = 1;
+  std::size_t stride = 1;  // must be >= 1; 0 is rejected
 };
 
 /// A windowed sequence-to-sequence dataset: x/y are [N, K, Nr].
@@ -32,11 +32,12 @@ struct WindowedDataset {
 };
 
 /// Extracts windowed examples from coefficients A (Nr x Ns), time along
-/// columns. Throws when Ns < 2K.
+/// columns. Throws when Ns < 2K or config.stride == 0.
 [[nodiscard]] WindowedDataset make_windows(const Matrix& coefficients,
                                            const WindowConfig& config);
 
-/// Number of examples make_windows will produce.
+/// Number of examples make_windows will produce. Throws when
+/// config.stride == 0 (a zero stride would repeat the same window).
 [[nodiscard]] std::size_t window_count(std::size_t ns,
                                        const WindowConfig& config);
 
@@ -45,7 +46,10 @@ struct SplitDataset {
   WindowedDataset val;
 };
 
-/// Seeded random 80/20 (by default) train/validation split.
+/// Seeded random 80/20 (by default) train/validation split. Requires
+/// train_fraction strictly in (0, 1) and at least 2 examples, and clamps
+/// the rounded train count to [1, n-1]: both splits are always
+/// non-empty (validation metrics divide by the validation count).
 [[nodiscard]] SplitDataset train_val_split(const WindowedDataset& data,
                                            double train_fraction = 0.8,
                                            std::uint64_t seed = 1234);

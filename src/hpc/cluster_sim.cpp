@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "tensor/random.hpp"
 #include "tensor/stats.hpp"
 
@@ -54,6 +55,38 @@ void count_fate(FailureCounts& counts, EvalFate fate) {
     case EvalFate::kStraggler: ++counts.stragglers_killed; break;
     case EvalFate::kLost: ++counts.lost_results; break;
     case EvalFate::kOk: break;
+  }
+}
+
+/// Exports one finished simulation into the obs registry under `prefix`
+/// (e.g. "sim.async.ae"): the paper's utilization curve as a real data
+/// series (x = simulated seconds), the best-reward-so-far timeline, and
+/// the failure/eval tallies. The simulation itself never reads these.
+void export_sim_telemetry(const std::string& prefix, const SimResult& result) {
+  obs::MetricsRegistry* reg = obs::registry();
+  if (reg == nullptr) return;
+  reg->counter(prefix + ".evals").add(result.evals.size());
+  reg->counter(prefix + ".worker_crashes")
+      .add(result.failures.worker_crashes);
+  reg->counter(prefix + ".stragglers_killed")
+      .add(result.failures.stragglers_killed);
+  reg->counter(prefix + ".lost_results").add(result.failures.lost_results);
+  reg->gauge(prefix + ".utilization_auc").set(result.utilization);
+  obs::Series& curve = reg->series(prefix + ".busy_fraction");
+  for (std::size_t i = 0; i < result.busy_curve.size(); ++i) {
+    curve.append(static_cast<double>(i) * kCurveDt, result.busy_curve[i]);
+  }
+  obs::Series& best = reg->series(prefix + ".best_reward");
+  double cur = -1e300;
+  for (const CompletedEval& eval : result.evals) {
+    if (eval.reward > cur) {
+      cur = eval.reward;
+      best.append(eval.completed_at, cur);
+    }
+  }
+  obs::Histogram& durations = reg->histogram(prefix + ".eval_seconds");
+  for (const CompletedEval& eval : result.evals) {
+    durations.observe(eval.duration);
   }
 }
 
@@ -176,6 +209,7 @@ SimResult simulate_async(search::SearchMethod& method,
 
   result.utilization = tracker.utilization_auc();
   result.busy_curve = tracker.busy_fraction_curve(kCurveDt);
+  export_sim_telemetry("sim.async." + method.name(), result);
   return result;
 }
 
@@ -271,6 +305,7 @@ SimResult simulate_rl(const searchspace::StackedLSTMSpace& space,
             });
   result.utilization = tracker.utilization_auc();
   result.busy_curve = tracker.busy_fraction_curve(kCurveDt);
+  export_sim_telemetry("sim.rl", result);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hpc/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace geonas::hpc {
 
@@ -100,6 +101,19 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
     return;
   }
 
+  // Observability: only over-threshold dispatches are instrumented (the
+  // serial fast path above pays nothing even with metrics enabled).
+  // `reg` stays valid through the joins below because parallel_for
+  // drains every future before returning and the obs lifetime contract
+  // requires quiescence before registry teardown.
+  obs::MetricsRegistry* reg = obs::registry();
+  if (reg != nullptr) {
+    reg->counter("kernel.dispatches").add(1);
+    reg->counter("kernel.chunks").add(chunks);
+    reg->histogram("kernel.queue_depth")
+        .observe(static_cast<double>(pool->queue_depth()));
+  }
+
   // Near-equal chunks in whole grains; the last chunk absorbs the
   // remainder so every index is covered exactly once.
   const std::size_t grains_per_chunk = grains / chunks;
@@ -110,12 +124,20 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
   for (std::size_t c = 0; c + 1 < chunks; ++c) {
     const std::size_t my_grains = grains_per_chunk + (c < extra ? 1 : 0);
     const std::size_t hi = std::min(end, lo + my_grains * grain);
-    pending.push_back(pool->submit([&body, lo, hi] {
+    pending.push_back(pool->submit([&body, lo, hi, reg] {
       struct WorkerFlag {
         WorkerFlag() { t_in_kernel_worker = true; }
         ~WorkerFlag() { t_in_kernel_worker = false; }
       } flag;
+      if (reg == nullptr) {
+        body(lo, hi);
+        return;
+      }
+      const obs::StopWatch watch;
       body(lo, hi);
+      const double seconds = watch.seconds();
+      reg->histogram("kernel.chunk_seconds").observe(seconds);
+      reg->gauge("kernel.worker_busy_seconds").add(seconds);
     }));
     lo = hi;
   }
@@ -123,10 +145,14 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
   // references into this frame, so drain them even if the caller's own
   // chunk throws; the first exception (worker or caller) wins.
   std::exception_ptr error;
+  const obs::StopWatch caller_watch;
   try {
     body(lo, end);
   } catch (...) {
     error = std::current_exception();
+  }
+  if (reg != nullptr) {
+    reg->histogram("kernel.chunk_seconds").observe(caller_watch.seconds());
   }
   for (std::future<void>& f : pending) {
     try {
@@ -136,6 +162,17 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
     }
   }
   if (error) std::rethrow_exception(error);
+}
+
+void register_kernel_metrics() {
+  obs::MetricsRegistry* reg = obs::registry();
+  if (reg == nullptr) return;
+  reg->counter("kernel.dispatches");
+  reg->counter("kernel.chunks");
+  reg->histogram("kernel.queue_depth");
+  reg->histogram("kernel.chunk_seconds");
+  reg->gauge("kernel.worker_busy_seconds");
+  reg->gauge("kernel.threads").set(static_cast<double>(kernel_threads()));
 }
 
 }  // namespace geonas::hpc

@@ -55,6 +55,16 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
                   std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& body);
 
+/// Pre-registers the kernel pool's obs instruments (kernel.dispatches,
+/// kernel.chunks, kernel.queue_depth, kernel.chunk_seconds,
+/// kernel.worker_busy_seconds) in the installed obs registry at their
+/// zero values, so telemetry sidecars always carry the thread-pool
+/// section even for campaigns that never clear the dispatch threshold.
+/// No-op when no registry is installed. Only over-threshold dispatches
+/// are instrumented: under-threshold kernels stay untouched so the
+/// serial hot path pays nothing even with metrics enabled.
+void register_kernel_metrics();
+
 inline void parallel_for(
     std::size_t begin, std::size_t end, double cost_flops,
     const std::function<void(std::size_t, std::size_t)>& body) {

@@ -54,12 +54,19 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Tasks currently enqueued and not yet claimed by a worker — an
+  /// instantaneous observability sample (stale by the time it returns).
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -1,6 +1,7 @@
 #include "hpc/utilization.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace geonas::hpc {
@@ -32,7 +33,16 @@ std::vector<double> UtilizationTracker::busy_fraction_curve(double dt) const {
   if (dt <= 0.0) {
     throw std::invalid_argument("busy_fraction_curve: dt must be positive");
   }
-  const auto samples = static_cast<std::size_t>(wall_ / dt) + 1;
+  // Sample count: floor(wall/dt) + 1, so the last sample lands exactly
+  // at `wall` whenever wall is a multiple of dt. A bare cast is
+  // FP-truncation-sensitive there (0.3 / 0.1 = 2.999... would truncate
+  // to 2 and drop the wall sample), so snap near-integer ratios first.
+  const double ratio = wall_ / dt;
+  const double nearest = std::round(ratio);
+  const bool exact =
+      std::abs(ratio - nearest) <= 1e-9 * std::max(1.0, std::abs(nearest));
+  const double steps = exact ? nearest : std::floor(ratio);
+  const auto samples = static_cast<std::size_t>(steps) + 1;
   // Event sweep: +1 at interval starts, -1 at ends.
   std::vector<std::pair<double, int>> events;
   events.reserve(intervals_.size() * 2);

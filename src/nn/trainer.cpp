@@ -8,6 +8,7 @@
 #include "hpc/parallel_for.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/random.hpp"
 
 namespace geonas::nn {
@@ -60,8 +61,17 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   const std::vector<std::size_t> decay_epochs = lr_decay_epochs(cfg_.epochs);
+  // Telemetry: per-epoch forward/backward/update wall time, LR, and loss
+  // curves. `timed` gates every clock read so a disabled registry costs
+  // one null check per fit. Histograms/series are looked up per epoch
+  // (not per batch) to keep the enabled path cheap too.
+  obs::MetricsRegistry* reg = obs::registry();
+  const obs::ScopedTimer fit_span(reg, "trainer.fit");
+  const bool timed = reg != nullptr;
+  obs::StopWatch lap;
   TrainHistory history;
   for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const obs::ScopedTimer epoch_span(reg, "trainer.epoch");
     if (cfg_.lr_step_decay != 1.0 &&
         std::find(decay_epochs.begin(), decay_epochs.end(), epoch) !=
             decay_epochs.end()) {
@@ -70,6 +80,7 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
     }
     if (cfg_.shuffle) rng.shuffle(std::span<std::size_t>(order));
     double epoch_loss = 0.0;
+    double fwd_seconds = 0.0, bwd_seconds = 0.0, opt_seconds = 0.0;
     for (std::size_t start = 0; start < n; start += bs) {
       const std::size_t end = std::min(start + bs, n);
       const std::span<const std::size_t> idx(order.data() + start, end - start);
@@ -77,15 +88,20 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
       const Tensor3 yb = gather_examples(y, idx);
 
       net.zero_grad();
+      if (timed) lap.reset();
       const Tensor3 pred = net.forward(xb, /*training=*/true);
+      if (timed) fwd_seconds += lap.lap();
       // mse_loss is a per-element mean; weight each batch by its example
       // count so a short final batch does not skew the epoch average.
       epoch_loss += mse_loss(yb, pred) * static_cast<double>(end - start);
+      if (timed) lap.reset();
       net.backward(mse_grad(yb, pred));
       if (cfg_.grad_clip_norm > 0.0) {
         clip_gradients_by_norm(net.gradients(), cfg_.grad_clip_norm);
       }
+      if (timed) bwd_seconds += lap.lap();
       optimizer.step();
+      if (timed) opt_seconds += lap.lap();
     }
     history.train_loss.push_back(epoch_loss / static_cast<double>(n));
 
@@ -93,6 +109,19 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
       const Tensor3 pv = predict(net, x_val);
       history.val_loss.push_back(mse_loss(y_val, pv));
       history.val_r2.push_back(r2_metric(y_val, pv));
+    }
+    if (timed) {
+      const auto e = static_cast<double>(epoch);
+      reg->counter("trainer.epochs").add(1);
+      reg->histogram("trainer.forward_seconds").observe(fwd_seconds);
+      reg->histogram("trainer.backward_seconds").observe(bwd_seconds);
+      reg->histogram("trainer.update_seconds").observe(opt_seconds);
+      reg->gauge("trainer.learning_rate").set(optimizer.learning_rate());
+      reg->series("trainer.train_loss").append(e, history.train_loss.back());
+      if (!history.val_loss.empty()) {
+        reg->series("trainer.val_loss").append(e, history.val_loss.back());
+        reg->series("trainer.val_r2").append(e, history.val_r2.back());
+      }
     }
   }
   return history;

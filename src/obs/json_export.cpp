@@ -1,0 +1,206 @@
+#include "obs/json_export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace geonas::obs {
+
+namespace {
+
+/// JSON-escapes a string (quotes, backslash, control characters).
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// %.17g round-trips every double exactly; non-finite values have no
+/// JSON literal and serialize as null.
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void write_histogram(std::ostream& os, const Histogram& h) {
+  os << "{\"count\": " << h.count()
+     << ", \"dropped_nonfinite\": " << h.dropped() << ", \"sum\": ";
+  write_double(os, h.sum());
+  os << ", \"mean\": ";
+  write_double(os, h.count() == 0 ? 0.0
+                                  : h.sum() / static_cast<double>(h.count()));
+  os << ", \"min\": ";
+  write_double(os, h.min());
+  os << ", \"max\": ";
+  write_double(os, h.max());
+  os << ", \"p50\": ";
+  write_double(os, h.percentile(50.0));
+  os << ", \"p90\": ";
+  write_double(os, h.percentile(90.0));
+  os << ", \"p99\": ";
+  write_double(os, h.percentile(99.0));
+  os << ", \"underflow\": " << h.underflow()
+     << ", \"overflow\": " << h.overflow() << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t n = h.bucket_count(i);
+    if (n == 0) continue;  // sparse export: empty buckets carry no signal
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"le\": ";
+    write_double(os, Histogram::bucket_upper(i));
+    os << ", \"count\": " << n << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_telemetry_json(const MetricsRegistry& registry, std::ostream& os) {
+  os << "{\n";
+  os << "  \"schema\": \"geonas.telemetry\",\n";
+  os << "  \"version\": " << kTelemetrySchemaVersion << ",\n";
+  os << "  \"flushed_at_seconds\": ";
+  write_double(os, registry.seconds_since_start());
+  os << ",\n";
+
+  os << "  \"counters\": {";
+  {
+    bool first = true;
+    for (const auto& [name, c] : registry.counters()) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      write_escaped(os, name);
+      os << ": " << c->value();
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+  }
+
+  os << "  \"gauges\": {";
+  {
+    bool first = true;
+    for (const auto& [name, g] : registry.gauges()) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      write_escaped(os, name);
+      os << ": ";
+      write_double(os, g->value());
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+  }
+
+  os << "  \"histograms\": {";
+  {
+    bool first = true;
+    for (const auto& [name, h] : registry.histograms()) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      write_escaped(os, name);
+      os << ": ";
+      write_histogram(os, *h);
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+  }
+
+  os << "  \"series\": {";
+  {
+    bool first = true;
+    for (const auto& [name, s] : registry.series_all()) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      write_escaped(os, name);
+      os << ": [";
+      bool first_pt = true;
+      for (const auto& [x, y] : s->snapshot()) {
+        if (!first_pt) os << ", ";
+        first_pt = false;
+        os << "[";
+        write_double(os, x);
+        os << ", ";
+        write_double(os, y);
+        os << "]";
+      }
+      os << "]";
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+  }
+
+  os << "  \"spans\": [";
+  {
+    bool first = true;
+    for (const SpanRecord& span : registry.spans()) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      os << "{\"name\": ";
+      write_escaped(os, span.name);
+      os << ", \"thread\": " << span.thread << ", \"parent\": " << span.parent
+         << ", \"start\": ";
+      write_double(os, span.start);
+      os << ", \"duration\": ";
+      write_double(os, span.duration);
+      os << "}";
+    }
+    os << (first ? "" : "\n  ") << "]\n";
+  }
+  os << "}\n";
+}
+
+void write_telemetry_file(const MetricsRegistry& registry,
+                          const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("obs: cannot open telemetry file for write: " +
+                               tmp);
+    }
+    write_telemetry_json(registry, out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("obs: write failed for telemetry file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("obs: cannot rename telemetry file into place: " +
+                             path);
+  }
+}
+
+}  // namespace geonas::obs

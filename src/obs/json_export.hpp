@@ -1,0 +1,49 @@
+// Versioned telemetry.json exporter (DESIGN.md "Observability").
+//
+// The sidecar is strictly an observability artifact: it lives next to —
+// never inside — deterministic campaign outputs (checkpoints, weights,
+// reported trajectories), so emitting it cannot perturb bitwise
+// kill-and-resume guarantees. Schema v1:
+//
+//   {
+//     "schema": "geonas.telemetry",
+//     "version": 1,
+//     "flushed_at_seconds": <registry lifetime at flush>,
+//     "counters":   { "<name>": <u64>, ... },
+//     "gauges":     { "<name>": <double|null>, ... },
+//     "histograms": { "<name>": { "count", "dropped_nonfinite", "sum",
+//                                 "mean", "min", "max",
+//                                 "p50", "p90", "p99",
+//                                 "underflow", "overflow",
+//                                 "buckets": [ {"le": <upper>, "count"} ] },
+//                     ... },                      // only non-empty buckets
+//     "series":     { "<name>": [[x, y], ...], ... },
+//     "spans":      [ {"name", "thread", "parent", "start", "duration"} ]
+//   }
+//
+// Keys are sorted lexicographically and doubles printed with %.17g, so
+// the same registry state always serializes to the same bytes.
+// Non-finite doubles (a gauge set to NaN) serialize as null — JSON has
+// no NaN/Inf literals.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace geonas::obs {
+
+/// Current telemetry schema version.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// Serializes the registry's current state as schema-v1 JSON. Call after
+/// instrumented work has quiesced (open spans export with duration -1).
+void write_telemetry_json(const MetricsRegistry& registry, std::ostream& os);
+
+/// Same, to a file (write-then-rename so a crash mid-flush never leaves
+/// a torn sidecar). Throws std::runtime_error on I/O failure.
+void write_telemetry_file(const MetricsRegistry& registry,
+                          const std::string& path);
+
+}  // namespace geonas::obs

@@ -1,0 +1,283 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace geonas::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+/// Thread-local cache mapping registry id -> that thread's TraceBuffer.
+/// Ids are never reused, so an entry for a destroyed registry is inert
+/// (it can never match a live registry's id).
+struct ThreadCache {
+  // void* because TraceBuffer is registry-private; only thread_buffer()
+  // (a member) writes and reads these entries.
+  std::vector<std::pair<std::uint64_t, void*>> buffers;
+};
+
+ThreadCache& thread_cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double x) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !target.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double x) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !target.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double monotonic_seconds() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point process_epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - process_epoch).count();
+}
+
+// ---------------------------------------------------------------- Histogram
+
+void Histogram::observe(double x) noexcept {
+  if (!std::isfinite(x)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t prior =
+      finite_count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, x);
+  if (prior == 0) {
+    // First finite observation seeds min/max; racing observers then
+    // converge through the CAS loops below.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  }
+  atomic_min_double(min_, x);
+  atomic_max_double(max_, x);
+
+  if (x <= 0.0) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double position =
+      (std::log10(x) - static_cast<double>(kMinDecade)) *
+      static_cast<double>(kBucketsPerDecade);
+  if (position < 0.0) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(position);
+  if (idx >= kBuckets) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return finite_count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper(std::size_t i) noexcept {
+  return std::pow(10.0, static_cast<double>(kMinDecade) +
+                            static_cast<double>(i + 1) /
+                                static_cast<double>(kBucketsPerDecade));
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation (1-based, nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+
+  std::uint64_t cumulative = underflow_.load(std::memory_order_relaxed);
+  if (cumulative >= target) return min();
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      const double hi = bucket_upper(i);
+      const double lo =
+          hi / std::pow(10.0, 1.0 / static_cast<double>(kBucketsPerDecade));
+      return std::sqrt(lo * hi);  // geometric midpoint of the bucket
+    }
+  }
+  return max();  // rank fell in the overflow bucket
+}
+
+// ------------------------------------------------------------------- Series
+
+void Series::append(double x, double y) {
+  std::lock_guard lock(mutex_);
+  points_.emplace_back(x, y);
+}
+
+std::vector<std::pair<double, double>> Series::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return points_;
+}
+
+std::size_t Series::size() const {
+  std::lock_guard lock(mutex_);
+  return points_.size();
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(monotonic_seconds()) {}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(histograms_, name);
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+  return get_or_create(series_, name);
+}
+
+namespace {
+
+template <typename T>
+std::vector<std::pair<std::string, const T*>> sorted_view(
+    const std::unordered_map<std::string, std::unique_ptr<T>>& map,
+    std::mutex& mutex) {
+  std::vector<std::pair<std::string, const T*>> out;
+  {
+    std::lock_guard lock(mutex);
+    out.reserve(map.size());
+    for (const auto& [name, instrument] : map) {
+      out.emplace_back(name, instrument.get());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, const Counter*>> MetricsRegistry::counters()
+    const {
+  return sorted_view(counters_, mutex_);
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::gauges()
+    const {
+  return sorted_view(gauges_, mutex_);
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms() const {
+  return sorted_view(histograms_, mutex_);
+}
+
+std::vector<std::pair<std::string, const Series*>>
+MetricsRegistry::series_all() const {
+  return sorted_view(series_, mutex_);
+}
+
+std::vector<SpanRecord> MetricsRegistry::spans() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard lock(mutex_);
+  for (const auto& buffer : trace_buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  return out;
+}
+
+MetricsRegistry::TraceBuffer& MetricsRegistry::thread_buffer() {
+  ThreadCache& cache = thread_cache();
+  for (const auto& [id, buffer] : cache.buffers) {
+    if (id == id_) return *static_cast<TraceBuffer*>(buffer);
+  }
+  std::lock_guard lock(mutex_);
+  trace_buffers_.push_back(std::make_unique<TraceBuffer>());
+  TraceBuffer* buffer = trace_buffers_.back().get();
+  buffer->thread_id = static_cast<std::uint32_t>(trace_buffers_.size() - 1);
+  cache.buffers.emplace_back(id_, buffer);
+  return *buffer;
+}
+
+// -------------------------------------------------------------- ScopedTimer
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, const char* name) noexcept
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  buffer_ = &registry_->thread_buffer();
+  std::lock_guard lock(buffer_->mutex);
+  SpanRecord span;
+  span.name = name;
+  span.thread = buffer_->thread_id;
+  span.parent = buffer_->open.empty()
+                    ? -1
+                    : static_cast<std::int64_t>(buffer_->open.back());
+  span.start = registry_->seconds_since_start();
+  index_ = buffer_->spans.size();
+  buffer_->spans.push_back(span);
+  buffer_->open.push_back(index_);
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  std::lock_guard lock(buffer_->mutex);
+  SpanRecord& span = buffer_->spans[index_];
+  span.duration = registry_->seconds_since_start() - span.start;
+  // Open spans close LIFO per thread by construction (RAII scopes).
+  if (!buffer_->open.empty() && buffer_->open.back() == index_) {
+    buffer_->open.pop_back();
+  }
+}
+
+// ---------------------------------------------------------- global registry
+
+MetricsRegistry* registry() noexcept {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+void set_registry(MetricsRegistry* registry) noexcept {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+}  // namespace geonas::obs

@@ -1,0 +1,283 @@
+// Campaign observability substrate: metrics and tracing (DESIGN.md
+// "Observability").
+//
+// The paper's headline evidence is telemetry — node-utilization curves,
+// reward-vs-wallclock trajectories, evaluation-time distributions on
+// Theta (Figs. 8-12) — and Li & Talwalkar argue NAS claims are only
+// credible when the full search telemetry is captured and replayable.
+// This layer records that telemetry as data (a versioned telemetry.json
+// sidecar, see json_export.hpp) instead of printf tables.
+//
+// Design contract:
+//
+//  * Near-zero overhead when disabled. Instrumented code loads the
+//    process-global registry pointer (one relaxed atomic load) and
+//    branches on null — nothing else happens. The <1% budget on
+//    BM_LSTMTrainStep/96 is enforced by bench/micro_substrate.
+//  * Thread-safe when enabled. Counters and histogram buckets are
+//    atomics; gauges CAS; the name->instrument maps are mutex-guarded
+//    get-or-create (call sites look instruments up per event, which is
+//    fine at per-batch/per-task/per-evaluation granularity).
+//  * No allocation on the histogram hot path: fixed log-spaced buckets
+//    (observe() is a log + two atomic adds), percentiles derived at
+//    export time.
+//  * Strictly separate from deterministic campaign outputs. The
+//    registry never draws from geonas::Rng and nothing in src/ reads a
+//    metric back into a computation, so checkpoints, campaign
+//    trajectories, and kill-and-resume stay bitwise identical with
+//    metrics on or off.
+//
+// Lifetime contract: the registry must outlive all instrumented work.
+// Call set_registry(nullptr) and quiesce (join pools / finish fits)
+// before destroying a registry; ScopedTimer holds a pointer into the
+// registry for its whole scope. Spans use per-thread buffers (merged at
+// export) keyed by a never-reused registry id, so stale thread-local
+// caches from a destroyed registry can never alias a new one.
+//
+// All timing in the repo routes through this header (StopWatch /
+// monotonic_seconds); raw std::chrono outside src/obs/ is a lint error
+// (tools/geonas_lint.py, rule chrono-outside-obs).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace geonas::obs {
+
+/// Monotonic process clock in seconds (steady, not wall-calendar time).
+[[nodiscard]] double monotonic_seconds() noexcept;
+
+/// Tiny monotonic stopwatch; the repo-wide replacement for raw
+/// std::chrono timing pairs. Independent of any registry.
+class StopWatch {
+ public:
+  StopWatch() noexcept : start_(monotonic_seconds()) {}
+
+  [[nodiscard]] double seconds() const noexcept {
+    return monotonic_seconds() - start_;
+  }
+  void reset() noexcept { start_ = monotonic_seconds(); }
+  /// Seconds since the last lap()/reset()/construction, then restarts.
+  double lap() noexcept {
+    const double now = monotonic_seconds();
+    const double delta = now - start_;
+    start_ = now;
+    return delta;
+  }
+
+ private:
+  double start_;
+};
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar, with an accumulate mode for busy-seconds
+/// style totals.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming histogram over fixed log-spaced buckets covering
+/// [1e-9, 1e4) (8 buckets per decade, ~±15% relative bucket width) plus
+/// underflow (x <= 1e-9, including zero and negatives) and overflow
+/// buckets. observe() allocates nothing; percentiles are computed at
+/// export time by a cumulative scan, reporting the geometric midpoint of
+/// the bucket holding the target rank. Non-finite observations are
+/// counted in dropped() and excluded from every statistic.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kMinDecade = -9;  // first bucket lower bound 1e-9
+  static constexpr int kMaxDecade = 4;   // overflow at >= 1e4
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>((kMaxDecade - kMinDecade) * kBucketsPerDecade);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// p in [0, 100]; returns 0 on an empty histogram.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  /// Inclusive upper bound of bucket i (exported as "le").
+  [[nodiscard]] static double bucket_upper(std::size_t i) noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid iff count() > 0
+  std::atomic<double> max_{0.0};
+  std::atomic<std::uint64_t> finite_count_{0};
+};
+
+/// Append-only (x, y) time series — best-reward-so-far timelines,
+/// busy-fraction curves, per-epoch losses. Appends take a mutex; use at
+/// per-epoch / per-improvement granularity, not per element.
+class Series {
+ public:
+  void append(double x, double y);
+  [[nodiscard]] std::vector<std::pair<double, double>> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// One closed trace span, offsets in seconds since registry creation.
+struct SpanRecord {
+  const char* name = "";       // static-lifetime string (use literals)
+  std::uint32_t thread = 0;    // registry-local sequential thread id
+  std::int64_t parent = -1;    // index into the same thread's span list
+  double start = 0.0;
+  double duration = -1.0;      // -1 while still open at export time
+};
+
+class ScopedTimer;
+
+/// Named-instrument registry plus per-thread trace buffers. Instruments
+/// are created on first use and live as long as the registry (stable
+/// addresses; safe to hold across calls while the registry lives).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  Series& series(std::string_view name);
+
+  /// Seconds elapsed since this registry was constructed (the time base
+  /// for spans and wallclock series).
+  [[nodiscard]] double seconds_since_start() const noexcept {
+    return monotonic_seconds() - epoch_;
+  }
+
+  /// Sorted snapshots for the exporter (names are deterministic:
+  /// lexicographic).
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
+  counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>> gauges()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
+  histograms() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Series*>> series_all()
+      const;
+  /// All threads' spans merged, ordered by (thread, open order). Call
+  /// after instrumented work has quiesced.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+ private:
+  friend class ScopedTimer;
+
+  struct TraceBuffer {
+    std::mutex mutex;                // appending thread vs exporter
+    std::uint32_t thread_id = 0;
+    std::vector<SpanRecord> spans;
+    std::vector<std::size_t> open;   // indices of open spans (owner only)
+  };
+
+  /// Per-(thread, registry) trace buffer, cached thread-locally and
+  /// keyed by the never-reused registry id.
+  TraceBuffer& thread_buffer();
+
+  template <typename T>
+  T& get_or_create(std::unordered_map<std::string, std::unique_ptr<T>>& map,
+                   std::string_view name) {
+    std::lock_guard lock(mutex_);
+    auto it = map.find(std::string(name));
+    if (it == map.end()) {
+      it = map.emplace(std::string(name), std::make_unique<T>()).first;
+    }
+    return *it->second;
+  }
+
+  std::uint64_t id_;
+  double epoch_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::unordered_map<std::string, std::unique_ptr<Series>> series_;
+  std::deque<std::unique_ptr<TraceBuffer>> trace_buffers_;
+};
+
+/// RAII trace span. A null registry makes construction and destruction
+/// a branch on a null pointer. Spans opened and closed on one thread
+/// nest: the innermost open span on that thread becomes the parent.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, const char* name) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  MetricsRegistry::TraceBuffer* buffer_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+/// Process-global registry used by the instrumented layers (kernel pool,
+/// trainer, evaluators, NAS drivers, cluster simulators). Null (the
+/// default) disables all instrumentation. The caller that installs a
+/// registry owns it and must set_registry(nullptr) + quiesce before
+/// destroying it.
+[[nodiscard]] MetricsRegistry* registry() noexcept;
+void set_registry(MetricsRegistry* registry) noexcept;
+
+}  // namespace geonas::obs

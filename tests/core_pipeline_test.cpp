@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "core/nas_driver.hpp"
 #include "core/pipeline.hpp"
@@ -256,6 +257,31 @@ TEST(Reporting, AsciiSeriesRendersBounds) {
   const std::string plot = ascii_series(series, 40, 8);
   EXPECT_NE(plot.find('*'), std::string::npos);
   EXPECT_EQ(ascii_series({}, 10, 5), "(empty series)\n");
+}
+
+TEST(Reporting, AsciiSeriesSurvivesNonFiniteInput) {
+  // Regression: a diverged training curve (NaN/Inf losses) used to push
+  // a NaN `frac` through a size_t cast — undefined behaviour. Non-finite
+  // points must be skipped, not plotted, and must not poison the
+  // auto-range.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> series{1.0, 2.0, nan, 3.0, inf, 4.0, -inf, 5.0};
+  const std::string plot = ascii_series(series, 8, 5);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  // Auto-range comes from the finite values only: axis labels show the
+  // finite max/min, not inf.
+  EXPECT_NE(plot.find("5.000"), std::string::npos);
+  EXPECT_NE(plot.find("1.000"), std::string::npos);
+  EXPECT_EQ(plot.find("inf"), std::string::npos);
+  EXPECT_EQ(plot.find("nan"), std::string::npos);
+
+  // Leading NaN: nothing to carry into the first bucket; still renders.
+  const std::string leading = ascii_series({nan, nan, 1.0, 2.0}, 4, 3);
+  EXPECT_NE(leading.find('*'), std::string::npos);
+
+  // All-non-finite input renders a sentinel instead of plotting.
+  EXPECT_EQ(ascii_series({nan, inf, -inf}, 10, 5), "(no finite data)\n");
 }
 
 }  // namespace

@@ -222,6 +222,53 @@ TEST(Windowing, SplitSizesAndDisjointness) {
   }
 }
 
+TEST(Windowing, StrideZeroRejected) {
+  // Regression: window_count used to normalize stride 0 to 1 while
+  // make_windows multiplied by the raw stride, silently producing N
+  // identical windows all starting at column 0.
+  EXPECT_THROW((void)window_count(427, {.window = 8, .stride = 0}),
+               std::invalid_argument);
+  Matrix coeffs(2, 20);
+  for (std::size_t t = 0; t < 20; ++t) {
+    coeffs(0, t) = static_cast<double>(t);
+    coeffs(1, t) = static_cast<double>(t) * 2.0;
+  }
+  EXPECT_THROW((void)make_windows(coeffs, {.window = 4, .stride = 0}),
+               std::invalid_argument);
+}
+
+TEST(Windowing, SplitRejectsFractionExtremes) {
+  // Regression: train_fraction == 1.0 used to round n_train to n,
+  // constructing a zero-example validation set that downstream
+  // evaluation divides by.
+  Matrix coeffs(1, 30, 0.0);
+  for (std::size_t t = 0; t < 30; ++t) coeffs(0, t) = static_cast<double>(t);
+  const WindowedDataset set = make_windows(coeffs, {.window = 3});
+  EXPECT_THROW((void)train_val_split(set, 1.0, 7), std::invalid_argument);
+  EXPECT_THROW((void)train_val_split(set, 0.0, 7), std::invalid_argument);
+  EXPECT_THROW((void)train_val_split(set, 1.5, 7), std::invalid_argument);
+  EXPECT_THROW((void)train_val_split(set, -0.2, 7), std::invalid_argument);
+}
+
+TEST(Windowing, SplitClampsToNonEmptySides) {
+  // Valid-but-extreme fractions round to all-train / all-val at small n;
+  // the clamp keeps one example on each side.
+  Matrix coeffs(1, 12, 0.0);
+  for (std::size_t t = 0; t < 12; ++t) coeffs(0, t) = static_cast<double>(t);
+  const WindowedDataset set = make_windows(coeffs, {.window = 3});  // n = 7
+  const SplitDataset high = train_val_split(set, 0.99, 7);
+  EXPECT_EQ(high.train.size(), set.size() - 1);
+  EXPECT_EQ(high.val.size(), 1u);
+  const SplitDataset low = train_val_split(set, 0.01, 7);
+  EXPECT_EQ(low.train.size(), 1u);
+  EXPECT_EQ(low.val.size(), set.size() - 1);
+
+  // Fewer than 2 windows cannot produce two non-empty splits.
+  Matrix tiny(1, 6, 0.0);
+  const WindowedDataset one = make_windows(tiny, {.window = 3});  // n = 1
+  EXPECT_THROW((void)train_val_split(one, 0.8, 7), std::invalid_argument);
+}
+
 TEST(Windowing, SplitDeterministicBySeed) {
   Matrix coeffs(1, 30, 0.0);
   for (std::size_t t = 0; t < 30; ++t) coeffs(0, t) = static_cast<double>(t);

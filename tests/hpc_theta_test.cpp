@@ -73,6 +73,25 @@ TEST(Utilization, BusyCurveStepFunction) {
   EXPECT_DOUBLE_EQ(curve[3], 0.5);   // t=75: one remains
 }
 
+TEST(Utilization, BusyCurveExactMultipleWall) {
+  // Regression: the sample count floor(wall/dt) + 1 was computed with a
+  // bare FP cast; 0.3 / 0.1 = 2.999... truncated to 2 and silently
+  // dropped the intended last-sample-at-wall. The curve must sample
+  // t = 0, dt, ..., wall inclusive when wall is a multiple of dt.
+  UtilizationTracker t(1, 0.3);
+  t.add_busy(0.0, 0.15);
+  const auto curve = t.busy_fraction_curve(0.1);
+  ASSERT_EQ(curve.size(), 4u);  // t = 0.0, 0.1, 0.2, 0.3
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);
+  EXPECT_DOUBLE_EQ(curve[1], 1.0);
+  EXPECT_DOUBLE_EQ(curve[2], 0.0);  // busy interval ended at 0.15
+  EXPECT_DOUBLE_EQ(curve.back(), 0.0);
+
+  // Non-multiple walls keep the plain floor behaviour.
+  UtilizationTracker u(1, 0.35);
+  EXPECT_EQ(u.busy_fraction_curve(0.1).size(), 4u);  // t = 0, .1, .2, .3
+}
+
 TEST(Utilization, Validation) {
   EXPECT_THROW(UtilizationTracker(0, 10.0), std::invalid_argument);
   EXPECT_THROW(UtilizationTracker(1, 0.0), std::invalid_argument);

@@ -11,14 +11,26 @@
 //   geonas_cli search    --evaluations 500 [--method ae|rs|ppo] [--seed 1]
 //                        [--checkpoint ckpt.bin] [--checkpoint-every 50]
 //                        [--resume 1] [--retries 3] [--eval-timeout 0]
-//                        [--memoize 1]
+//                        [--memoize 1] [--workers 1]
+//                        [--train 1] [--epochs 10]
 //   geonas_cli train     --snapshots snaps.bin [--modes 5] [--window 8]
 //                        [--arch GENE-KEY] [--epochs 60] [--seed 1]
 //                        [--weights-out weights.bin]
 //
+// Observability: every subcommand accepts --metrics-out PATH (write a
+// versioned telemetry.json sidecar at exit; implies --metrics 1) and
+// --metrics 0/1 (force-disable/enable; enabled without a path writes
+// telemetry.json in the working directory). Telemetry is a separate
+// artifact: campaign outputs, checkpoints, and weights are bitwise
+// identical with metrics on or off.
+//
 // `search` explores the paper's stacked-LSTM space against the calibrated
 // surrogate evaluator and prints the best architecture's gene key, which
-// `train` accepts to run a real training on the snapshot file.
+// `train` accepts to run a real training on the snapshot file. With
+// `--train 1` the search instead evaluates every candidate by genuinely
+// training it on the synthetic POD-LSTM pipeline for `--epochs` epochs
+// (the paper's actual campaign loop; much slower than the surrogate, so
+// size --evaluations accordingly).
 //
 // Fault tolerance: `--checkpoint` atomically rewrites a versioned binary
 // checkpoint every `--checkpoint-every` evaluations (and at the end);
@@ -33,12 +45,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/nas_driver.hpp"
+#include "core/pipeline.hpp"
+#include "hpc/parallel_for.hpp"
+#include "obs/json_export.hpp"
+#include "obs/metrics.hpp"
 #include "core/reporting.hpp"
 #include "core/surrogate.hpp"
+#include "core/training_eval.hpp"
 #include "data/landmask.hpp"
 #include "data/snapshot_io.hpp"
 #include "data/sst.hpp"
@@ -90,6 +108,44 @@ class Args {
 
  private:
   std::map<std::string, std::string> values_;
+};
+
+/// Installs a process-global metrics registry for the duration of one
+/// subcommand and flushes the telemetry sidecar at scope exit. With
+/// metrics off (the default) nothing is installed and every
+/// instrumentation site stays a branch on a null pointer.
+class MetricsScope {
+ public:
+  explicit MetricsScope(const Args& args)
+      : path_(args.get("metrics-out", "")),
+        enabled_(args.get_long("metrics", path_.empty() ? 0 : 1) != 0) {
+    if (!enabled_) return;
+    if (path_.empty()) path_ = "telemetry.json";
+    registry_ = std::make_unique<obs::MetricsRegistry>();
+    obs::set_registry(registry_.get());
+    // Pre-register the kernel-pool section so the sidecar always carries
+    // it, even for campaigns that never clear the dispatch threshold.
+    hpc::register_kernel_metrics();
+  }
+  ~MetricsScope() {
+    if (!registry_) return;
+    // Uninstall before flushing; each subcommand has joined its workers
+    // by now, so the registry is quiescent.
+    obs::set_registry(nullptr);
+    try {
+      obs::write_telemetry_file(*registry_, path_);
+      std::printf("telemetry written to %s\n", path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry write failed: %s\n", e.what());
+    }
+  }
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  std::string path_;
+  bool enabled_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
 };
 
 int cmd_generate(const Args& args) {
@@ -166,26 +222,59 @@ int cmd_search(const Args& args) {
     return 2;
   }
 
+  const auto workers =
+      static_cast<std::size_t>(args.get_long("workers", 1));
+  if (workers == 0) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return 2;
+  }
+
+  const bool train_mode = args.get_long("train", 0) != 0;
+  const auto epochs = static_cast<std::size_t>(args.get_long("epochs", 10));
+
   const searchspace::StackedLSTMSpace space;
-  core::SurrogateEvaluator oracle(space);
+  // --train 1: the paper's actual campaign loop — every candidate is
+  // built and genuinely trained on the synthetic POD-LSTM pipeline, and
+  // the reward is its validation R^2 after the epoch budget. The
+  // pipeline must outlive the evaluator (it owns the window tensors).
+  std::unique_ptr<core::PODLSTMPipeline> pipeline;
+  std::unique_ptr<hpc::ArchitectureEvaluator> oracle;
+  if (train_mode) {
+    pipeline = std::make_unique<core::PODLSTMPipeline>(
+        core::PipelineConfig::from_env());
+    pipeline->prepare();
+    const auto& split = pipeline->split();
+    oracle = std::make_unique<core::TrainingEvaluator>(
+        space, split.train.x, split.train.y, split.val.x, split.val.y,
+        nn::TrainConfig{.epochs = epochs, .batch_size = 64});
+  } else {
+    oracle = std::make_unique<core::SurrogateEvaluator>(space);
+  }
+  auto drive = [&](search::SearchMethod& m) {
+    return workers > 1 ? core::run_local_search_parallel(
+                             m, *oracle, evaluations, workers, seed, options)
+                       : core::run_local_search(m, *oracle, evaluations, seed,
+                                                options);
+  };
   core::LocalSearchResult result;
   if (method == "rs") {
     search::RandomSearch rs(space, seed);
-    result = core::run_local_search(rs, oracle, evaluations, seed, options);
+    result = drive(rs);
   } else if (method == "ae") {
     search::AgingEvolution ae(space, {.population_size = 100,
                                       .sample_size = 10, .seed = seed});
-    result = core::run_local_search(ae, oracle, evaluations, seed, options);
+    result = drive(ae);
   } else if (method == "ppo") {
     search::PPOSearch ppo(space, {.seed = seed});
-    result = core::run_local_search(ppo, oracle, evaluations, seed, options);
+    result = drive(ppo);
   } else {
     std::fprintf(stderr, "unknown --method '%s' (ae|rs|ppo)\n",
                  method.c_str());
     return 2;
   }
-  std::printf("%zu evaluations, best surrogate reward %.4f\n",
-              result.history.size(), result.best_reward);
+  std::printf("%zu evaluations, best %s %.4f\n", result.history.size(),
+              train_mode ? "trained validation R2" : "surrogate reward",
+              result.best_reward);
   if (options.retry.enabled()) {
     std::printf("fault policy: %zu retries, %zu evaluations failed\n",
                 result.eval_retries, result.eval_failures);
@@ -285,6 +374,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
+    const MetricsScope metrics(args);
     if (command == "generate") return cmd_generate(args);
     if (command == "pod") return cmd_pod(args);
     if (command == "search") return cmd_search(args);

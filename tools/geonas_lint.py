@@ -39,6 +39,14 @@ Rules (see DESIGN.md "Correctness tooling"):
                        ARE the reference (nn/activations.hpp) carry
                        reasoned suppressions.
 
+  chrono-outside-obs   Raw std::chrono (or #include <chrono>) in src/
+                       outside src/obs/ — library timing must go through
+                       obs::monotonic_seconds / obs::StopWatch /
+                       obs::ScopedTimer so every measurement shares one
+                       clock, lands in the telemetry export, and can be
+                       neutered by a null registry. Tests, tools and
+                       benches may use std::chrono freely.
+
   float-eq-in-tests    EXPECT_EQ/ASSERT_EQ with a floating-point literal
                        as a top-level macro argument in tests/ — compare
                        with EXPECT_NEAR / EXPECT_DOUBLE_EQ, or suppress
@@ -78,6 +86,7 @@ IOSTREAM_RE = re.compile(
     r"(#\s*include\s*<iostream>|std::(cout|cerr|clog)\b"
     r"|\bprintf\s*\(|\bfprintf\s*\(\s*std(out|err)\b)")
 TRANSCENDENTAL_RE = re.compile(r"std::(tanh|exp|log)\s*\(")
+CHRONO_RE = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
 FLOAT_LITERAL_RE = re.compile(
     r"(?<![\w.])(\d+\.\d*(e[+-]?\d+)?|\.\d+(e[+-]?\d+)?|\d+e[+-]?\d+)f?",
     re.IGNORECASE)
@@ -211,6 +220,7 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
     in_src = rel_str.startswith("src/")
     in_tests = rel_str.startswith("tests/")
     in_hpc = rel_str.startswith("src/hpc/")
+    in_obs = rel_str.startswith("src/obs/")
     in_nn = rel_str.startswith("src/nn/")
     is_reporting = rel_str.startswith("src/core/reporting.")
 
@@ -265,6 +275,14 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
                            "stream read without a visible status check — "
                            "check the stream (gcount/fail/if) or use "
                            "io::BinaryReader")
+
+        if in_src and not in_obs:
+            m = CHRONO_RE.search(code)
+            if m:
+                report("chrono-outside-obs",
+                       "raw std::chrono outside src/obs/ — time through "
+                       "obs::monotonic_seconds / obs::StopWatch / "
+                       "obs::ScopedTimer")
 
         if in_nn:
             m = TRANSCENDENTAL_RE.search(code)

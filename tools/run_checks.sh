@@ -54,8 +54,10 @@ run_flavor asan
 if [[ $quick -eq 1 ]]; then
   # Pre-merge TSan slice: the suites that exercise the kernel pool from
   # multiple threads (vmath spans, GEMM splits, recurrent fused kernels,
-  # stress rigs) — races there corrupt every NAS reward downstream.
-  run_flavor tsan '^(Determinism|Vmath|ParallelFor|ThreadPool)'
+  # stress rigs) plus the observability registry, which is written by
+  # kernel-pool and driver worker threads while an exporter reads it —
+  # races there corrupt every NAS reward / telemetry report downstream.
+  run_flavor tsan '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs)'
 else
   run_flavor tsan
 
