@@ -12,6 +12,7 @@
 #include "core/nas_driver.hpp"
 #include "core/pipeline.hpp"
 #include "core/training_eval.hpp"
+#include "core/window_source.hpp"
 #include "data/calendar.hpp"
 #include "data/comparators.hpp"
 #include "nn/trainer.hpp"
@@ -32,11 +33,16 @@ int main(int argc, char** argv) {
   std::printf("preparing synthetic SST record + POD basis...\n");
   pipeline.prepare();
 
-  // Real NAS: aging evolution, each evaluation a genuine 10-epoch training.
+  // Real NAS: aging evolution, each evaluation a genuine 10-epoch
+  // training. Batches are gathered zero-copy from the window view (no
+  // materialized window tensors on the search path).
   const searchspace::StackedLSTMSpace space;
   const auto& split = pipeline.split();
-  core::TrainingEvaluator evaluator(space, split.train.x, split.train.y,
-                                    split.val.x, split.val.y,
+  const core::WindowExampleSource train_source(pipeline.train_window_view(),
+                                               pipeline.split_indices().train);
+  const core::WindowExampleSource val_source(pipeline.train_window_view(),
+                                             pipeline.split_indices().val);
+  core::TrainingEvaluator evaluator(space, train_source, &val_source,
                                     {.epochs = 10, .batch_size = 64});
   search::AgingEvolution ae(
       space, {.population_size = 16, .sample_size = 4, .seed = 7});

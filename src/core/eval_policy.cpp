@@ -85,16 +85,21 @@ MemoizingEvaluator::MemoizingEvaluator(hpc::ArchitectureEvaluator& inner)
   if (obs::MetricsRegistry* reg = obs::registry()) {
     reg->counter("memo.hits");
     reg->counter("memo.misses");
+    reg->gauge("memo.cache_bytes");
   }
 }
 
 hpc::EvalOutcome MemoizingEvaluator::evaluate(
     const searchspace::Architecture& arch, std::uint64_t eval_seed) {
   obs::MetricsRegistry* reg = obs::registry();
-  const std::string key = arch.key();
   {
+    // The key is derived into a reused scratch buffer under the lock, so
+    // the hit path performs no heap allocation once the buffer's
+    // capacity is warm (memoized re-evaluations are a hot path in
+    // mutation-based search).
     std::lock_guard lock(mutex_);
-    const auto it = cache_.find(key);
+    arch.key_into(key_scratch_);
+    const auto it = cache_.find(key_scratch_);
     if (it != cache_.end()) {
       ++hits_;
       if (reg != nullptr) reg->counter("memo.hits").add(1);
@@ -108,9 +113,15 @@ hpc::EvalOutcome MemoizingEvaluator::evaluate(
   std::lock_guard lock(mutex_);
   ++misses_;
   if (!outcome.failed) {
-    const auto [it, inserted] = cache_.emplace(key, outcome);
+    arch.key_into(key_scratch_);
+    const auto [it, inserted] = cache_.emplace(key_scratch_, outcome);
     if (inserted) {
-      order_.push_back(key);
+      order_.push_back(key_scratch_);
+      cache_bytes_ += entry_bytes(key_scratch_);
+      if (reg != nullptr) {
+        reg->gauge("memo.cache_bytes")
+            .set(static_cast<double>(cache_bytes_));
+      }
     } else {
       return it->second;  // a concurrent first visit beat us; its result wins
     }
@@ -143,19 +154,42 @@ std::vector<MemoizingEvaluator::Entry> MemoizingEvaluator::snapshot() const {
   return entries;
 }
 
+void MemoizingEvaluator::visit_entries(
+    hpc::FunctionRef<void(std::size_t)> begin,
+    hpc::FunctionRef<void(const std::string&, const hpc::EvalOutcome&)>
+        entry) const {
+  std::lock_guard lock(mutex_);
+  begin(order_.size());
+  for (const std::string& key : order_) {
+    entry(key, cache_.at(key));
+  }
+}
+
 void MemoizingEvaluator::restore(const std::vector<Entry>& entries,
                                  std::size_t hits, std::size_t misses) {
   std::lock_guard lock(mutex_);
   cache_.clear();
   order_.clear();
+  cache_bytes_ = 0;
   for (const Entry& entry : entries) {
     const auto [it, inserted] = cache_.insert_or_assign(entry.key,
                                                         entry.outcome);
     (void)it;
-    if (inserted) order_.push_back(entry.key);
+    if (inserted) {
+      order_.push_back(entry.key);
+      cache_bytes_ += entry_bytes(entry.key);
+    }
   }
   hits_ = hits;
   misses_ = misses;
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->gauge("memo.cache_bytes").set(static_cast<double>(cache_bytes_));
+  }
+}
+
+std::size_t MemoizingEvaluator::cache_bytes() const {
+  std::lock_guard lock(mutex_);
+  return cache_bytes_;
 }
 
 }  // namespace geonas::core

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hpc/evaluator.hpp"
+#include "hpc/parallel_for.hpp"  // FunctionRef
 
 namespace geonas::core {
 
@@ -111,18 +112,40 @@ class MemoizingEvaluator final : public hpc::ArchitectureEvaluator {
   /// Insertion-ordered snapshot — deterministic, so checkpoints of the
   /// same campaign state are byte-identical.
   [[nodiscard]] std::vector<Entry> snapshot() const;
+  /// Streams the cache in insertion order under a single lock — the
+  /// checkpoint writer serializes entries in place instead of cloning
+  /// the whole table (snapshot() copies every key/outcome; on a long
+  /// campaign that doubled the cache's memory at every checkpoint).
+  /// `begin` receives the entry count first, then `entry` fires once per
+  /// cached entry. Callbacks must not reenter this evaluator.
+  void visit_entries(
+      hpc::FunctionRef<void(std::size_t)> begin,
+      hpc::FunctionRef<void(const std::string&, const hpc::EvalOutcome&)>
+          entry) const;
   /// Replaces the cache and counters (checkpoint resume). Later entries
   /// win on duplicate keys.
   void restore(const std::vector<Entry>& entries, std::size_t hits,
                std::size_t misses);
 
+  /// Approximate heap footprint of the cache (keys + outcomes + table
+  /// overhead), also exported as the "memo.cache_bytes" obs gauge.
+  [[nodiscard]] std::size_t cache_bytes() const;
+
  private:
+  /// Footprint estimate for one entry: its key, the outcome, and a flat
+  /// per-entry overhead (hash node + insertion-order slot).
+  [[nodiscard]] static std::size_t entry_bytes(const std::string& key) {
+    return key.size() + sizeof(hpc::EvalOutcome) + 64;
+  }
+
   hpc::ArchitectureEvaluator* inner_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, hpc::EvalOutcome> cache_;
   std::vector<std::string> order_;  // cache_ keys in insertion order
+  std::string key_scratch_;  // reused key buffer (guarded by mutex_)
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t cache_bytes_ = 0;
 };
 
 }  // namespace geonas::core

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
+#include "hpc/parallel_for.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/random.hpp"
 
@@ -114,16 +117,20 @@ void save_search_checkpoint(const search::SearchMethod& method,
     writer.u64(state.eval_failures);
     writer.u64(state.cache_hits);
     writer.u64(state.cache_misses);
-    const auto entries = memo != nullptr
-                             ? memo->snapshot()
-                             : std::vector<MemoizingEvaluator::Entry>{};
-    writer.u64(entries.size());
-    for (const auto& entry : entries) {
-      writer.str(entry.key);
-      writer.f64(entry.outcome.reward);
-      writer.f64(entry.outcome.duration_seconds);
-      writer.u64(entry.outcome.params);
-      writer.u8(entry.outcome.failed ? 1 : 0);
+    // Entries are streamed under the memoizer's lock instead of cloned:
+    // a checkpoint of a long campaign must not duplicate the cache.
+    if (memo != nullptr) {
+      memo->visit_entries(
+          [&writer](std::size_t count) { writer.u64(count); },
+          [&writer](const std::string& key, const hpc::EvalOutcome& outcome) {
+            writer.str(key);
+            writer.f64(outcome.reward);
+            writer.f64(outcome.duration_seconds);
+            writer.u64(outcome.params);
+            writer.u8(outcome.failed ? 1 : 0);
+          });
+    } else {
+      writer.u64(0);
     }
     method.save(writer);
     writer.finish();
@@ -276,11 +283,28 @@ LocalSearchResult run_local_search_parallel(
   if (reg != nullptr) {
     reg->gauge("driver.workers").set(static_cast<double>(workers));
   }
+  // Optional per-worker kernel pool shards (declared before the worker
+  // pool so every dispatched kernel drains before the shards die).
+  std::vector<std::unique_ptr<hpc::PoolShard>> shards;
+  if (options.worker_shard_threads > 0) {
+    shards.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      std::string shard_name = "w";
+      shard_name += std::to_string(w);
+      shards.push_back(std::make_unique<hpc::PoolShard>(
+          std::move(shard_name), options.worker_shard_threads));
+      shards.back()->register_metrics();
+    }
+  }
   hpc::ThreadPool pool(workers);
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool.submit([&] {
+    futures.push_back(pool.submit([&, w] {
+      // Bind this worker's shard (if sharding is on): every parallel_for
+      // under an evaluation dispatches on the private pool.
+      std::optional<hpc::ScopedPoolShard> shard_scope;
+      if (!shards.empty()) shard_scope.emplace(*shards[w]);
       const obs::ScopedTimer worker_span(reg, "search.worker");
       obs::StopWatch busy_watch;
       double busy_seconds = 0.0;

@@ -65,6 +65,14 @@ struct SearchRunOptions {
   /// would. Off by default — memoized rewards are seed-independent,
   /// which changes trajectories relative to the re-training baseline.
   bool memoize = false;
+  /// Parallel campaigns only: give every worker a private kernel pool
+  /// shard of this many participants (hpc::PoolShard, bound for the
+  /// worker's lifetime), so concurrent evaluations never queue their
+  /// GEMM chunks behind each other on the global kernel pool. Each shard
+  /// exports "kernel.shard.w<idx>.*" queue-depth/latency metrics. 0
+  /// (default) keeps all workers on the global pool; serial campaigns
+  /// ignore the flag.
+  std::size_t worker_shard_threads = 0;
 };
 
 /// Runs `evaluations` sequential ask/evaluate/tell cycles.

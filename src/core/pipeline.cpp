@@ -68,11 +68,30 @@ void PODLSTMPipeline::prepare() {
 
   prepared_ = true;  // coefficients are in place; accessors are valid now
 
-  // Windowed examples (scaled space) over the training period, split 80/20.
-  const data::WindowedDataset all = data::make_windows(
-      scaled_coeffs_.slice_cols(0, setup.train_snapshots),
-      {.window = setup.window, .stride = 1});
-  split_ = data::train_val_split(all, cfg_.train_fraction, cfg_.split_seed);
+  // Windowed examples (scaled space) over the training period, split
+  // 80/20. The view + index split is the primary representation (NAS
+  // evaluations gather batches straight from it); the materialized split
+  // is kept for post-training/baseline paths and is gathered example by
+  // example — the full [N, K, Nr] "all windows" pair is never built.
+  train_scaled_coeffs_ = scaled_coeffs_.slice_cols(0, setup.train_snapshots);
+  train_view_.emplace(train_scaled_coeffs_,
+                      data::WindowConfig{.window = setup.window, .stride = 1});
+  split_indices_ = data::train_val_split_indices(
+      train_view_->size(), cfg_.train_fraction, cfg_.split_seed);
+
+  const std::size_t k = setup.window;
+  const std::size_t nr = setup.num_modes;
+  const auto gather_split = [&](const std::vector<std::size_t>& idx,
+                                data::WindowedDataset& out) {
+    out.x = Tensor3(idx.size(), k, nr);
+    out.y = Tensor3(idx.size(), k, nr);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      train_view_->gather_x(idx[i], out.x.block(i));
+      train_view_->gather_y(idx[i], out.y.block(i));
+    }
+  };
+  gather_split(split_indices_.train, split_.train);
+  gather_split(split_indices_.val, split_.val);
 }
 
 std::vector<double> PODLSTMPipeline::unscale(

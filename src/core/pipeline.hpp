@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/scale.hpp"
 #include "data/comparators.hpp"
@@ -69,6 +70,19 @@ class PODLSTMPipeline {
   [[nodiscard]] const data::SplitDataset& split() const noexcept {
     return split_;
   }
+  /// Zero-copy window view over the scaled training-period coefficients
+  /// (same examples split() materializes). Valid after prepare(); stays
+  /// valid for the pipeline's lifetime.
+  [[nodiscard]] const data::WindowView& train_window_view() const {
+    require_prepared("train_window_view");
+    return *train_view_;
+  }
+  /// Which view examples belong to the train/validation split (the same
+  /// permutation split() used). Pair with train_window_view() and
+  /// core::WindowExampleSource to train without materialized windows.
+  [[nodiscard]] const data::SplitIndices& split_indices() const noexcept {
+    return split_indices_;
+  }
   /// All windowed examples (scaled space) over weeks [week0, week1).
   [[nodiscard]] data::WindowedDataset windows(std::size_t week0,
                                               std::size_t week1) const;
@@ -111,6 +125,10 @@ class PODLSTMPipeline {
   Matrix scaled_coeffs_;
   std::vector<double> scale_mean_;
   std::vector<double> scale_std_;
+  // Training-period slice backing train_view_ (the view is non-owning).
+  Matrix train_scaled_coeffs_;
+  std::optional<data::WindowView> train_view_;
+  data::SplitIndices split_indices_;
   data::SplitDataset split_;
   bool prepared_ = false;
 

@@ -9,11 +9,24 @@ TrainingEvaluator::TrainingEvaluator(const searchspace::StackedLSTMSpace& space,
                                      const Tensor3& y_train,
                                      const Tensor3& x_val, const Tensor3& y_val,
                                      nn::TrainConfig train_config)
+    : space_(&space), cfg_(train_config) {
+  own_train_.emplace(x_train, y_train);
+  train_src_ = &*own_train_;
+  if (x_val.dim0() > 0) {
+    own_val_.emplace(x_val, y_val);
+    val_src_ = &*own_val_;
+  } else {
+    val_src_ = nullptr;
+  }
+}
+
+TrainingEvaluator::TrainingEvaluator(const searchspace::StackedLSTMSpace& space,
+                                     const nn::ExampleSource& train,
+                                     const nn::ExampleSource* val,
+                                     nn::TrainConfig train_config)
     : space_(&space),
-      x_train_(&x_train),
-      y_train_(&y_train),
-      x_val_(&x_val),
-      y_val_(&y_val),
+      train_src_(&train),
+      val_src_(val),
       cfg_(train_config) {}
 
 hpc::EvalOutcome TrainingEvaluator::evaluate(
@@ -27,7 +40,7 @@ hpc::EvalOutcome TrainingEvaluator::evaluate(
   nn::TrainConfig cfg = cfg_;
   cfg.seed = eval_seed;
   const nn::TrainHistory history =
-      nn::Trainer(cfg).fit(net, *x_train_, *y_train_, *x_val_, *y_val_);
+      nn::Trainer(cfg).fit(net, *train_src_, val_src_);
 
   count_.fetch_add(1, std::memory_order_relaxed);
   hpc::EvalOutcome outcome;

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <atomic>
+#include <optional>
 
 #include "hpc/evaluator.hpp"
+#include "nn/example_source.hpp"
 #include "nn/trainer.hpp"
 #include "searchspace/space.hpp"
 
@@ -23,6 +25,15 @@ class TrainingEvaluator final : public hpc::ArchitectureEvaluator {
                     const Tensor3& x_val, const Tensor3& y_val,
                     nn::TrainConfig train_config);
 
+  /// Zero-copy variant: trains from ExampleSources (e.g.
+  /// core::WindowExampleSource over a data::WindowView) so no window
+  /// tensors are ever materialized. `val` may be null to skip
+  /// validation; both sources must outlive the evaluator.
+  TrainingEvaluator(const searchspace::StackedLSTMSpace& space,
+                    const nn::ExampleSource& train,
+                    const nn::ExampleSource* val,
+                    nn::TrainConfig train_config);
+
   [[nodiscard]] hpc::EvalOutcome evaluate(const searchspace::Architecture& arch,
                                           std::uint64_t eval_seed) override;
   /// Each evaluate() builds its own network; safe from multiple threads.
@@ -34,10 +45,11 @@ class TrainingEvaluator final : public hpc::ArchitectureEvaluator {
 
  private:
   const searchspace::StackedLSTMSpace* space_;
-  const Tensor3* x_train_;
-  const Tensor3* y_train_;
-  const Tensor3* x_val_;
-  const Tensor3* y_val_;
+  // Adapters for the tensor-pair constructor; unset on the source path.
+  std::optional<nn::TensorPairSource> own_train_;
+  std::optional<nn::TensorPairSource> own_val_;
+  const nn::ExampleSource* train_src_;
+  const nn::ExampleSource* val_src_;  // null = no validation
   nn::TrainConfig cfg_;
   // Atomic: evaluate() runs concurrently from parallel driver workers.
   std::atomic<std::size_t> count_{0};

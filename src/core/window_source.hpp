@@ -1,0 +1,60 @@
+// Zero-copy bridge from data::WindowView to the trainer's ExampleSource.
+//
+// A WindowExampleSource exposes a subset of a WindowView's examples
+// (e.g. the train or validation side of a split) to nn::Trainer without
+// materializing any window tensor: batch assembly gathers strided
+// columns straight out of the POD coefficient matrix. Non-owning — the
+// view, its backing matrix, and the index array must all outlive the
+// source.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "data/windowing.hpp"
+#include "nn/example_source.hpp"
+
+namespace geonas::core {
+
+class WindowExampleSource final : public nn::ExampleSource {
+ public:
+  /// `indices` selects (and orders) the view examples this source
+  /// exposes; every value must be < view.size().
+  WindowExampleSource(const data::WindowView& view,
+                      std::span<const std::size_t> indices)
+      : view_(&view), indices_(indices) {
+    for (const std::size_t e : indices_) {
+      if (e >= view.size()) {
+        throw std::invalid_argument(
+            "WindowExampleSource: index out of range");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const override { return indices_.size(); }
+  [[nodiscard]] std::size_t x_steps() const override {
+    return view_->window();
+  }
+  [[nodiscard]] std::size_t y_steps() const override {
+    return view_->window();
+  }
+  [[nodiscard]] std::size_t x_features() const override {
+    return view_->features();
+  }
+  [[nodiscard]] std::size_t y_features() const override {
+    return view_->features();
+  }
+
+  void gather_x(std::size_t e, std::span<double> dst) const override {
+    view_->gather_x(indices_[e], dst);
+  }
+  void gather_y(std::size_t e, std::span<double> dst) const override {
+    view_->gather_y(indices_[e], dst);
+  }
+
+ private:
+  const data::WindowView* view_;
+  std::span<const std::size_t> indices_;
+};
+
+}  // namespace geonas::core

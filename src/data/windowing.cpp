@@ -20,31 +20,52 @@ std::size_t window_count(std::size_t ns, const WindowConfig& config) {
   return (ns - width) / config.stride + 1;
 }
 
-WindowedDataset make_windows(const Matrix& coefficients,
-                             const WindowConfig& config) {
-  const std::size_t nr = coefficients.rows();
-  const std::size_t ns = coefficients.cols();
-  const std::size_t k = config.window;
-  const std::size_t n = window_count(ns, config);
-  if (n == 0) {
+WindowView::WindowView(const Matrix& coefficients, const WindowConfig& config)
+    : coefficients_(&coefficients),
+      config_(config),
+      count_(window_count(coefficients.cols(), config)) {
+  if (count_ == 0) {
     throw std::invalid_argument(
         "make_windows: series shorter than one 2K window");
   }
-  WindowedDataset out{Tensor3(n, k, nr), Tensor3(n, k, nr)};
-  for (std::size_t e = 0; e < n; ++e) {
-    const std::size_t start = e * config.stride;
-    for (std::size_t t = 0; t < k; ++t) {
-      for (std::size_t m = 0; m < nr; ++m) {
-        out.x(e, t, m) = coefficients(m, start + t);
-        out.y(e, t, m) = coefficients(m, start + k + t);
-      }
+}
+
+void WindowView::gather(std::size_t first_col, std::span<double> dst) const {
+  const Matrix& a = *coefficients_;
+  const std::size_t nr = a.rows();
+  for (std::size_t t = 0; t < config_.window; ++t) {
+    for (std::size_t m = 0; m < nr; ++m) {
+      dst[t * nr + m] = a(m, first_col + t);
     }
+  }
+}
+
+void WindowView::gather_x(std::size_t e, std::span<double> dst) const {
+  gather(e * config_.stride, dst);
+}
+
+void WindowView::gather_y(std::size_t e, std::span<double> dst) const {
+  gather(e * config_.stride + config_.window, dst);
+}
+
+WindowedDataset WindowView::materialize() const {
+  const std::size_t nr = features();
+  const std::size_t k = config_.window;
+  WindowedDataset out{Tensor3(count_, k, nr), Tensor3(count_, k, nr)};
+  for (std::size_t e = 0; e < count_; ++e) {
+    gather_x(e, out.x.block(e));
+    gather_y(e, out.y.block(e));
   }
   return out;
 }
 
-SplitDataset train_val_split(const WindowedDataset& data,
-                             double train_fraction, std::uint64_t seed) {
+WindowedDataset make_windows(const Matrix& coefficients,
+                             const WindowConfig& config) {
+  return WindowView(coefficients, config).materialize();
+}
+
+SplitIndices train_val_split_indices(std::size_t n, double train_fraction,
+                                     std::uint64_t seed) {
   if (train_fraction <= 0.0 || train_fraction >= 1.0) {
     // 1.0 used to be accepted and rounded to an empty validation set,
     // which downstream evaluation divides by. Both splits must be
@@ -53,7 +74,6 @@ SplitDataset train_val_split(const WindowedDataset& data,
         "train_val_split: train_fraction must be in (0, 1); both splits "
         "must be non-empty");
   }
-  const std::size_t n = data.size();
   if (n < 2) {
     throw std::invalid_argument(
         "train_val_split: need at least 2 windows to form non-empty "
@@ -69,25 +89,40 @@ SplitDataset train_val_split(const WindowedDataset& data,
   const auto rounded = static_cast<std::size_t>(
       train_fraction * static_cast<double>(n) + 0.5);
   const std::size_t n_train = std::clamp<std::size_t>(rounded, 1, n - 1);
+
+  SplitIndices split;
+  split.train.assign(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(n_train));
+  split.val.assign(order.begin() + static_cast<std::ptrdiff_t>(n_train),
+                   order.end());
+  return split;
+}
+
+SplitDataset train_val_split(const WindowedDataset& data,
+                             double train_fraction, std::uint64_t seed) {
+  const SplitIndices idx =
+      train_val_split_indices(data.size(), train_fraction, seed);
   const std::size_t k = data.x.dim1();
   const std::size_t nr = data.x.dim2();
 
   SplitDataset split;
-  split.train.x = Tensor3(n_train, k, nr);
-  split.train.y = Tensor3(n_train, k, nr);
-  split.val.x = Tensor3(n - n_train, k, nr);
-  split.val.y = Tensor3(n - n_train, k, nr);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t src = order[i];
-    Tensor3& dx = i < n_train ? split.train.x : split.val.x;
-    Tensor3& dy = i < n_train ? split.train.y : split.val.y;
-    const std::size_t dst = i < n_train ? i : i - n_train;
-    auto bx = dx.block(dst);
-    auto by = dy.block(dst);
-    const auto sx = data.x.block(src);
-    const auto sy = data.y.block(src);
-    std::copy(sx.begin(), sx.end(), bx.begin());
-    std::copy(sy.begin(), sy.end(), by.begin());
+  split.train.x = Tensor3(idx.train.size(), k, nr);
+  split.train.y = Tensor3(idx.train.size(), k, nr);
+  split.val.x = Tensor3(idx.val.size(), k, nr);
+  split.val.y = Tensor3(idx.val.size(), k, nr);
+  const auto copy_block = [](const Tensor3& src_t, std::size_t src,
+                             Tensor3& dst_t, std::size_t dst) {
+    const auto sb = src_t.block(src);
+    auto db = dst_t.block(dst);
+    std::copy(sb.begin(), sb.end(), db.begin());
+  };
+  for (std::size_t i = 0; i < idx.train.size(); ++i) {
+    copy_block(data.x, idx.train[i], split.train.x, i);
+    copy_block(data.y, idx.train[i], split.train.y, i);
+  }
+  for (std::size_t i = 0; i < idx.val.size(); ++i) {
+    copy_block(data.x, idx.val[i], split.val.x, i);
+    copy_block(data.y, idx.val[i], split.val.y, i);
   }
   return split;
 }

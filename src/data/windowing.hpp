@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "tensor/matrix.hpp"
 
@@ -29,6 +31,49 @@ struct WindowedDataset {
   Tensor3 y;
 
   [[nodiscard]] std::size_t size() const noexcept { return x.dim0(); }
+};
+
+/// Zero-copy strided view over the windowed examples of a coefficient
+/// matrix. Instead of materializing every window into an [N, K, Nr]
+/// tensor pair (which duplicates each source column up to 2K times),
+/// the view gathers one example at a time straight out of the matrix:
+/// example e's input block is columns [e*stride, e*stride + K) and its
+/// target block columns [e*stride + K, e*stride + 2K), transposed to
+/// row-major [K, Nr]. Non-owning — the coefficient matrix must outlive
+/// the view, and gathers read it in place (aliasing rule: do not mutate
+/// the matrix while trainers hold views over it).
+///
+/// Throws like make_windows: stride == 0, or a series shorter than one
+/// 2K window, is rejected at construction.
+class WindowView {
+ public:
+  WindowView(const Matrix& coefficients, const WindowConfig& config);
+
+  /// Number of examples (same value as window_count).
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t window() const noexcept { return config_.window; }
+  [[nodiscard]] std::size_t stride() const noexcept { return config_.stride; }
+  /// Feature count per step (Nr, the POD coefficient count).
+  [[nodiscard]] std::size_t features() const noexcept {
+    return coefficients_->rows();
+  }
+
+  /// Writes example e's input block, row-major [K, Nr], into dst
+  /// (exactly K*Nr elements).
+  void gather_x(std::size_t e, std::span<double> dst) const;
+  /// Same for the target block (the K columns after the input's).
+  void gather_y(std::size_t e, std::span<double> dst) const;
+
+  /// Materializing fallback: the classic tensor-pair dataset,
+  /// bitwise-identical to make_windows on the same inputs.
+  [[nodiscard]] WindowedDataset materialize() const;
+
+ private:
+  void gather(std::size_t first_col, std::span<double> dst) const;
+
+  const Matrix* coefficients_;
+  WindowConfig config_;
+  std::size_t count_;
 };
 
 /// Extracts windowed examples from coefficients A (Nr x Ns), time along
@@ -53,5 +98,18 @@ struct SplitDataset {
 [[nodiscard]] SplitDataset train_val_split(const WindowedDataset& data,
                                            double train_fraction = 0.8,
                                            std::uint64_t seed = 1234);
+
+/// Index-level split: which example ids land in train/validation. The
+/// permutation and clamping match train_val_split exactly, so routing
+/// these indices through a WindowView reproduces the materialized split
+/// bitwise without copying any window.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> val;
+};
+
+[[nodiscard]] SplitIndices train_val_split_indices(std::size_t n,
+                                                   double train_fraction = 0.8,
+                                                   std::uint64_t seed = 1234);
 
 }  // namespace geonas::data

@@ -4,6 +4,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -34,15 +35,19 @@ KernelPoolState& state() {
 // calls degrade to serial instead of deadlocking on a full pool.
 thread_local bool t_in_kernel_worker = false;
 
+// Shard bound by ScopedPoolShard; dispatches without an explicit shard
+// resolve through this before falling back to the global pool.
+thread_local PoolShard* t_bound_shard = nullptr;
+
 std::size_t configured_threads_locked(KernelPoolState& s) {
   return s.configured == 0 ? hardware_threads() : s.configured;
 }
 
-/// Returns the pool to use for `participants` (creating it lazily), or
-/// nullptr when one participant suffices. A pool of the wrong size is
-/// retired and destroyed outside the state mutex: its shutdown joins
-/// worker threads, and that wait must not block concurrent
-/// kernel_threads()/set_kernel_threads callers.
+/// Returns the global pool to use for `participants` (creating it
+/// lazily), or nullptr when one participant suffices. A pool of the
+/// wrong size is retired and destroyed outside the state mutex: its
+/// shutdown joins worker threads, and that wait must not block
+/// concurrent kernel_threads()/set_kernel_threads callers.
 std::shared_ptr<ThreadPool> acquire_pool(std::size_t& participants) {
   KernelPoolState& s = state();
   std::shared_ptr<ThreadPool> retired;
@@ -58,6 +63,26 @@ std::shared_ptr<ThreadPool> acquire_pool(std::size_t& participants) {
     pool = s.pool;
   }
   return pool;  // `retired` (if any) joins here, lock released
+}
+
+/// Instrument names for one dispatch target: the global pool's fixed
+/// names or a shard's pre-built ones.
+struct MetricViews {
+  std::string_view dispatches;
+  std::string_view chunks;
+  std::string_view queue_depth;
+  std::string_view chunk_seconds;
+  std::string_view worker_busy_seconds;
+};
+
+constexpr MetricViews kGlobalMetrics{
+    "kernel.dispatches", "kernel.chunks", "kernel.queue_depth",
+    "kernel.chunk_seconds", "kernel.worker_busy_seconds"};
+
+MetricViews shard_metrics(const PoolShard& shard) {
+  const PoolShard::MetricNames& n = shard.metric_names();
+  return {n.dispatches, n.chunks, n.queue_depth, n.chunk_seconds,
+          n.worker_busy_seconds};
 }
 
 }  // namespace
@@ -82,21 +107,39 @@ void set_kernel_threads(std::size_t threads) {
   // performs the join.
 }
 
+PoolShard* current_pool_shard() noexcept { return t_bound_shard; }
+
+ScopedPoolShard::ScopedPoolShard(PoolShard& shard) noexcept
+    : previous_(t_bound_shard) {
+  t_bound_shard = &shard;
+}
+
+ScopedPoolShard::~ScopedPoolShard() { t_bound_shard = previous_; }
+
 void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
-                  std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
+                  std::size_t grain, KernelBody body, PoolShard* shard) {
   if (begin >= end) return;
   const std::size_t range = end - begin;
   if (grain == 0) grain = 1;
 
   std::size_t participants = 1;
-  std::shared_ptr<ThreadPool> pool;
+  ThreadPool* pool = nullptr;
+  std::shared_ptr<ThreadPool> global_pool;  // keeps a retiring pool alive
+  MetricViews metrics = kGlobalMetrics;
   if (cost_flops >= kParallelMinFlops && !t_in_kernel_worker) {
-    pool = acquire_pool(participants);
+    if (shard == nullptr) shard = t_bound_shard;
+    if (shard != nullptr) {
+      participants = shard->participants();
+      pool = shard->pool();
+      metrics = shard_metrics(*shard);
+    } else {
+      global_pool = acquire_pool(participants);
+      pool = global_pool.get();
+    }
   }
   const std::size_t grains = (range + grain - 1) / grain;
   const std::size_t chunks = std::min(participants, grains);
-  if (!pool || chunks <= 1) {
+  if (pool == nullptr || chunks <= 1) {
     body(begin, end);
     return;
   }
@@ -108,9 +151,9 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
   // requires quiescence before registry teardown.
   obs::MetricsRegistry* reg = obs::registry();
   if (reg != nullptr) {
-    reg->counter("kernel.dispatches").add(1);
-    reg->counter("kernel.chunks").add(chunks);
-    reg->histogram("kernel.queue_depth")
+    reg->counter(metrics.dispatches).add(1);
+    reg->counter(metrics.chunks).add(chunks);
+    reg->histogram(metrics.queue_depth)
         .observe(static_cast<double>(pool->queue_depth()));
   }
 
@@ -124,7 +167,7 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
   for (std::size_t c = 0; c + 1 < chunks; ++c) {
     const std::size_t my_grains = grains_per_chunk + (c < extra ? 1 : 0);
     const std::size_t hi = std::min(end, lo + my_grains * grain);
-    pending.push_back(pool->submit([&body, lo, hi, reg] {
+    pending.push_back(pool->submit([body, lo, hi, metrics, reg] {
       struct WorkerFlag {
         WorkerFlag() { t_in_kernel_worker = true; }
         ~WorkerFlag() { t_in_kernel_worker = false; }
@@ -136,8 +179,8 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
       const obs::StopWatch watch;
       body(lo, hi);
       const double seconds = watch.seconds();
-      reg->histogram("kernel.chunk_seconds").observe(seconds);
-      reg->gauge("kernel.worker_busy_seconds").add(seconds);
+      reg->histogram(metrics.chunk_seconds).observe(seconds);
+      reg->gauge(metrics.worker_busy_seconds).add(seconds);
     }));
     lo = hi;
   }
@@ -152,7 +195,7 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
     error = std::current_exception();
   }
   if (reg != nullptr) {
-    reg->histogram("kernel.chunk_seconds").observe(caller_watch.seconds());
+    reg->histogram(metrics.chunk_seconds).observe(caller_watch.seconds());
   }
   for (std::future<void>& f : pending) {
     try {
@@ -167,11 +210,11 @@ void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
 void register_kernel_metrics() {
   obs::MetricsRegistry* reg = obs::registry();
   if (reg == nullptr) return;
-  reg->counter("kernel.dispatches");
-  reg->counter("kernel.chunks");
-  reg->histogram("kernel.queue_depth");
-  reg->histogram("kernel.chunk_seconds");
-  reg->gauge("kernel.worker_busy_seconds");
+  reg->counter(kGlobalMetrics.dispatches);
+  reg->counter(kGlobalMetrics.chunks);
+  reg->histogram(kGlobalMetrics.queue_depth);
+  reg->histogram(kGlobalMetrics.chunk_seconds);
+  reg->gauge(kGlobalMetrics.worker_busy_seconds);
   reg->gauge("kernel.threads").set(static_cast<double>(kernel_threads()));
 }
 

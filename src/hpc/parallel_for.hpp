@@ -1,24 +1,73 @@
 // Shared kernel-level data parallelism for the dense tensor kernels.
 //
 // The blocked GEMM/GEMV kernels in src/tensor split their M dimension
-// across a process-wide ThreadPool ("kernel pool"). parallel_for is the
-// single entry point: callers state the arithmetic cost of the whole
-// loop and the pool is only engaged when that cost clears a threshold,
-// so the many tiny matmuls of a NAS cell evaluation stay serial and pay
-// zero dispatch overhead. The pool is created lazily, sized to
+// across a ThreadPool ("kernel pool"). parallel_for is the single entry
+// point: callers state the arithmetic cost of the whole loop and a pool
+// is only engaged when that cost clears a threshold, so the many tiny
+// matmuls of a NAS cell evaluation stay serial and pay zero dispatch
+// overhead. The process-wide pool is created lazily, sized to
 // hardware_concurrency by default, and reconfigurable at runtime
 // (set_kernel_threads) so trainers and tests can pin a thread count.
+//
+// Pool sharding: concurrent campaign/evaluation streams can each own a
+// PoolShard (hpc/thread_pool.hpp) instead of contending on the global
+// pool. Resolution order per dispatch: explicit `shard` argument, then
+// the thread-bound shard (ScopedPoolShard), then the global pool.
 //
 // Re-entrancy: a parallel_for issued from inside a kernel-pool worker
 // runs serially in that worker. This makes nested kernels (e.g. a
 // parallel evaluator whose trainings call parallel GEMMs) deadlock-free
 // by construction.
+//
+// The body is taken by FunctionRef, not std::function: std::function's
+// construction heap-allocates for captures beyond the small-buffer
+// limit, which would put an allocation on the serial hot path of every
+// GEMM. FunctionRef is a non-owning (pointer, thunk) pair — zero
+// allocation, valid for the duration of the call only.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
 namespace geonas::hpc {
+
+class PoolShard;  // hpc/thread_pool.hpp
+
+/// Non-owning reference to a callable: one void* plus one function
+/// pointer, never allocates. The referenced callable must outlive the
+/// FunctionRef (always true for parallel_for, which only uses it within
+/// the call).
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  FunctionRef(F&& fn) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+using KernelBody = FunctionRef<void(std::size_t, std::size_t)>;
 
 /// Minimum loop cost (in floating-point operations) before parallel_for
 /// engages the kernel pool. Below this, thread dispatch costs more than
@@ -32,43 +81,65 @@ inline constexpr double kParallelMinFlops = 1.0e6;
 /// std::thread::hardware_concurrency(), at least 1.
 [[nodiscard]] std::size_t kernel_threads() noexcept;
 
-/// Reconfigures the kernel pool to `threads` participants (0 restores
-/// the hardware default). The current pool is retired and a new one is
-/// created lazily on the next over-threshold parallel_for. Safe to call
-/// concurrently with running kernels and with other reconfigurations:
-/// kernels already dispatched hold a reference to the retired pool and
-/// finish on it; the last reference released performs the join, outside
-/// the configuration lock.
+/// Reconfigures the global kernel pool to `threads` participants (0
+/// restores the hardware default). The current pool is retired and a new
+/// one is created lazily on the next over-threshold parallel_for. Safe to
+/// call concurrently with running kernels and with other
+/// reconfigurations: kernels already dispatched hold a reference to the
+/// retired pool and finish on it; the last reference released performs
+/// the join, outside the configuration lock. Does not affect PoolShards.
 void set_kernel_threads(std::size_t threads);
 
 /// Runs body(lo, hi) over a partition of [begin, end).
 ///
 /// `cost_flops` is the arithmetic cost of the whole range; when it is
-/// below kParallelMinFlops, the configured thread count is 1, or the
+/// below kParallelMinFlops, the resolved participant count is 1, or the
 /// call is issued from a kernel-pool worker, the body runs inline as
 /// body(begin, end). Otherwise the range is split into near-equal
 /// chunks whose sizes are multiples of `grain` (except the last), one
 /// chunk per participant; the caller executes the first chunk itself.
-/// The partition depends only on (range, thread count, grain), so a
+/// The partition depends only on (range, participant count, grain), so a
 /// body that is deterministic per index stays deterministic.
+///
+/// `shard` selects the pool: non-null dispatches on that shard; null
+/// falls back to the thread-bound shard (ScopedPoolShard), then the
+/// global pool.
 void parallel_for(std::size_t begin, std::size_t end, double cost_flops,
-                  std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& body);
+                  std::size_t grain, KernelBody body,
+                  PoolShard* shard = nullptr);
 
-/// Pre-registers the kernel pool's obs instruments (kernel.dispatches,
-/// kernel.chunks, kernel.queue_depth, kernel.chunk_seconds,
-/// kernel.worker_busy_seconds) in the installed obs registry at their
-/// zero values, so telemetry sidecars always carry the thread-pool
-/// section even for campaigns that never clear the dispatch threshold.
-/// No-op when no registry is installed. Only over-threshold dispatches
-/// are instrumented: under-threshold kernels stay untouched so the
-/// serial hot path pays nothing even with metrics enabled.
-void register_kernel_metrics();
-
-inline void parallel_for(
-    std::size_t begin, std::size_t end, double cost_flops,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         double cost_flops, KernelBody body) {
   parallel_for(begin, end, cost_flops, 1, body);
 }
+
+/// The shard bound to the current thread (null when unbound).
+[[nodiscard]] PoolShard* current_pool_shard() noexcept;
+
+/// Binds `shard` to the current thread for the scope's duration: every
+/// parallel_for without an explicit shard dispatches on it. Nests
+/// (restores the previous binding on destruction).
+class ScopedPoolShard {
+ public:
+  explicit ScopedPoolShard(PoolShard& shard) noexcept;
+  ~ScopedPoolShard();
+
+  ScopedPoolShard(const ScopedPoolShard&) = delete;
+  ScopedPoolShard& operator=(const ScopedPoolShard&) = delete;
+
+ private:
+  PoolShard* previous_;
+};
+
+/// Pre-registers the global kernel pool's obs instruments
+/// (kernel.dispatches, kernel.chunks, kernel.queue_depth,
+/// kernel.chunk_seconds, kernel.worker_busy_seconds) in the installed
+/// obs registry at their zero values, so telemetry sidecars always carry
+/// the thread-pool section even for campaigns that never clear the
+/// dispatch threshold. No-op when no registry is installed. Only
+/// over-threshold dispatches are instrumented: under-threshold kernels
+/// stay untouched so the serial hot path pays nothing even with metrics
+/// enabled.
+void register_kernel_metrics();
 
 }  // namespace geonas::hpc

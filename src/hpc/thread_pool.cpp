@@ -2,7 +2,34 @@
 
 #include <stdexcept>
 
+#include "hpc/parallel_for.hpp"
+#include "obs/metrics.hpp"
+
 namespace geonas::hpc {
+
+PoolShard::PoolShard(std::string name, std::size_t threads)
+    : name_(std::move(name)),
+      participants_(threads == 0 ? kernel_threads() : threads) {
+  if (participants_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(participants_ - 1);
+  }
+  const std::string prefix = "kernel.shard." + name_ + ".";
+  metrics_.dispatches = prefix + "dispatches";
+  metrics_.chunks = prefix + "chunks";
+  metrics_.queue_depth = prefix + "queue_depth";
+  metrics_.chunk_seconds = prefix + "chunk_seconds";
+  metrics_.worker_busy_seconds = prefix + "worker_busy_seconds";
+}
+
+void PoolShard::register_metrics() const {
+  obs::MetricsRegistry* reg = obs::registry();
+  if (reg == nullptr) return;
+  reg->counter(metrics_.dispatches);
+  reg->counter(metrics_.chunks);
+  reg->histogram(metrics_.queue_depth);
+  reg->histogram(metrics_.chunk_seconds);
+  reg->gauge(metrics_.worker_busy_seconds);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

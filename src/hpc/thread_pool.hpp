@@ -11,9 +11,11 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -69,6 +71,62 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// Named, independently-owned kernel pool shard.
+///
+/// Concurrent campaign/evaluation streams that each run their own
+/// parallel GEMMs would contend on the single process-wide kernel pool
+/// (queueing each other's chunks behind foreign work). A PoolShard gives
+/// one stream a private pool: pass it explicitly to parallel_for, or
+/// bind it to the current thread with ScopedPoolShard so every
+/// parallel_for issued underneath uses the shard automatically.
+///
+/// The shard must outlive every dispatch issued against it. Per-shard
+/// observability instruments ("kernel.shard.<name>.{dispatches, chunks,
+/// queue_depth, chunk_seconds, worker_busy_seconds}") have their names
+/// pre-built at construction so the dispatch path never concatenates
+/// strings.
+class PoolShard {
+ public:
+  /// `threads` is the total participant count including the dispatching
+  /// caller; 0 adopts the process-wide kernel_threads() setting at
+  /// construction time. A shard with one participant runs everything
+  /// inline (no worker threads are spawned).
+  explicit PoolShard(std::string name, std::size_t threads = 0);
+
+  PoolShard(const PoolShard&) = delete;
+  PoolShard& operator=(const PoolShard&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t participants() const noexcept {
+    return participants_;
+  }
+  /// The shard's worker pool (participants - 1 threads); null when the
+  /// shard is single-participant.
+  [[nodiscard]] ThreadPool* pool() noexcept { return pool_.get(); }
+
+  struct MetricNames {
+    std::string dispatches;
+    std::string chunks;
+    std::string queue_depth;
+    std::string chunk_seconds;
+    std::string worker_busy_seconds;
+  };
+  [[nodiscard]] const MetricNames& metric_names() const noexcept {
+    return metrics_;
+  }
+
+  /// Pre-registers the shard's obs instruments at zero in the installed
+  /// registry (no-op without one), so sidecars show the shard section
+  /// even before its first over-threshold dispatch.
+  void register_metrics() const;
+
+ private:
+  std::string name_;
+  std::size_t participants_;
+  std::unique_ptr<ThreadPool> pool_;
+  MetricNames metrics_;
 };
 
 /// Bounded multi-producer multi-consumer channel (MPI-style mailbox).

@@ -1,5 +1,6 @@
 #include "nn/dense.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -29,17 +30,34 @@ void Dense::init_params(Rng& rng) {
   b_.fill(0.0);
 }
 
-Tensor3 Dense::forward(std::span<const Tensor3* const> inputs, bool training) {
-  const Tensor3& x = single_input(inputs, "Dense");
-  if (x.dim2() != in_) {
+void Dense::bind_workspace(tensor::Arena& arena, std::size_t batch,
+                           std::size_t steps, std::size_t in_features) {
+  if (in_features != in_) {
     throw std::invalid_argument("Dense: input feature dim " +
-                                std::to_string(x.dim2()) + " != " +
+                                std::to_string(in_features) + " != " +
                                 std::to_string(in_));
   }
+  if (activation_ != Activation::kIdentity) {
+    // An identity Dense backpropagates through grad_output directly; only
+    // a real activation needs the pre-/post-activation caches.
+    const std::size_t rows = batch * steps;
+    preact_cache_.bind(arena, rows, out_);
+    output_cache_.bind(arena, rows, out_);
+    dz_.bind(arena, rows, out_);
+  }
+  ws_batch_ = batch;
+  ws_steps_ = steps;
+}
+
+void Dense::forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                         bool training) {
+  const Tensor3& x = single_input(inputs, "Dense");
   const std::size_t batch = x.dim0(), steps = x.dim1();
+  if (batch != ws_batch_ || steps != ws_steps_ || x.dim2() != in_) {
+    bind_workspace(self_arena(), batch, steps, x.dim2());
+  }
   const std::size_t rows = batch * steps;
 
-  Tensor3 out(batch, steps, out_);
   // Treat [B,T,F] as (B*T) x F; both tensors are contiguous row-major,
   // so the whole layer is one GEMM plus a bias broadcast.
   gemm_raw(Trans::kNone, Trans::kNone, rows, out_, in_, 1.0, x.flat().data(),
@@ -53,51 +71,60 @@ Tensor3 Dense::forward(std::span<const Tensor3* const> inputs, bool training) {
     }
   }
 
-  if (training) {
-    input_cache_ = x;
-    preact_cache_ = out;
+  if (training) input_cache_ = &x;
+  if (activation_ != Activation::kIdentity) {
+    if (training) {
+      std::copy(out.flat().begin(), out.flat().end(),
+                preact_cache_.flat().begin());
+    }
+    // Span form dispatches tanh/sigmoid to the tensor::vmath backend.
+    apply_activation(activation_, out.flat());
+    if (training) {
+      std::copy(out.flat().begin(), out.flat().end(),
+                output_cache_.flat().begin());
+    }
   }
-  // Span form dispatches tanh/sigmoid to the tensor::vmath backend.
-  apply_activation(activation_, out.flat());
-  if (training) output_cache_ = out;
-  return out;
 }
 
-std::vector<Tensor3> Dense::backward(const Tensor3& grad_output) {
-  const std::size_t batch = input_cache_.dim0(), steps = input_cache_.dim1();
+void Dense::backward_into(const Tensor3& grad_output,
+                          std::span<Tensor3* const> input_grads) {
+  if (input_cache_ == nullptr) {
+    throw std::logic_error("Dense::backward: no cached training forward");
+  }
+  const std::size_t batch = input_cache_->dim0();
+  const std::size_t steps = input_cache_->dim1();
   if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
-      grad_output.dim2() != out_) {
+      grad_output.dim2() != out_ || input_grads.size() != 1 ||
+      input_grads[0] == nullptr) {
     throw std::invalid_argument("Dense::backward: gradient shape mismatch");
   }
   const std::size_t rows = batch * steps;
 
-  // Gradient through the activation.
-  Tensor3 dz = grad_output;
+  // Gradient through the activation; an identity activation passes
+  // grad_output straight into the GEMMs without a copy.
+  const double* dz = grad_output.flat().data();
   if (activation_ != Activation::kIdentity) {
-    activation_grad_mul(activation_, dz.flat(), preact_cache_.flat(),
+    std::copy(grad_output.flat().begin(), grad_output.flat().end(),
+              dz_.flat().begin());
+    activation_grad_mul(activation_, dz_.flat(), preact_cache_.flat(),
                         output_cache_.flat());
+    dz = dz_.flat().data();
   }
 
   // dW += X^T dZ and dX = dZ W^T as whole-batch slab GEMMs.
-  Tensor3 dx(batch, steps, in_);
+  Tensor3& dx = *input_grads[0];
   gemm_raw(Trans::kTranspose, Trans::kNone, in_, out_, rows, 1.0,
-           input_cache_.flat().data(), in_, dz.flat().data(), out_, 1.0,
+           input_cache_->flat().data(), in_, dz, out_, 1.0,
            w_grad_.flat().data(), out_);
-  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, out_, 1.0,
-           dz.flat().data(), out_, w_.flat().data(), out_, 0.0,
-           dx.flat().data(), in_);
+  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, out_, 1.0, dz, out_,
+           w_.flat().data(), out_, 0.0, dx.flat().data(), in_);
   if (use_bias_) {
-    const double* dzp = dz.flat().data();
     double* bg = b_grad_.flat().data();
     for (std::size_t r = 0; r < rows; ++r) {
-      const double* dzrow = dzp + r * out_;
+      const double* dzrow = dz + r * out_;
       for (std::size_t j = 0; j < out_; ++j) bg[j] += dzrow[j];
     }
   }
-
-  std::vector<Tensor3> grads;
-  grads.push_back(std::move(dx));
-  return grads;
 }
 
 std::vector<Matrix*> Dense::parameters() {

@@ -5,6 +5,10 @@
 // TimeDistributed(Dense(...)) semantics, which the paper uses to project
 // skip-connection tensors to the incumbent layer's width (§III-A; the
 // projection dense layers carry no activation).
+//
+// The training forward caches the input by POINTER (the hot-path input
+// contract of layer.hpp) and the pre-/post-activation values in arena
+// workspaces, so a bound Dense allocates nothing per step.
 #pragma once
 
 #include "nn/activations.hpp"
@@ -17,13 +21,20 @@ class Dense final : public Layer {
   Dense(std::size_t in_features, std::size_t out_features,
         Activation activation = Activation::kIdentity, bool use_bias = true);
 
-  Tensor3 forward(std::span<const Tensor3* const> inputs,
-                  bool training) override;
-  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void bind_workspace(tensor::Arena& arena, std::size_t batch,
+                      std::size_t steps, std::size_t in_features) override;
+  void forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                    bool training) override;
+  void backward_into(const Tensor3& grad_output,
+                     std::span<Tensor3* const> input_grads) override;
   void init_params(Rng& rng) override;
   std::vector<Matrix*> parameters() override;
   std::vector<Matrix*> gradients() override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_features(
+      std::size_t /*in_features*/) const override {
+    return out_;
+  }
 
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
   [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
@@ -39,10 +50,15 @@ class Dense final : public Layer {
   Matrix w_grad_;
   Matrix b_grad_;
 
-  // Forward cache (training mode).
-  Tensor3 input_cache_;
-  Tensor3 preact_cache_;
-  Tensor3 output_cache_;
+  // Training-mode caches: the input stays with its owner (pointer), the
+  // pre-/post-activation copies live in the bound arena. For an identity
+  // activation no activation caches are needed — dz is grad_output.
+  const Tensor3* input_cache_ = nullptr;
+  tensor::ArenaMatrix preact_cache_;  // [B*T, out]
+  tensor::ArenaMatrix output_cache_;  // [B*T, out]
+  tensor::ArenaMatrix dz_;            // [B*T, out]
+  std::size_t ws_batch_ = 0;
+  std::size_t ws_steps_ = 0;
 };
 
 }  // namespace geonas::nn

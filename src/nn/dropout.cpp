@@ -1,5 +1,6 @@
 #include "nn/dropout.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace geonas::nn {
@@ -10,33 +11,54 @@ Dropout::Dropout(double rate) : rate_(rate), rng_(0xD120) {
   }
 }
 
-Tensor3 Dropout::forward(std::span<const Tensor3* const> inputs,
-                         bool training) {
-  const Tensor3& x = single_input(inputs, "Dropout");
-  if (!training || rate_ == 0.0) return x;
+void Dropout::bind_workspace(tensor::Arena& arena, std::size_t batch,
+                             std::size_t steps, std::size_t in_features) {
+  if (rate_ > 0.0) mask_.bind(arena, batch * steps, in_features);
+  ws_batch_ = batch;
+  ws_steps_ = steps;
+  ws_features_ = in_features;
+}
 
-  Tensor3 out = x;
-  mask_ = Tensor3(x.dim0(), x.dim1(), x.dim2());
+void Dropout::forward_into(std::span<const Tensor3* const> inputs,
+                           Tensor3& out, bool training) {
+  const Tensor3& x = single_input(inputs, "Dropout");
+  if (!training || rate_ == 0.0) {
+    std::copy(x.flat().begin(), x.flat().end(), out.flat().begin());
+    return;
+  }
+  if (x.dim0() != ws_batch_ || x.dim1() != ws_steps_ ||
+      x.dim2() != ws_features_) {
+    bind_workspace(self_arena(), x.dim0(), x.dim1(), x.dim2());
+  }
   const double keep_scale = 1.0 / (1.0 - rate_);
   auto mf = mask_.flat();
+  const auto xf = x.flat();
   auto of = out.flat();
   for (std::size_t i = 0; i < of.size(); ++i) {
     mf[i] = rng_.bernoulli(rate_) ? 0.0 : keep_scale;
-    of[i] *= mf[i];
+    of[i] = xf[i] * mf[i];
   }
-  return out;
 }
 
-std::vector<Tensor3> Dropout::backward(const Tensor3& grad_output) {
-  if (rate_ == 0.0) return {grad_output};
+void Dropout::backward_into(const Tensor3& grad_output,
+                            std::span<Tensor3* const> input_grads) {
+  if (input_grads.size() != 1 || input_grads[0] == nullptr ||
+      input_grads[0]->size() != grad_output.size()) {
+    throw std::invalid_argument("Dropout::backward: wrong gradient count");
+  }
+  Tensor3& dx = *input_grads[0];
+  if (rate_ == 0.0) {
+    std::copy(grad_output.flat().begin(), grad_output.flat().end(),
+              dx.flat().begin());
+    return;
+  }
   if (grad_output.size() != mask_.size()) {
     throw std::invalid_argument("Dropout::backward: shape mismatch");
   }
-  Tensor3 dx = grad_output;
   auto df = dx.flat();
+  const auto gf = grad_output.flat();
   const auto mf = mask_.flat();
-  for (std::size_t i = 0; i < df.size(); ++i) df[i] *= mf[i];
-  return {std::move(dx)};
+  for (std::size_t i = 0; i < df.size(); ++i) df[i] = gf[i] * mf[i];
 }
 
 std::string Dropout::name() const {

@@ -3,7 +3,8 @@
 // During training each element is zeroed with probability p and the
 // survivors scaled by 1/(1-p); inference is the identity. The mask is
 // drawn from a per-layer deterministic stream reseeded by init_params, so
-// training runs stay reproducible.
+// training runs stay reproducible. The mask lives in the bound arena:
+// steady-state training draws it in place with no allocation.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -14,9 +15,12 @@ class Dropout final : public Layer {
  public:
   explicit Dropout(double rate);
 
-  Tensor3 forward(std::span<const Tensor3* const> inputs,
-                  bool training) override;
-  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void bind_workspace(tensor::Arena& arena, std::size_t batch,
+                      std::size_t steps, std::size_t in_features) override;
+  void forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                    bool training) override;
+  void backward_into(const Tensor3& grad_output,
+                     std::span<Tensor3* const> input_grads) override;
   void init_params(Rng& rng) override { rng_ = rng.fork(); }
   [[nodiscard]] std::string name() const override;
 
@@ -25,7 +29,11 @@ class Dropout final : public Layer {
  private:
   double rate_;
   Rng rng_;
-  Tensor3 mask_;  // keep-scale factors from the latest training forward
+  // Keep-scale factors from the latest training forward.
+  tensor::ArenaMatrix mask_;  // [B*T, features]
+  std::size_t ws_batch_ = 0;
+  std::size_t ws_steps_ = 0;
+  std::size_t ws_features_ = 0;
 };
 
 }  // namespace geonas::nn

@@ -1,0 +1,70 @@
+// ExampleSource: the trainer's view of a training/validation set.
+//
+// The trainer never materializes the full example tensor pair; it asks a
+// source to gather one example at a time into a caller-owned buffer. This
+// is what makes zero-copy windowing possible: data::WindowView-backed
+// sources (see core/window_source.hpp) gather strided columns straight
+// out of the POD coefficient matrix, while TensorPairSource adapts the
+// classic pre-materialized [N, T, F] tensor pair. Gather targets are
+// contiguous [T, F] example blocks, so implementations must write exactly
+// x_steps()*x_features() (resp. y) doubles and may not allocate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "tensor/matrix.hpp"
+
+namespace geonas::nn {
+
+class ExampleSource {
+ public:
+  virtual ~ExampleSource() = default;
+
+  /// Number of examples.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t x_steps() const = 0;
+  [[nodiscard]] virtual std::size_t y_steps() const = 0;
+  [[nodiscard]] virtual std::size_t x_features() const = 0;
+  [[nodiscard]] virtual std::size_t y_features() const = 0;
+
+  /// Writes example `e`'s input as a row-major [x_steps, x_features]
+  /// block into `dst` (which has exactly that many elements).
+  virtual void gather_x(std::size_t e, std::span<double> dst) const = 0;
+  /// Same for the target block.
+  virtual void gather_y(std::size_t e, std::span<double> dst) const = 0;
+};
+
+/// Adapts a pre-materialized (x, y) tensor pair. Non-owning: both tensors
+/// must outlive the source.
+class TensorPairSource final : public ExampleSource {
+ public:
+  TensorPairSource(const Tensor3& x, const Tensor3& y) : x_(&x), y_(&y) {
+    if (x.dim0() != y.dim0()) {
+      throw std::invalid_argument(
+          "TensorPairSource: x/y example counts differ");
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const override { return x_->dim0(); }
+  [[nodiscard]] std::size_t x_steps() const override { return x_->dim1(); }
+  [[nodiscard]] std::size_t y_steps() const override { return y_->dim1(); }
+  [[nodiscard]] std::size_t x_features() const override { return x_->dim2(); }
+  [[nodiscard]] std::size_t y_features() const override { return y_->dim2(); }
+
+  void gather_x(std::size_t e, std::span<double> dst) const override {
+    const auto src = x_->block(e);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+  }
+  void gather_y(std::size_t e, std::span<double> dst) const override {
+    const auto src = y_->block(e);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+  }
+
+ private:
+  const Tensor3* x_;
+  const Tensor3* y_;
+};
+
+}  // namespace geonas::nn

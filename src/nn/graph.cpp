@@ -32,6 +32,8 @@ std::size_t GraphNetwork::add_node(std::unique_ptr<Layer> layer,
   node.inputs = std::move(input_ids);
   nodes_.push_back(std::move(node));
   output_ = nodes_.size() - 1;
+  bound_batch_ = bound_steps_ = bound_features_ = 0;  // force a rebind
+  grad_cache_.clear();
   return output_;
 }
 
@@ -49,67 +51,112 @@ void GraphNetwork::init_params(std::uint64_t seed) {
   }
 }
 
+void GraphNetwork::bind(std::size_t batch, std::size_t steps,
+                        std::size_t features) {
+  if (!arena_) arena_ = std::make_unique<tensor::Arena>();
+  arena_->reset();
+  nodes_[0].out_features = features;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    const std::size_t in_feat = nodes_[node.inputs[0]].out_features;
+    node.out_features = node.layer->output_features(in_feat);
+    node.layer->bind_workspace(*arena_, batch, steps, in_feat);
+    node.activation.ensure_shape(batch, steps, node.out_features);
+    node.in_ptrs.reserve(node.inputs.size());
+    node.grad_ptrs.reserve(node.inputs.size());
+    node.grad_scratch.resize(node.inputs.size());
+  }
+  bound_batch_ = batch;
+  bound_steps_ = steps;
+  bound_features_ = features;
+  arena_->export_stats();
+}
+
 Tensor3 GraphNetwork::forward(const Tensor3& input, bool training) {
+  return forward_ref(input, training);
+}
+
+const Tensor3& GraphNetwork::forward_ref(const Tensor3& input, bool training) {
   if (nodes_.size() < 2 || output_ == 0) {
     throw std::logic_error("GraphNetwork: no computational nodes");
   }
-  nodes_[0].activation = input;
+  if (input.dim0() != bound_batch_ || input.dim1() != bound_steps_ ||
+      input.dim2() != bound_features_) {
+    bind(input.dim0(), input.dim1(), input.dim2());
+  }
+  external_input_ = &input;
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     Node& node = nodes_[i];
-    std::vector<const Tensor3*> ins;
-    ins.reserve(node.inputs.size());
-    for (std::size_t id : node.inputs) ins.push_back(&nodes_[id].activation);
-    node.activation = node.layer->forward(ins, training);
+    node.in_ptrs.clear();
+    for (std::size_t id : node.inputs) {
+      node.in_ptrs.push_back(id == 0 ? &input : &nodes_[id].activation);
+    }
+    node.layer->forward_into(node.in_ptrs, node.activation, training);
   }
-  Tensor3 out = nodes_[output_].activation;
-  if (!training) {
-    // Drop cached activations to keep inference memory flat.
-    for (auto& node : nodes_) node.activation = Tensor3{};
-  }
-  return out;
+  return nodes_[output_].activation;
 }
 
 Tensor3 GraphNetwork::backward(const Tensor3& grad_output) {
-  for (auto& node : nodes_) {
-    node.grad = Tensor3{};
-    node.grad_set = false;
+  return backward_ref(grad_output);
+}
+
+const Tensor3& GraphNetwork::backward_ref(const Tensor3& grad_output) {
+  if (external_input_ == nullptr) {
+    throw std::logic_error("GraphNetwork: backward before forward");
   }
-  nodes_[output_].grad = grad_output;
-  nodes_[output_].grad_set = true;
+  for (auto& node : nodes_) node.grad_set = false;
 
   for (std::size_t i = nodes_.size(); i-- > 1;) {
     Node& node = nodes_[i];
-    if (!node.grad_set) continue;  // node not on a path to the output
-    std::vector<Tensor3> input_grads = node.layer->backward(node.grad);
-    if (input_grads.size() != node.inputs.size()) {
-      throw std::logic_error("GraphNetwork: layer returned wrong grad count");
+    const bool is_output = i == output_;
+    if (!is_output && !node.grad_set) {
+      continue;  // node not on a path to the output
     }
+    // Each input slot's gradient is written directly into the source
+    // node's buffer on first visit; fan-out slots go through the node's
+    // scratch tensor and accumulate after the layer call. Layers fully
+    // overwrite every slot, so direct writes need no pre-zeroing.
+    node.grad_ptrs.clear();
     for (std::size_t k = 0; k < node.inputs.size(); ++k) {
       Node& src = nodes_[node.inputs[k]];
+      const Tensor3& shape_of =
+          node.inputs[k] == 0 ? *external_input_ : src.activation;
       if (!src.grad_set) {
-        src.grad = std::move(input_grads[k]);
+        src.grad.ensure_shape(shape_of.dim0(), shape_of.dim1(),
+                              shape_of.dim2());
+        node.grad_ptrs.push_back(&src.grad);
         src.grad_set = true;
       } else {
-        auto dst = src.grad.flat();
-        const auto add = input_grads[k].flat();
-        if (dst.size() != add.size()) {
-          throw std::logic_error("GraphNetwork: fan-out gradient shape clash");
-        }
-        for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += add[j];
+        node.grad_scratch[k].ensure_shape(shape_of.dim0(), shape_of.dim1(),
+                                          shape_of.dim2());
+        node.grad_ptrs.push_back(&node.grad_scratch[k]);
       }
     }
-    node.grad = Tensor3{};  // release as soon as propagated
+    node.layer->backward_into(is_output ? grad_output : node.grad,
+                              node.grad_ptrs);
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      if (node.grad_ptrs[k] != &node.grad_scratch[k]) continue;
+      Node& src = nodes_[node.inputs[k]];
+      auto dst = src.grad.flat();
+      const auto add = node.grad_scratch[k].flat();
+      if (dst.size() != add.size()) {
+        throw std::logic_error("GraphNetwork: fan-out gradient shape clash");
+      }
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += add[j];
+    }
   }
   if (!nodes_[0].grad_set) {
     throw std::logic_error("GraphNetwork: input unreachable from output");
   }
-  return std::move(nodes_[0].grad);
+  return nodes_[0].grad;
 }
 
 void GraphNetwork::zero_grad() {
-  for (auto& node : nodes_) {
-    if (node.layer) node.layer->zero_grad();
-  }
+  // Zeroes through a cached pointer list: Layer::zero_grad() builds its
+  // gradient vector per call, which would put one allocation per layer
+  // on every batch (zero_grad runs before each training step).
+  if (grad_cache_.empty()) grad_cache_ = gradients();
+  for (Matrix* g : grad_cache_) g->fill(0.0);
 }
 
 std::vector<Matrix*> GraphNetwork::parameters() {

@@ -6,6 +6,15 @@
 // AddMerge nodes. Nodes must be added in topological order (every input id
 // must already exist), which the searchspace builder guarantees by
 // construction.
+//
+// Memory model (DESIGN.md, "Memory model"): the graph owns one
+// tensor::Arena. Whenever the input batch shape changes, the arena is
+// reset and every layer rebinds its workspaces onto it in topological
+// order; per-node activation/gradient tensors are persistent members
+// that resize only on shape change. After the first step at a given
+// shape, forward_ref/backward_ref perform zero heap allocation.
+// Activations are retained between inference calls (they are reused
+// buffers, not per-call garbage).
 #pragma once
 
 #include <memory>
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "tensor/arena.hpp"
 
 namespace geonas::nn {
 
@@ -45,16 +55,34 @@ class GraphNetwork {
   void init_params(std::uint64_t seed);
 
   /// Forward pass; caches activations when `training` so backward() works.
+  /// Allocating wrapper around forward_ref (returns a copy).
   Tensor3 forward(const Tensor3& input, bool training = false);
+
+  /// Zero-copy forward: runs the graph and returns a reference to the
+  /// output node's activation buffer, valid until the next forward or
+  /// shape rebind. `input` must stay alive and unmodified until the
+  /// matching backward when `training` (layers cache input pointers).
+  const Tensor3& forward_ref(const Tensor3& input, bool training = false);
 
   /// Backward pass for the latest training forward; returns the gradient
   /// with respect to the network input and accumulates parameter grads.
+  /// Allocating wrapper around backward_ref (returns a copy).
   Tensor3 backward(const Tensor3& grad_output);
+
+  /// Zero-copy backward: returns a reference to the input-gradient
+  /// buffer, valid until the next backward or shape rebind.
+  const Tensor3& backward_ref(const Tensor3& grad_output);
 
   void zero_grad();
   [[nodiscard]] std::vector<Matrix*> parameters();
   [[nodiscard]] std::vector<Matrix*> gradients();
   [[nodiscard]] std::size_t param_count();
+
+  /// The graph's workspace arena (observability/tests); null until the
+  /// first forward binds a shape.
+  [[nodiscard]] const tensor::Arena* arena() const noexcept {
+    return arena_.get();
+  }
 
   /// Multi-line structural description (one node per line).
   [[nodiscard]] std::string describe() const;
@@ -67,13 +95,31 @@ class GraphNetwork {
   struct Node {
     std::unique_ptr<Layer> layer;       // null for the input node
     std::vector<std::size_t> inputs;
-    Tensor3 activation;                 // valid during a training pass
+    Tensor3 activation;                 // reused across passes
     Tensor3 grad;                       // accumulated during backward
     bool grad_set = false;
+    std::size_t out_features = 0;       // valid after bind
+    // Reused per-call pointer scratch (capacity reserved at bind).
+    std::vector<const Tensor3*> in_ptrs;
+    std::vector<Tensor3*> grad_ptrs;
+    // Fan-out accumulation buffers, one per input slot; resized lazily.
+    std::vector<Tensor3> grad_scratch;
   };
+
+  /// Resets the arena and rebinds every layer's workspaces for
+  /// (batch, steps, features); sizes activation/grad buffers.
+  void bind(std::size_t batch, std::size_t steps, std::size_t features);
 
   std::vector<Node> nodes_;
   std::size_t output_ = 0;
+  // Cached gradients() result for zero_grad (rebuilt after add_node);
+  // the pointees are owned by the layers, so moves keep it valid.
+  std::vector<Matrix*> grad_cache_;
+  std::unique_ptr<tensor::Arena> arena_;
+  const Tensor3* external_input_ = nullptr;
+  std::size_t bound_batch_ = 0;
+  std::size_t bound_steps_ = 0;
+  std::size_t bound_features_ = 0;
 };
 
 }  // namespace geonas::nn

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 #include "tensor/blas.hpp"
 #include "tensor/vmath.hpp"
@@ -32,21 +31,36 @@ void GRU::init_params(Rng& rng) {
   b_.fill(0.0);
 }
 
-Tensor3 GRU::forward(std::span<const Tensor3* const> inputs, bool training) {
-  const Tensor3& x = single_input(inputs, "GRU");
-  if (x.dim2() != in_) {
+void GRU::bind_workspace(tensor::Arena& arena, std::size_t batch,
+                         std::size_t steps, std::size_t in_features) {
+  if (in_features != in_) {
     throw std::invalid_argument("GRU: input feature dim " +
-                                std::to_string(x.dim2()) + " != " +
+                                std::to_string(in_features) + " != " +
                                 std::to_string(in_));
   }
-  const std::size_t batch = x.dim0(), steps = x.dim1();
   const std::size_t g3 = 3 * units_;
   const std::size_t rows = batch * steps;
+  x_tm_.bind(arena, rows, in_);
+  gates_.bind(arena, rows, g3);
+  h_seq_.bind(arena, (steps + 1) * batch, units_);
+  rh_.bind(arena, rows, units_);
+  da_.bind(arena, rows, g3);
+  dh_.bind(arena, batch, units_);
+  drh_.bind(arena, batch, units_);
+  dx_tm_.bind(arena, rows, in_);
+  ws_batch_ = batch;
+  ws_steps_ = steps;
+}
 
-  x_tm_.resize(rows, in_);
-  gates_.resize(rows, g3);
-  h_seq_.resize((steps + 1) * batch, units_);
-  rh_.resize(rows, units_);
+void GRU::forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                       bool training) {
+  const Tensor3& x = single_input(inputs, "GRU");
+  const std::size_t batch = x.dim0(), steps = x.dim1();
+  if (batch != ws_batch_ || steps != ws_steps_ || x.dim2() != in_) {
+    bind_workspace(self_arena(), batch, steps, x.dim2());
+  }
+  const std::size_t g3 = 3 * units_;
+  const std::size_t rows = batch * steps;
 
   for (std::size_t bi = 0; bi < batch; ++bi) {
     const double* src = x.flat().data() + bi * steps * in_;
@@ -65,7 +79,6 @@ Tensor3 GRU::forward(std::span<const Tensor3* const> inputs, bool training) {
     for (std::size_t j = 0; j < g3; ++j) arow[j] += bias[j];
   }
 
-  Tensor3 out(batch, steps, units_);
   const double* whp = wh_.flat().data();
   for (std::size_t t = 0; t < steps; ++t) {
     double* a = gates_.flat().data() + t * batch * g3;
@@ -89,25 +102,23 @@ Tensor3 GRU::forward(std::span<const Tensor3* const> inputs, bool training) {
                               steps * units_);
   }
 
-  fwd_batch_ = batch;
-  fwd_steps_ = steps;
   (void)training;  // the workspaces double as the BPTT caches
-  return out;
 }
 
-std::vector<Tensor3> GRU::backward(const Tensor3& grad_output) {
-  const std::size_t batch = fwd_batch_, steps = fwd_steps_;
+void GRU::backward_into(const Tensor3& grad_output,
+                        std::span<Tensor3* const> input_grads) {
+  const std::size_t batch = ws_batch_, steps = ws_steps_;
   if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
-      grad_output.dim2() != units_) {
+      grad_output.dim2() != units_ || input_grads.size() != 1 ||
+      input_grads[0] == nullptr) {
     throw std::invalid_argument("GRU::backward: gradient shape mismatch");
   }
   const std::size_t g3 = 3 * units_;
   const std::size_t rows = batch * steps;
 
-  da_.resize(rows, g3);
-  dh_.resize(batch, units_);
-  drh_.resize(batch, units_);
-  dx_tm_.resize(rows, in_);
+  // dh_ carries state across timesteps and must start the recursion at
+  // zero; every other workspace is fully overwritten below.
+  dh_.fill(0.0);
 
   const double* whp = wh_.flat().data();
   double* whg = wh_grad_.flat().data();
@@ -155,7 +166,7 @@ std::vector<Tensor3> GRU::backward(const Tensor3& grad_output) {
            da_.flat().data(), g3, wx_.flat().data(), g3, 0.0,
            dx_tm_.flat().data(), in_);
 
-  Tensor3 dx(batch, steps, in_);
+  Tensor3& dx = *input_grads[0];
   for (std::size_t bi = 0; bi < batch; ++bi) {
     double* dst = dx.flat().data() + bi * steps * in_;
     for (std::size_t t = 0; t < steps; ++t) {
@@ -163,10 +174,6 @@ std::vector<Tensor3> GRU::backward(const Tensor3& grad_output) {
       std::copy(src.begin(), src.end(), dst + t * in_);
     }
   }
-
-  std::vector<Tensor3> grads;
-  grads.push_back(std::move(dx));
-  return grads;
 }
 
 std::vector<Matrix*> GRU::parameters() { return {&wx_, &wh_, &b_}; }

@@ -16,7 +16,9 @@
 // h_{t-1}, the candidate block against r .* h_{t-1}), and
 // whole-sequence slab GEMMs for the Wx/dX gradients in BPTT. The
 // strided gemm_raw interface lets the z/r and candidate column blocks
-// of the fused Wh matrix be updated in place.
+// of the fused Wh matrix be updated in place. Workspaces are carved
+// from an Arena at bind time: steady-state training performs no
+// allocation (see DESIGN.md, "Memory model").
 #pragma once
 
 #include "nn/layer.hpp"
@@ -27,13 +29,20 @@ class GRU final : public Layer {
  public:
   GRU(std::size_t in_features, std::size_t units);
 
-  Tensor3 forward(std::span<const Tensor3* const> inputs,
-                  bool training) override;
-  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void bind_workspace(tensor::Arena& arena, std::size_t batch,
+                      std::size_t steps, std::size_t in_features) override;
+  void forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                    bool training) override;
+  void backward_into(const Tensor3& grad_output,
+                     std::span<Tensor3* const> input_grads) override;
   void init_params(Rng& rng) override;
   std::vector<Matrix*> parameters() override;
   std::vector<Matrix*> gradients() override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_features(
+      std::size_t /*in_features*/) const override {
+    return units_;
+  }
 
   [[nodiscard]] std::size_t units() const noexcept { return units_; }
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
@@ -49,17 +58,19 @@ class GRU final : public Layer {
   Matrix wh_grad_;
   Matrix b_grad_;
 
-  // Time-major workspaces (row t*batch + b), reused across calls.
-  Matrix x_tm_;     // [T*B, in]
-  Matrix gates_;    // [T*B, 3*units] pre-activations, then [z, r, hh]
-  Matrix h_seq_;    // [(T+1)*B, units], rows [0, B) are h_0 = 0
-  Matrix rh_;       // [T*B, units] r_t .* h_{t-1} (candidate GEMM input)
-  Matrix da_;       // [T*B, 3*units] gate pre-activation gradients
-  Matrix dh_;       // [B, units] running dL/dh_{t-1}
-  Matrix drh_;      // [B, units] dL/d(r .* h_{t-1})
-  Matrix dx_tm_;    // [T*B, in]
-  std::size_t fwd_batch_ = 0;
-  std::size_t fwd_steps_ = 0;
+  // Time-major workspaces (row t*batch + b) carved from the bound arena,
+  // reused across calls. Rows [0, B) of h_seq_ are h_0 = 0 — written
+  // only by the bind-time zero fill.
+  tensor::ArenaMatrix x_tm_;   // [T*B, in]
+  tensor::ArenaMatrix gates_;  // [T*B, 3*units] pre-activations, [z, r, hh]
+  tensor::ArenaMatrix h_seq_;  // [(T+1)*B, units]
+  tensor::ArenaMatrix rh_;     // [T*B, units] r_t .* h_{t-1}
+  tensor::ArenaMatrix da_;     // [T*B, 3*units] gate pre-activation grads
+  tensor::ArenaMatrix dh_;     // [B, units] running dL/dh_{t-1}
+  tensor::ArenaMatrix drh_;    // [B, units] dL/d(r .* h_{t-1})
+  tensor::ArenaMatrix dx_tm_;  // [T*B, in]
+  std::size_t ws_batch_ = 0;
+  std::size_t ws_steps_ = 0;
 };
 
 }  // namespace geonas::nn

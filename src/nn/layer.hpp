@@ -3,20 +3,35 @@
 // Layers operate on batched sequences stored as Tensor3 [batch, time,
 // features] and implement explicit forward/backward passes (no tape
 // autodiff): each layer caches whatever activations its backward pass
-// needs during forward(). A layer therefore supports exactly one
+// needs during forward_into(). A layer therefore supports exactly one
 // outstanding forward-then-backward pair at a time, which is all the
 // mini-batch trainer requires.
 //
+// Hot-path contract (see DESIGN.md, "Memory model"): the core entry
+// points are forward_into / backward_into, which write into
+// caller-provided tensors, and bind_workspace, which carves all of a
+// layer's scratch out of a tensor::Arena for a fixed (batch, steps,
+// features) shape. A bound layer performs ZERO heap allocation in
+// forward_into/backward_into. Inputs passed to a training forward_into
+// must stay alive and unmodified until the matching backward_into
+// returns — layers cache input POINTERS instead of copying.
+//
+// The by-value forward()/backward() convenience wrappers keep the old
+// allocating call style for tests and examples; standalone layers
+// (outside a GraphNetwork) self-bind on a private arena at first use.
+//
 // Multi-input layers (the skip-connection sum of paper §III-A) take all
-// their inputs at once and return one gradient per input from backward().
+// their inputs at once and fill one gradient per input in backward_into.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "tensor/arena.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random.hpp"
 
@@ -32,15 +47,66 @@ class Layer {
   /// Number of inputs this layer consumes (1 for all but merge layers).
   [[nodiscard]] virtual std::size_t arity() const { return 1; }
 
-  /// Forward pass. `inputs.size()` must equal arity() (merge layers accept
-  /// any count >= 1). Caches activations for backward when `training`.
-  virtual Tensor3 forward(std::span<const Tensor3* const> inputs,
-                          bool training) = 0;
+  /// Feature width of this layer's output for `in_features`-wide inputs.
+  [[nodiscard]] virtual std::size_t output_features(
+      std::size_t in_features) const {
+    return in_features;
+  }
 
-  /// Backward pass for the most recent training-mode forward. Returns one
-  /// gradient tensor per input, in the same order. Accumulates parameter
-  /// gradients (callers zero_grad() between batches).
-  virtual std::vector<Tensor3> backward(const Tensor3& grad_output) = 0;
+  /// Carves every workspace this layer needs for shape (batch, steps,
+  /// in_features) out of `arena`. GraphNetwork rebinds all its layers on
+  /// one shared arena whenever the batch shape changes; standalone
+  /// layers self-bind lazily. Default: stateless layer, nothing to bind.
+  virtual void bind_workspace(tensor::Arena& /*arena*/, std::size_t /*batch*/,
+                              std::size_t /*steps*/,
+                              std::size_t /*in_features*/) {}
+
+  /// Forward pass into `out`, pre-shaped by the caller to
+  /// [batch, steps, output_features(in_features)]. `inputs.size()` must
+  /// equal arity(). Caches activations (by pointer where possible) for
+  /// backward when `training`.
+  virtual void forward_into(std::span<const Tensor3* const> inputs,
+                            Tensor3& out, bool training) = 0;
+
+  /// Backward pass for the most recent training-mode forward. Writes one
+  /// gradient per input into `input_grads` (pre-shaped to the matching
+  /// input shapes; every element is fully overwritten). Accumulates
+  /// parameter gradients (callers zero_grad() between batches).
+  virtual void backward_into(const Tensor3& grad_output,
+                             std::span<Tensor3* const> input_grads) = 0;
+
+  /// Allocating convenience wrapper around forward_into.
+  Tensor3 forward(std::span<const Tensor3* const> inputs, bool training) {
+    wrapper_in_shapes_.clear();
+    for (const Tensor3* in : inputs) {
+      if (in != nullptr) {
+        wrapper_in_shapes_.push_back({in->dim0(), in->dim1(), in->dim2()});
+      } else {
+        wrapper_in_shapes_.push_back({0, 0, 0});
+      }
+    }
+    Tensor3 out;
+    if (!inputs.empty() && inputs[0] != nullptr) {
+      const Tensor3& x = *inputs[0];
+      out.ensure_shape(x.dim0(), x.dim1(), output_features(x.dim2()));
+    }
+    forward_into(inputs, out, training);
+    return out;
+  }
+
+  /// Allocating convenience wrapper around backward_into; shapes come
+  /// from the most recent wrapper forward().
+  std::vector<Tensor3> backward(const Tensor3& grad_output) {
+    std::vector<Tensor3> grads(wrapper_in_shapes_.size());
+    std::vector<Tensor3*> ptrs(grads.size());
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+      const auto& s = wrapper_in_shapes_[i];
+      grads[i].ensure_shape(s[0], s[1], s[2]);
+      ptrs[i] = &grads[i];
+    }
+    backward_into(grad_output, ptrs);
+    return grads;
+  }
 
   /// Randomly (re-)initialize parameters.
   virtual void init_params(Rng& /*rng*/) {}
@@ -65,6 +131,18 @@ class Layer {
 
  protected:
   Layer() = default;
+
+  /// Private arena for standalone (non-graph) use, created on demand and
+  /// reset before each rebind so repeat shapes reuse its slabs.
+  tensor::Arena& self_arena() {
+    if (!own_arena_) own_arena_ = std::make_unique<tensor::Arena>();
+    own_arena_->reset();
+    return *own_arena_;
+  }
+
+ private:
+  std::unique_ptr<tensor::Arena> own_arena_;
+  std::vector<std::array<std::size_t, 3>> wrapper_in_shapes_;
 };
 
 /// Convenience for single-input layers.

@@ -27,8 +27,15 @@ double mse_loss(const Tensor3& truth, const Tensor3& predicted) {
 }
 
 Tensor3 mse_grad(const Tensor3& truth, const Tensor3& predicted) {
+  Tensor3 grad;
+  mse_grad_into(truth, predicted, grad);
+  return grad;
+}
+
+void mse_grad_into(const Tensor3& truth, const Tensor3& predicted,
+                   Tensor3& grad) {
   require_same(truth, predicted, "mse_grad");
-  Tensor3 grad(truth.dim0(), truth.dim1(), truth.dim2());
+  grad.ensure_shape(truth.dim0(), truth.dim1(), truth.dim2());
   const auto tf = truth.flat();
   const auto pf = predicted.flat();
   auto gf = grad.flat();
@@ -36,7 +43,6 @@ Tensor3 mse_grad(const Tensor3& truth, const Tensor3& predicted) {
   for (std::size_t i = 0; i < tf.size(); ++i) {
     gf[i] = scale * (pf[i] - tf[i]);
   }
-  return grad;
 }
 
 double r2_metric(const Tensor3& truth, const Tensor3& predicted) {

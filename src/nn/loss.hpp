@@ -15,6 +15,11 @@ namespace geonas::nn {
 /// 2 * (pred - truth) / N where N is the total element count.
 [[nodiscard]] Tensor3 mse_grad(const Tensor3& truth, const Tensor3& predicted);
 
+/// In-place variant: writes the MSE gradient into `grad` (resized to match;
+/// no allocation once its capacity covers the batch shape).
+void mse_grad_into(const Tensor3& truth, const Tensor3& predicted,
+                   Tensor3& grad);
+
 /// R^2 over all elements (flattened).
 [[nodiscard]] double r2_metric(const Tensor3& truth, const Tensor3& predicted);
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 #include "tensor/blas.hpp"
 #include "tensor/vmath.hpp"
@@ -37,21 +36,36 @@ void LSTM::init_params(Rng& rng) {
   for (std::size_t j = units_; j < 2 * units_; ++j) b_(0, j) = 1.0;
 }
 
-Tensor3 LSTM::forward(std::span<const Tensor3* const> inputs, bool training) {
-  const Tensor3& x = single_input(inputs, "LSTM");
-  if (x.dim2() != in_) {
+void LSTM::bind_workspace(tensor::Arena& arena, std::size_t batch,
+                          std::size_t steps, std::size_t in_features) {
+  if (in_features != in_) {
     throw std::invalid_argument("LSTM: input feature dim " +
-                                std::to_string(x.dim2()) + " != " +
+                                std::to_string(in_features) + " != " +
                                 std::to_string(in_));
   }
-  const std::size_t batch = x.dim0(), steps = x.dim1();
   const std::size_t g4 = 4 * units_;
   const std::size_t rows = batch * steps;
+  x_tm_.bind(arena, rows, in_);
+  gates_.bind(arena, rows, g4);
+  h_seq_.bind(arena, (steps + 1) * batch, units_);
+  c_seq_.bind(arena, (steps + 1) * batch, units_);
+  dz_.bind(arena, rows, g4);
+  dh_.bind(arena, batch, units_);
+  dc_.bind(arena, batch, units_);
+  dx_tm_.bind(arena, rows, in_);
+  ws_batch_ = batch;
+  ws_steps_ = steps;
+}
 
-  x_tm_.resize(rows, in_);
-  gates_.resize(rows, g4);
-  h_seq_.resize((steps + 1) * batch, units_);
-  c_seq_.resize((steps + 1) * batch, units_);
+void LSTM::forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                        bool training) {
+  const Tensor3& x = single_input(inputs, "LSTM");
+  const std::size_t batch = x.dim0(), steps = x.dim1();
+  if (batch != ws_batch_ || steps != ws_steps_ || x.dim2() != in_) {
+    bind_workspace(self_arena(), batch, steps, x.dim2());
+  }
+  const std::size_t g4 = 4 * units_;
+  const std::size_t rows = batch * steps;
 
   // Gather the batch-major input into time-major rows t*B + b so each
   // timestep's slab is contiguous.
@@ -72,7 +86,6 @@ Tensor3 LSTM::forward(std::span<const Tensor3* const> inputs, bool training) {
     for (std::size_t j = 0; j < g4; ++j) zrow[j] += bias[j];
   }
 
-  Tensor3 out(batch, steps, units_);
   for (std::size_t t = 0; t < steps; ++t) {
     // z_t += h_{t-1} Wh: one (B, units) x (units, 4*units) GEMM.
     double* z = gates_.flat().data() + t * batch * g4;
@@ -90,25 +103,24 @@ Tensor3 LSTM::forward(std::span<const Tensor3* const> inputs, bool training) {
                                    steps * units_);
   }
 
-  fwd_batch_ = batch;
-  fwd_steps_ = steps;
   (void)training;  // the workspaces double as the BPTT caches
-  return out;
 }
 
-std::vector<Tensor3> LSTM::backward(const Tensor3& grad_output) {
-  const std::size_t batch = fwd_batch_, steps = fwd_steps_;
+void LSTM::backward_into(const Tensor3& grad_output,
+                         std::span<Tensor3* const> input_grads) {
+  const std::size_t batch = ws_batch_, steps = ws_steps_;
   if (grad_output.dim0() != batch || grad_output.dim1() != steps ||
-      grad_output.dim2() != units_) {
+      grad_output.dim2() != units_ || input_grads.size() != 1 ||
+      input_grads[0] == nullptr) {
     throw std::invalid_argument("LSTM::backward: gradient shape mismatch");
   }
   const std::size_t g4 = 4 * units_;
   const std::size_t rows = batch * steps;
 
-  dz_.resize(rows, g4);
-  dh_.resize(batch, units_);
-  dc_.resize(batch, units_);
-  dx_tm_.resize(rows, in_);
+  // dh_/dc_ carry state across timesteps and must start the recursion at
+  // zero; every other workspace is fully overwritten below.
+  dh_.fill(0.0);
+  dc_.fill(0.0);
 
   double* bg = b_grad_.flat().data();
 
@@ -144,7 +156,7 @@ std::vector<Tensor3> LSTM::backward(const Tensor3& grad_output) {
            dx_tm_.flat().data(), in_);
 
   // Scatter time-major dX back to batch-major [B, T, in].
-  Tensor3 dx(batch, steps, in_);
+  Tensor3& dx = *input_grads[0];
   for (std::size_t bi = 0; bi < batch; ++bi) {
     double* dst = dx.flat().data() + bi * steps * in_;
     for (std::size_t t = 0; t < steps; ++t) {
@@ -152,10 +164,6 @@ std::vector<Tensor3> LSTM::backward(const Tensor3& grad_output) {
       std::copy(src.begin(), src.end(), dst + t * in_);
     }
   }
-
-  std::vector<Tensor3> grads;
-  grads.push_back(std::move(dx));
-  return grads;
 }
 
 std::vector<Matrix*> LSTM::parameters() { return {&wx_, &wh_, &b_}; }

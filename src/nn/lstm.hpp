@@ -12,9 +12,9 @@
 // GEMM over the whole (batch * steps) slab, each timestep's recurrent
 // update H_{t-1} * Wh is one (batch, units) x (units, 4 * units) GEMM,
 // and BPTT accumulates the Wx/dX gradients with single whole-sequence
-// slab GEMMs (see DESIGN.md, "Kernel layer"). The workspaces are owned
-// by the layer, so steady-state training performs no per-step
-// allocation.
+// slab GEMMs (see DESIGN.md, "Kernel layer"). The workspaces are carved
+// from an Arena at bind time, so steady-state training performs no
+// allocation at all.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -25,13 +25,20 @@ class LSTM final : public Layer {
  public:
   LSTM(std::size_t in_features, std::size_t units);
 
-  Tensor3 forward(std::span<const Tensor3* const> inputs,
-                  bool training) override;
-  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void bind_workspace(tensor::Arena& arena, std::size_t batch,
+                      std::size_t steps, std::size_t in_features) override;
+  void forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                    bool training) override;
+  void backward_into(const Tensor3& grad_output,
+                     std::span<Tensor3* const> input_grads) override;
   void init_params(Rng& rng) override;
   std::vector<Matrix*> parameters() override;
   std::vector<Matrix*> gradients() override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_features(
+      std::size_t /*in_features*/) const override {
+    return units_;
+  }
 
   [[nodiscard]] std::size_t units() const noexcept { return units_; }
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
@@ -47,18 +54,20 @@ class LSTM final : public Layer {
   Matrix wh_grad_;
   Matrix b_grad_;
 
-  // Time-major workspaces, valid between a training forward and its
-  // backward; any forward (training or not) reuses and overwrites them.
-  Matrix x_tm_;     // [T*B, in] time-major input copy
-  Matrix gates_;    // [T*B, 4*units] pre-activations, then gate values
-  Matrix h_seq_;    // [(T+1)*B, units], rows [0, B) are h_0 = 0
-  Matrix c_seq_;    // [(T+1)*B, units]
-  Matrix dz_;       // [T*B, 4*units] gate pre-activation gradients
-  Matrix dh_;       // [B, units] running dL/dh_{t-1}
-  Matrix dc_;       // [B, units] running dL/dc_{t-1}
-  Matrix dx_tm_;    // [T*B, in]
-  std::size_t fwd_batch_ = 0;
-  std::size_t fwd_steps_ = 0;
+  // Time-major workspaces carved from the bound arena, valid between a
+  // training forward and its backward; any forward (training or not)
+  // reuses and overwrites them. Rows [0, B) of h_seq_/c_seq_ are the
+  // zero initial state — written only by the bind-time zero fill.
+  tensor::ArenaMatrix x_tm_;   // [T*B, in] time-major input copy
+  tensor::ArenaMatrix gates_;  // [T*B, 4*units] pre-activations, then gates
+  tensor::ArenaMatrix h_seq_;  // [(T+1)*B, units]
+  tensor::ArenaMatrix c_seq_;  // [(T+1)*B, units]
+  tensor::ArenaMatrix dz_;     // [T*B, 4*units] gate pre-activation grads
+  tensor::ArenaMatrix dh_;     // [B, units] running dL/dh_{t-1}
+  tensor::ArenaMatrix dc_;     // [B, units] running dL/dc_{t-1}
+  tensor::ArenaMatrix dx_tm_;  // [T*B, in]
+  std::size_t ws_batch_ = 0;
+  std::size_t ws_steps_ = 0;
 };
 
 }  // namespace geonas::nn

@@ -1,5 +1,6 @@
 #include "nn/merge.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/activations.hpp"
@@ -11,29 +12,57 @@ AddMerge::AddMerge(std::size_t arity, bool relu_after)
   if (arity_ < 1) throw std::invalid_argument("AddMerge: arity must be >= 1");
 }
 
-Tensor3 AddMerge::forward(std::span<const Tensor3* const> inputs,
-                          bool training) {
-  if (inputs.size() != arity_) {
+void AddMerge::bind_workspace(tensor::Arena& arena, std::size_t batch,
+                              std::size_t steps, std::size_t in_features) {
+  if (relu_) sum_cache_.bind(arena, batch * steps, in_features);
+  ws_batch_ = batch;
+  ws_steps_ = steps;
+  ws_features_ = in_features;
+}
+
+void AddMerge::forward_into(std::span<const Tensor3* const> inputs,
+                            Tensor3& out, bool training) {
+  if (inputs.size() != arity_ || inputs[0] == nullptr) {
     throw std::invalid_argument("AddMerge: wrong number of inputs");
   }
-  Tensor3 out = *inputs[0];
+  const Tensor3& first = *inputs[0];
+  if (first.dim0() != ws_batch_ || first.dim1() != ws_steps_ ||
+      first.dim2() != ws_features_) {
+    bind_workspace(self_arena(), first.dim0(), first.dim1(), first.dim2());
+  }
+  std::copy(first.flat().begin(), first.flat().end(), out.flat().begin());
   for (std::size_t i = 1; i < inputs.size(); ++i) {
     const Tensor3& in = *inputs[i];
-    if (in.dim0() != out.dim0() || in.dim1() != out.dim1() ||
-        in.dim2() != out.dim2()) {
+    if (in.dim0() != first.dim0() || in.dim1() != first.dim1() ||
+        in.dim2() != first.dim2()) {
       throw std::invalid_argument("AddMerge: input shape mismatch");
     }
     auto of = out.flat();
     const auto inf = in.flat();
     for (std::size_t k = 0; k < of.size(); ++k) of[k] += inf[k];
   }
-  if (training && relu_) sum_cache_ = out;
-  if (relu_) apply_activation(Activation::kReLU, out.flat());
-  return out;
+  if (relu_) {
+    if (training) {
+      std::copy(out.flat().begin(), out.flat().end(),
+                sum_cache_.flat().begin());
+    }
+    apply_activation(Activation::kReLU, out.flat());
+  }
 }
 
-std::vector<Tensor3> AddMerge::backward(const Tensor3& grad_output) {
-  Tensor3 dsum = grad_output;
+void AddMerge::backward_into(const Tensor3& grad_output,
+                             std::span<Tensor3* const> input_grads) {
+  if (input_grads.size() != arity_ || input_grads[0] == nullptr) {
+    throw std::invalid_argument("AddMerge::backward: wrong gradient count");
+  }
+  // d(sum)/d(input_i) = 1 for every input: compute the (possibly ReLU-
+  // masked) sum gradient into the first slot, then copy to the others.
+  Tensor3& dsum = *input_grads[0];
+  if (dsum.size() != grad_output.size()) {
+    throw std::invalid_argument("AddMerge::backward: shape mismatch");
+  }
+  std::copy(grad_output.flat().begin(), grad_output.flat().end(),
+            dsum.flat().begin());
   if (relu_) {
     auto df = dsum.flat();
     const auto sf = sum_cache_.flat();
@@ -42,9 +71,13 @@ std::vector<Tensor3> AddMerge::backward(const Tensor3& grad_output) {
     }
     activation_grad_mul(Activation::kReLU, df, sf, sf);
   }
-  // d(sum)/d(input_i) = 1 for every input.
-  std::vector<Tensor3> grads(arity_, dsum);
-  return grads;
+  for (std::size_t i = 1; i < input_grads.size(); ++i) {
+    if (input_grads[i] == nullptr) {
+      throw std::invalid_argument("AddMerge::backward: null gradient slot");
+    }
+    std::copy(dsum.flat().begin(), dsum.flat().end(),
+              input_grads[i]->flat().begin());
+  }
 }
 
 std::string AddMerge::name() const {
@@ -52,13 +85,20 @@ std::string AddMerge::name() const {
          (relu_ ? "+ReLU" : "");
 }
 
-Tensor3 Identity::forward(std::span<const Tensor3* const> inputs,
-                          bool /*training*/) {
-  return single_input(inputs, "Identity");
+void Identity::forward_into(std::span<const Tensor3* const> inputs,
+                            Tensor3& out, bool /*training*/) {
+  const Tensor3& x = single_input(inputs, "Identity");
+  std::copy(x.flat().begin(), x.flat().end(), out.flat().begin());
 }
 
-std::vector<Tensor3> Identity::backward(const Tensor3& grad_output) {
-  return {grad_output};
+void Identity::backward_into(const Tensor3& grad_output,
+                             std::span<Tensor3* const> input_grads) {
+  if (input_grads.size() != 1 || input_grads[0] == nullptr ||
+      input_grads[0]->size() != grad_output.size()) {
+    throw std::invalid_argument("Identity::backward: wrong gradient count");
+  }
+  std::copy(grad_output.flat().begin(), grad_output.flat().end(),
+            input_grads[0]->flat().begin());
 }
 
 }  // namespace geonas::nn

@@ -17,24 +17,32 @@ class AddMerge final : public Layer {
   explicit AddMerge(std::size_t arity, bool relu_after = true);
 
   [[nodiscard]] std::size_t arity() const override { return arity_; }
-  Tensor3 forward(std::span<const Tensor3* const> inputs,
-                  bool training) override;
-  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void bind_workspace(tensor::Arena& arena, std::size_t batch,
+                      std::size_t steps, std::size_t in_features) override;
+  void forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                    bool training) override;
+  void backward_into(const Tensor3& grad_output,
+                     std::span<Tensor3* const> input_grads) override;
   [[nodiscard]] std::string name() const override;
 
  private:
   std::size_t arity_;
   bool relu_;
-  Tensor3 sum_cache_;  // pre-ReLU sum, for the backward mask
+  // Pre-ReLU sum, for the backward mask; carved from the bound arena.
+  tensor::ArenaMatrix sum_cache_;  // [B*T, features]
+  std::size_t ws_batch_ = 0;
+  std::size_t ws_steps_ = 0;
+  std::size_t ws_features_ = 0;
 };
 
 /// Shape-preserving passthrough.
 class Identity final : public Layer {
  public:
   Identity() = default;
-  Tensor3 forward(std::span<const Tensor3* const> inputs,
-                  bool training) override;
-  std::vector<Tensor3> backward(const Tensor3& grad_output) override;
+  void forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
+                    bool training) override;
+  void backward_into(const Tensor3& grad_output,
+                     std::span<Tensor3* const> input_grads) override;
   [[nodiscard]] std::string name() const override { return "Identity"; }
 };
 

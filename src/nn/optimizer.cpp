@@ -80,7 +80,8 @@ void Adam::step() {
   }
 }
 
-double clip_gradients_by_norm(std::vector<Matrix*> grads, double max_norm) {
+double clip_gradients_by_norm(const std::vector<Matrix*>& grads,
+                              double max_norm) {
   double sq = 0.0;
   for (const Matrix* g : grads) {
     for (double v : g->flat()) sq += v * v;

@@ -65,7 +65,10 @@ class Adam final : public Optimizer {
   std::vector<Matrix> v_;
 };
 
-/// Global-norm gradient clipping; returns the pre-clip norm.
-double clip_gradients_by_norm(std::vector<Matrix*> grads, double max_norm);
+/// Global-norm gradient clipping; returns the pre-clip norm. Takes the
+/// list by reference so per-batch callers can reuse one gradient vector
+/// (copying it every step put an allocation on the training hot path).
+double clip_gradients_by_norm(const std::vector<Matrix*>& grads,
+                              double max_norm);
 
 }  // namespace geonas::nn

@@ -38,16 +38,57 @@ std::vector<std::size_t> lr_decay_epochs(std::size_t epochs) {
   return steps;
 }
 
-TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
-                          const Tensor3& y, const Tensor3& x_val,
-                          const Tensor3& y_val) const {
-  if (x.dim0() == 0 || x.dim0() != y.dim0()) {
+namespace {
+
+/// Gathers the examples at `idx` into persistent batch buffers (resized in
+/// place; allocation-free once their capacity covers the batch shape).
+void gather_batch(const ExampleSource& src, std::span<const std::size_t> idx,
+                  Tensor3& xb, Tensor3& yb) {
+  xb.ensure_shape(idx.size(), src.x_steps(), src.x_features());
+  yb.ensure_shape(idx.size(), src.y_steps(), src.y_features());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    src.gather_x(idx[i], xb.block(i));
+    src.gather_y(idx[i], yb.block(i));
+  }
+}
+
+}  // namespace
+
+void predict_into(GraphNetwork& net, const ExampleSource& src, Tensor3& out,
+                  Tensor3& x_scratch, std::size_t batch_size) {
+  const std::size_t n = src.size();
+  if (n == 0) {
+    out = {};
+    return;
+  }
+  batch_size = std::max<std::size_t>(1, batch_size);
+  bool first = true;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, n);
+    x_scratch.ensure_shape(end - start, src.x_steps(), src.x_features());
+    for (std::size_t i = 0; i < end - start; ++i) {
+      src.gather_x(start + i, x_scratch.block(i));
+    }
+    const Tensor3& pb = net.forward_ref(x_scratch, /*training=*/false);
+    if (first) {
+      out.ensure_shape(n, pb.dim1(), pb.dim2());
+      first = false;
+    }
+    for (std::size_t i = 0; i < pb.dim0(); ++i) {
+      const auto sb = pb.block(i);
+      auto db = out.block(start + i);
+      std::copy(sb.begin(), sb.end(), db.begin());
+    }
+  }
+}
+
+TrainHistory Trainer::fit(GraphNetwork& net, const ExampleSource& train,
+                          const ExampleSource* val) const {
+  const std::size_t n = train.size();
+  if (n == 0) {
     throw std::invalid_argument("Trainer::fit: bad training example count");
   }
-  if (x_val.dim0() != y_val.dim0()) {
-    throw std::invalid_argument("Trainer::fit: bad validation example count");
-  }
-  const std::size_t n = x.dim0();
+  if (val != nullptr && val->size() == 0) val = nullptr;
   const std::size_t bs = std::max<std::size_t>(1, cfg_.batch_size);
   if (cfg_.kernel_threads != 0) {
     hpc::set_kernel_threads(cfg_.kernel_threads);
@@ -56,9 +97,24 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
   Adam optimizer(net.parameters(), net.gradients(),
                  {.learning_rate = cfg_.learning_rate,
                   .weight_decay = cfg_.weight_decay});
+  // Hoisted: net.gradients() builds a fresh vector per call, which must
+  // not happen once per batch.
+  const std::vector<Matrix*> grad_list = net.gradients();
   Rng rng(cfg_.seed);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Persistent step buffers: sized on the first batch, reused afterwards.
+  // The graph's own workspaces live in its arena; these cover everything
+  // the trainer feeds it, so the steady-state step never touches the heap.
+  Tensor3 xb, yb, grad;
+  Tensor3 val_pred, val_scratch, y_val;
+  if (val != nullptr) {
+    y_val.ensure_shape(val->size(), val->y_steps(), val->y_features());
+    for (std::size_t e = 0; e < val->size(); ++e) {
+      val->gather_y(e, y_val.block(e));
+    }
+  }
 
   const std::vector<std::size_t> decay_epochs = lr_decay_epochs(cfg_.epochs);
   // Telemetry: per-epoch forward/backward/update wall time, LR, and loss
@@ -84,20 +140,20 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
     for (std::size_t start = 0; start < n; start += bs) {
       const std::size_t end = std::min(start + bs, n);
       const std::span<const std::size_t> idx(order.data() + start, end - start);
-      const Tensor3 xb = gather_examples(x, idx);
-      const Tensor3 yb = gather_examples(y, idx);
+      gather_batch(train, idx, xb, yb);
 
       net.zero_grad();
       if (timed) lap.reset();
-      const Tensor3 pred = net.forward(xb, /*training=*/true);
+      const Tensor3& pred = net.forward_ref(xb, /*training=*/true);
       if (timed) fwd_seconds += lap.lap();
       // mse_loss is a per-element mean; weight each batch by its example
       // count so a short final batch does not skew the epoch average.
       epoch_loss += mse_loss(yb, pred) * static_cast<double>(end - start);
       if (timed) lap.reset();
-      net.backward(mse_grad(yb, pred));
+      mse_grad_into(yb, pred, grad);
+      net.backward_ref(grad);
       if (cfg_.grad_clip_norm > 0.0) {
-        clip_gradients_by_norm(net.gradients(), cfg_.grad_clip_norm);
+        clip_gradients_by_norm(grad_list, cfg_.grad_clip_norm);
       }
       if (timed) bwd_seconds += lap.lap();
       optimizer.step();
@@ -105,10 +161,10 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
     }
     history.train_loss.push_back(epoch_loss / static_cast<double>(n));
 
-    if (x_val.dim0() > 0) {
-      const Tensor3 pv = predict(net, x_val);
-      history.val_loss.push_back(mse_loss(y_val, pv));
-      history.val_r2.push_back(r2_metric(y_val, pv));
+    if (val != nullptr) {
+      predict_into(net, *val, val_pred, val_scratch);
+      history.val_loss.push_back(mse_loss(y_val, val_pred));
+      history.val_r2.push_back(r2_metric(y_val, val_pred));
     }
     if (timed) {
       const auto e = static_cast<double>(epoch);
@@ -127,28 +183,27 @@ TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
   return history;
 }
 
+TrainHistory Trainer::fit(GraphNetwork& net, const Tensor3& x,
+                          const Tensor3& y, const Tensor3& x_val,
+                          const Tensor3& y_val) const {
+  if (x.dim0() == 0 || x.dim0() != y.dim0()) {
+    throw std::invalid_argument("Trainer::fit: bad training example count");
+  }
+  if (x_val.dim0() != y_val.dim0()) {
+    throw std::invalid_argument("Trainer::fit: bad validation example count");
+  }
+  const TensorPairSource train(x, y);
+  if (x_val.dim0() == 0) return fit(net, train, nullptr);
+  const TensorPairSource val(x_val, y_val);
+  return fit(net, train, &val);
+}
+
 Tensor3 Trainer::predict(GraphNetwork& net, const Tensor3& x,
                          std::size_t batch_size) {
   if (x.dim0() == 0) return {};
-  std::vector<std::size_t> idx(x.dim0());
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  Tensor3 out;
-  bool first = true;
-  for (std::size_t start = 0; start < x.dim0(); start += batch_size) {
-    const std::size_t end = std::min(start + batch_size, x.dim0());
-    const std::span<const std::size_t> span(idx.data() + start, end - start);
-    const Tensor3 xb = gather_examples(x, span);
-    const Tensor3 pb = net.forward(xb, /*training=*/false);
-    if (first) {
-      out = Tensor3(x.dim0(), pb.dim1(), pb.dim2());
-      first = false;
-    }
-    for (std::size_t i = 0; i < pb.dim0(); ++i) {
-      const auto src = pb.block(i);
-      auto dst = out.block(start + i);
-      std::copy(src.begin(), src.end(), dst.begin());
-    }
-  }
+  const TensorPairSource src(x, x);
+  Tensor3 out, scratch;
+  predict_into(net, src, out, scratch, batch_size);
   return out;
 }
 

@@ -4,11 +4,18 @@
 // learning rate 1e-3, batch size 64, shuffled mini-batches, validation R^2
 // tracked per epoch. The same trainer is used for 20-epoch NAS evaluations
 // and 100-epoch post-training.
+//
+// Memory model: fit() assembles mini-batches from an ExampleSource into
+// persistent gather buffers and drives the graph through
+// forward_ref/backward_ref, so the steady-state step performs zero heap
+// allocation (see tests/alloc_audit_test.cpp). The classic tensor-pair
+// overload adapts through TensorPairSource.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "nn/example_source.hpp"
 #include "nn/graph.hpp"
 
 namespace geonas::nn {
@@ -45,6 +52,11 @@ class Trainer {
  public:
   explicit Trainer(TrainConfig config = {}) : cfg_(config) {}
 
+  /// Trains the network in place on examples gathered from `train`;
+  /// `val` may be null (or empty) to skip validation.
+  TrainHistory fit(GraphNetwork& net, const ExampleSource& train,
+                   const ExampleSource* val) const;
+
   /// Trains the network in place. x/y are [N, T, F] example tensors;
   /// x_val/y_val may be empty (dim0 == 0) to skip validation.
   TrainHistory fit(GraphNetwork& net, const Tensor3& x, const Tensor3& y,
@@ -59,6 +71,12 @@ class Trainer {
  private:
   TrainConfig cfg_;
 };
+
+/// Batched inference into a caller-owned output tensor, gathering inputs
+/// through `x_scratch` (both buffers are resized as needed and reused —
+/// no allocation once warm).
+void predict_into(GraphNetwork& net, const ExampleSource& src, Tensor3& out,
+                  Tensor3& x_scratch, std::size_t batch_size = 256);
 
 /// Gathers the examples at `indices` into a contiguous batch tensor.
 [[nodiscard]] Tensor3 gather_examples(const Tensor3& data,

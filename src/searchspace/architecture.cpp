@@ -1,16 +1,27 @@
 #include "searchspace/architecture.hpp"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
 namespace geonas::searchspace {
 
 std::string Architecture::key() const {
-  std::ostringstream os;
+  std::string out;
+  key_into(out);
+  return out;
+}
+
+void Architecture::key_into(std::string& out) const {
+  out.clear();
+  char buf[16];
   for (std::size_t i = 0; i < genes.size(); ++i) {
-    os << genes[i] << (i + 1 < genes.size() ? "-" : "");
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), genes[i]);
+    (void)ec;  // 16 chars always fit an int
+    out.append(buf, static_cast<std::size_t>(ptr - buf));
+    if (i + 1 < genes.size()) out.push_back('-');
   }
-  return os.str();
 }
 
 Architecture Architecture::from_key(const std::string& key) {

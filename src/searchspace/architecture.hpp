@@ -19,6 +19,10 @@ struct Architecture {
 
   /// Canonical text form, e.g. "3-0-1-5-1-0-2-1-0-1-0-4-1-1".
   [[nodiscard]] std::string key() const;
+  /// Writes the key() form into `out` (cleared first). Reusing one
+  /// string keeps repeated key derivations allocation-free once its
+  /// capacity is warm — the memoizer's cache-hit path depends on this.
+  void key_into(std::string& out) const;
   /// Parses the key() form; throws std::invalid_argument on bad input.
   [[nodiscard]] static Architecture from_key(const std::string& key);
 

@@ -183,6 +183,19 @@ void Tensor3::set_block(std::size_t i, const Matrix& m) {
   std::copy(m.flat().begin(), m.flat().end(), dst.begin());
 }
 
+void Tensor3::resize(std::size_t d0, std::size_t d1, std::size_t d2,
+                     double fill_value) {
+  d0_ = d0;
+  d1_ = d1;
+  d2_ = d2;
+  data_.assign(d0 * d1 * d2, fill_value);
+}
+
+void Tensor3::ensure_shape(std::size_t d0, std::size_t d1, std::size_t d2) {
+  if (d0 == d0_ && d1 == d1_ && d2 == d2_) return;
+  resize(d0, d1, d2);
+}
+
 void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     throw std::invalid_argument(

@@ -140,6 +140,17 @@ class Tensor3 {
   [[nodiscard]] Matrix block_matrix(std::size_t i) const;
   void set_block(std::size_t i, const Matrix& m);
 
+  /// Reshapes to (d0, d1, d2) and refills every element with
+  /// `fill_value` (Matrix::resize semantics). No allocation when the
+  /// existing capacity suffices.
+  void resize(std::size_t d0, std::size_t d1, std::size_t d2,
+              double fill_value = 0.0);
+  /// Reshapes to (d0, d1, d2) without touching element values when the
+  /// shape already matches; contents after a genuine reshape are
+  /// unspecified (callers overwrite). The batch hot paths use this to
+  /// reuse capacity without the refill cost of resize().
+  void ensure_shape(std::size_t d0, std::size_t d1, std::size_t d2);
+
   bool operator==(const Tensor3& other) const = default;
 
  private:

@@ -1,0 +1,234 @@
+// Heap-allocation audit for the hot paths (DESIGN.md "Memory model").
+//
+// The arena/workspace design claims the steady-state training step and
+// the memoizer's cache-hit path touch the heap exactly zero times. This
+// binary replaces global operator new/delete with counting wrappers and
+// asserts that claim literally: after a warm-up pass that binds every
+// workspace and sizes every persistent buffer, N further steps must
+// perform 0 allocations — not "few", zero. A regression here is a
+// per-batch allocation creeping back into the path the benches measure.
+//
+// The overrides are compiled out under the sanitizer presets
+// (GEONAS_SANITIZE_BUILD): ASan/TSan interpose the allocator themselves
+// and must see their own operator new.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/eval_policy.hpp"
+#include "hpc/evaluator.hpp"
+#include "hpc/parallel_for.hpp"
+#include "nn/dense.hpp"
+#include "nn/example_source.hpp"
+#include "nn/graph.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "searchspace/architecture.hpp"
+#include "tensor/random.hpp"
+
+#ifndef GEONAS_SANITIZE_BUILD
+
+namespace {
+// Relaxed is enough: the audited sections pin kernel_threads to 1, so
+// counted allocations are same-thread; the flag flips only outside them.
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, padded == 0 ? alignment : padded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !GEONAS_SANITIZE_BUILD
+
+namespace geonas {
+namespace {
+
+#ifndef GEONAS_SANITIZE_BUILD
+/// Counts global operator new calls (all flavors) while alive. Keep
+/// gtest assertions outside the scope — their message streams allocate.
+class AllocCountScope {
+ public:
+  AllocCountScope() {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocCountScope() { g_counting.store(false, std::memory_order_relaxed); }
+  AllocCountScope(const AllocCountScope&) = delete;
+  AllocCountScope& operator=(const AllocCountScope&) = delete;
+
+  [[nodiscard]] std::size_t count() const {
+    return g_alloc_count.load(std::memory_order_relaxed);
+  }
+};
+#endif
+
+/// Serial kernels for the audited region: ThreadPool::submit allocates a
+/// shared task state, so a multi-threaded dispatch can never be
+/// heap-free. Restores the hardware default on scope exit.
+struct KernelThreadsGuard {
+  explicit KernelThreadsGuard(std::size_t threads) {
+    hpc::set_kernel_threads(threads);
+  }
+  ~KernelThreadsGuard() { hpc::set_kernel_threads(0); }
+};
+
+TEST(AllocAudit, LstmTrainStepSteadyStateIsHeapFree) {
+#ifdef GEONAS_SANITIZE_BUILD
+  GTEST_SKIP() << "allocator overrides disabled under sanitizers";
+#else
+  // Metric lookups hash string names; keep the registry out entirely
+  // (the disabled path is one null check, the contract the bench gate
+  // holds the obs layer to anyway).
+  obs::set_registry(nullptr);
+  KernelThreadsGuard serial(1);
+
+  constexpr std::size_t kB = 8, kT = 4, kF = 6, kUnits = 16, kN = 12;
+  nn::GraphNetwork net;
+  const std::size_t lstm =
+      net.add_node(std::make_unique<nn::LSTM>(kF, kUnits), {0});
+  net.add_node(std::make_unique<nn::Dense>(kUnits, kF), {lstm});
+  net.init_params(3);
+
+  Tensor3 x(kN, kT, kF), y(kN, kT, kF);
+  Rng rng(5);
+  for (double& v : x.flat()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : y.flat()) v = rng.uniform(-1.0, 1.0);
+  const nn::TensorPairSource src(x, y);
+
+  nn::Adam optimizer(net.parameters(), net.gradients(),
+                     {.learning_rate = 1e-3});
+  const std::vector<Matrix*> grad_list = net.gradients();
+  std::array<std::size_t, kB> idx{};
+  for (std::size_t i = 0; i < kB; ++i) idx[i] = i;
+
+  // The exact Trainer::fit inner step over persistent buffers.
+  Tensor3 xb, yb, grad;
+  double loss_sink = 0.0;
+  const auto step = [&] {
+    xb.ensure_shape(kB, src.x_steps(), src.x_features());
+    yb.ensure_shape(kB, src.y_steps(), src.y_features());
+    for (std::size_t i = 0; i < kB; ++i) {
+      src.gather_x(idx[i], xb.block(i));
+      src.gather_y(idx[i], yb.block(i));
+    }
+    net.zero_grad();
+    const Tensor3& pred = net.forward_ref(xb, /*training=*/true);
+    loss_sink += nn::mse_loss(yb, pred);
+    nn::mse_grad_into(yb, pred, grad);
+    net.backward_ref(grad);
+    nn::clip_gradients_by_norm(grad_list, 10.0);
+    optimizer.step();
+  };
+
+  // Warm-up binds the arena workspaces and sizes every gather buffer.
+  step();
+  step();
+
+  std::size_t allocations = 0;
+  {
+    const AllocCountScope audit;
+    for (int i = 0; i < 5; ++i) step();
+    allocations = audit.count();
+  }
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state train step touched the heap";
+  EXPECT_GT(loss_sink, 0.0);
+
+  const tensor::Arena* arena = net.arena();
+  ASSERT_NE(arena, nullptr);
+  EXPECT_GT(arena->high_water_bytes(), 0u);
+#endif
+}
+
+#ifndef GEONAS_SANITIZE_BUILD
+/// Fixed-outcome evaluator: the audit targets the memoizer wrapper, not
+/// a real training.
+class FixedEvaluator final : public hpc::ArchitectureEvaluator {
+ public:
+  [[nodiscard]] hpc::EvalOutcome evaluate(const searchspace::Architecture&,
+                                          std::uint64_t) override {
+    return {.reward = 0.5, .duration_seconds = 1.0, .params = 10};
+  }
+  [[nodiscard]] bool thread_safe() const override { return true; }
+};
+#endif
+
+TEST(AllocAudit, MemoizedReEvaluationIsHeapFree) {
+#ifdef GEONAS_SANITIZE_BUILD
+  GTEST_SKIP() << "allocator overrides disabled under sanitizers";
+#else
+  obs::set_registry(nullptr);
+  FixedEvaluator inner;
+  core::MemoizingEvaluator memo(inner);
+  const searchspace::Architecture arch{.genes = {3, 0, 1, 5, 1, 0, 2, 1}};
+
+  // Miss populates the cache; the second call warms the key scratch.
+  (void)memo.evaluate(arch, 0);
+  (void)memo.evaluate(arch, 1);
+  ASSERT_EQ(memo.hits(), 1u);
+
+  double reward_sink = 0.0;
+  std::size_t allocations = 0;
+  {
+    const AllocCountScope audit;
+    for (std::uint64_t seed = 2; seed < 12; ++seed) {
+      reward_sink += memo.evaluate(arch, seed).reward;
+    }
+    allocations = audit.count();
+  }
+  EXPECT_EQ(allocations, 0u) << "memoizer cache hit touched the heap";
+  EXPECT_DOUBLE_EQ(reward_sink, 5.0);
+  EXPECT_EQ(memo.hits(), 11u);
+  EXPECT_EQ(memo.misses(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace geonas

@@ -8,11 +8,15 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "hpc/parallel_for.hpp"
+#include "nn/dense.hpp"
+#include "nn/graph.hpp"
 #include "nn/gru.hpp"
 #include "nn/lstm.hpp"
+#include "nn/trainer.hpp"
 #include "tensor/blas.hpp"
 #include "tensor/random.hpp"
 #include "tensor/vmath.hpp"
@@ -194,6 +198,54 @@ TEST(Determinism, VmathSpansBitwiseIdenticalAcrossThreadCounts) {
     ASSERT_EQ(got, ref_tanh);
     tensor::vsigmoid(in, std::span<double>(got));
     ASSERT_EQ(got, ref_sig);
+  }
+}
+
+/// Full Trainer::fit product at a pinned kernel thread count: final
+/// parameters and the per-epoch loss curve. The trainer drives the
+/// arena-backed graph through forward_ref/backward_ref, so this pins the
+/// whole hot path (gather, workspaces, clip, Adam) — not just isolated
+/// kernels — to the bitwise contract.
+struct FitResult {
+  std::vector<Matrix> params;
+  std::vector<double> train_loss;
+
+  bool operator==(const FitResult& other) const = default;
+};
+
+FitResult run_trainer_fit(std::size_t threads) {
+  KernelThreadsGuard guard(threads);
+  constexpr std::size_t kN = 24, kT = 6, kF = 8, kUnits = 32;
+
+  nn::GraphNetwork net;
+  const std::size_t lstm =
+      net.add_node(std::make_unique<nn::LSTM>(kF, kUnits), {0});
+  net.add_node(std::make_unique<nn::Dense>(kUnits, kF), {lstm});
+  net.init_params(23);
+
+  Tensor3 x(kN, kT, kF), y(kN, kT, kF);
+  Rng rng(29);
+  for (double& v : x.flat()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : y.flat()) v = rng.uniform(-1.0, 1.0);
+
+  const nn::Trainer trainer({.epochs = 3, .batch_size = 8, .seed = 101});
+  const nn::TrainHistory history = trainer.fit(net, x, y, {}, {});
+
+  FitResult result;
+  result.train_loss = history.train_loss;
+  for (Matrix* p : net.parameters()) result.params.push_back(*p);
+  return result;
+}
+
+TEST(Determinism, TrainerFitBitwiseIdenticalAcrossThreadCounts) {
+  const FitResult reference = run_trainer_fit(1);
+  ASSERT_EQ(reference.train_loss.size(), 3u);
+  ASSERT_FALSE(reference.params.empty());
+  for (const std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "kernel_threads=" << threads);
+    const FitResult fit = run_trainer_fit(threads);
+    ASSERT_EQ(fit.train_loss, reference.train_loss);
+    ASSERT_EQ(fit.params, reference.params);
   }
 }
 

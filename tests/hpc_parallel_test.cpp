@@ -280,6 +280,112 @@ TEST(ParallelFor, SetKernelThreadsReconfigures) {
   EXPECT_EQ(kernel_threads(), hw);
 }
 
+TEST(PoolShard, AdoptsKernelThreadsWhenUnsized) {
+  KernelThreadsGuard guard(3);
+  PoolShard shard("adopt");
+  EXPECT_EQ(shard.participants(), 3u);
+  ASSERT_NE(shard.pool(), nullptr);  // 3 participants -> 2 workers
+  EXPECT_EQ(shard.name(), "adopt");
+}
+
+TEST(PoolShard, SingleParticipantRunsInline) {
+  PoolShard shard("solo", 1);
+  EXPECT_EQ(shard.participants(), 1u);
+  EXPECT_EQ(shard.pool(), nullptr);
+  // Dispatching on the shard must still cover the range, serially.
+  std::vector<int> visits(64, 0);
+  parallel_for(0, 64, kAboveThreshold, 1,
+               [&visits](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+               },
+               &shard);
+  for (int v : visits) ASSERT_EQ(v, 1);
+}
+
+TEST(PoolShard, MetricNamesCarryShardPrefix) {
+  const PoolShard shard("w3", 2);
+  const PoolShard::MetricNames& names = shard.metric_names();
+  EXPECT_EQ(names.dispatches, "kernel.shard.w3.dispatches");
+  EXPECT_EQ(names.chunks, "kernel.shard.w3.chunks");
+  EXPECT_EQ(names.queue_depth, "kernel.shard.w3.queue_depth");
+  EXPECT_EQ(names.chunk_seconds, "kernel.shard.w3.chunk_seconds");
+  EXPECT_EQ(names.worker_busy_seconds,
+            "kernel.shard.w3.worker_busy_seconds");
+}
+
+TEST(PoolShard, ExplicitShardCoversRangeExactlyOnce) {
+  KernelThreadsGuard guard(1);  // prove the shard, not the global pool
+  PoolShard shard("explicit", 4);
+  constexpr std::size_t kN = 997;
+  std::vector<int> visits(kN, 0);
+  parallel_for(0, kN, kAboveThreshold, 1,
+               [&visits](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+               },
+               &shard);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(PoolShard, ScopedBindingRoutesImplicitDispatches) {
+  KernelThreadsGuard guard(1);
+  PoolShard shard("bound", 3);
+  EXPECT_EQ(current_pool_shard(), nullptr);
+  {
+    const ScopedPoolShard scope(shard);
+    EXPECT_EQ(current_pool_shard(), &shard);
+    // No explicit shard argument: the thread binding must route here.
+    std::vector<int> visits(512, 0);
+    parallel_for(0, 512, kAboveThreshold, 1,
+                 [&visits](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+                 });
+    for (int v : visits) ASSERT_EQ(v, 1);
+  }
+  EXPECT_EQ(current_pool_shard(), nullptr);
+}
+
+TEST(PoolShard, ScopedBindingNestsAndRestores) {
+  PoolShard outer("outer", 2);
+  PoolShard inner("inner", 2);
+  const ScopedPoolShard outer_scope(outer);
+  EXPECT_EQ(current_pool_shard(), &outer);
+  {
+    const ScopedPoolShard inner_scope(inner);
+    EXPECT_EQ(current_pool_shard(), &inner);
+  }
+  EXPECT_EQ(current_pool_shard(), &outer);
+}
+
+TEST(PoolShard, ShardedDispatchStaysBitwiseDeterministic) {
+  // The chunk partition depends only on (range, participants, grain), so
+  // a sharded sum with a fixed per-chunk accumulation order must equal
+  // the serial one bitwise — shards change where chunks run, not what
+  // they compute.
+  constexpr std::size_t kN = 4096;
+  std::vector<double> x(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto chunk_sums = [&x](PoolShard* shard) {
+    std::vector<double> sums(kN, 0.0);  // slot per chunk start
+    parallel_for(0, kN, kAboveThreshold, 1,
+                 [&x, &sums](std::size_t lo, std::size_t hi) {
+                   double acc = 0.0;
+                   for (std::size_t i = lo; i < hi; ++i) acc += x[i];
+                   sums[lo] = acc;
+                 },
+                 shard);
+    return sums;
+  };
+  PoolShard a("det-a", 4);
+  PoolShard b("det-b", 4);
+  const std::vector<double> via_a = chunk_sums(&a);
+  const std::vector<double> via_b = chunk_sums(&b);
+  ASSERT_EQ(via_a, via_b);
+}
+
 TEST(AllReduce, ReusableAcrossGenerations) {
   constexpr std::size_t kRanks = 3;
   AllReduceMean ar(kRanks);

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""bench_diff — the bench regression gate (DESIGN.md "Memory model").
+
+Compares two google-benchmark JSON captures (the committed baseline,
+e.g. BENCH_kernels.json, against a fresh run) and fails when any
+benchmark's time regresses by more than the threshold:
+
+  tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.05]
+  tools/bench_diff.py --dry-run [BASELINE.json]
+
+Per benchmark the compared value is the median cpu_time: aggregate
+entries named "median" win when present (--benchmark_repetitions runs),
+otherwise the median over that benchmark's iteration entries (a single
+entry is its own median). Benchmarks present in only one capture are
+reported but never fail the gate — renames and new benchmarks land
+together with a fresh baseline.
+
+The failing bound is noise-aware: each benchmark's gate is
+
+  threshold + noise_mult * (cv_baseline + cv_candidate)
+
+where cv is the capture's own coefficient-of-variation aggregate
+(present when the capture used --benchmark_repetitions; 0 otherwise).
+On a shared box, two honest captures of identical code drift by several
+percent run-to-run; a flat 5% cut would flag that drift as regression,
+so the gate widens exactly where the measurements themselves are shown
+to be unstable while staying tight for low-variance kernels.
+
+--dry-run gates the tooling instead of the numbers: it diffs the
+baseline against itself (every delta must come out 0.0%) and exits 0
+unless the capture is malformed. run_checks.sh --quick uses it so a
+broken baseline or a parser regression is caught pre-merge without a
+release bench run.
+
+Exit status: 0 within threshold, 1 regression (or malformed input),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def load_stats(path: Path) -> dict[str, tuple[float, float]]:
+    """Benchmark run_name -> (median cpu_time ns, cv fraction)."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ValueError(f"{path}: no 'benchmarks' array")
+
+    aggregates: dict[str, float] = {}
+    cvs: dict[str, float] = {}
+    iterations: dict[str, list[float]] = {}
+    for entry in benchmarks:
+        name = entry.get("run_name") or entry.get("name")
+        time = entry.get("cpu_time", entry.get("real_time"))
+        if name is None or time is None:
+            raise ValueError(f"{path}: benchmark entry without name/time")
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                aggregates[name] = float(time)
+            elif entry.get("aggregate_name") == "cv":
+                cvs[name] = float(time)  # stored as a fraction, not percent
+        else:
+            iterations.setdefault(name, []).append(float(time))
+
+    medians = {name: statistics.median(ts) for name, ts in iterations.items()}
+    medians.update(aggregates)  # repetition medians are authoritative
+    return {name: (med, cvs.get(name, 0.0)) for name, med in medians.items()}
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], add_help=True)
+    parser.add_argument("baseline", nargs="?", default="BENCH_kernels.json",
+                        help="baseline capture (default: BENCH_kernels.json)")
+    parser.add_argument("candidate", nargs="?", default=None,
+                        help="fresh capture to gate (omitted with --dry-run)")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="failing median regression fraction "
+                             "(default: 0.05 = 5%%)")
+    parser.add_argument("--noise-mult", type=float, default=3.0,
+                        help="widen each benchmark's gate by this multiple "
+                             "of the captures' summed cv aggregates "
+                             "(default: 3.0; 0 disables the allowance)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="self-diff the baseline to validate capture "
+                             "and tooling; never fails on timing")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if args.dry_run:
+        candidate_path = baseline_path
+    elif args.candidate is None:
+        parser.error("candidate capture required unless --dry-run")
+    else:
+        candidate_path = Path(args.candidate)
+
+    try:
+        base = load_stats(baseline_path)
+        cand = load_stats(candidate_path)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 1
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if not shared:
+        print("bench_diff: captures share no benchmarks", file=sys.stderr)
+        return 1
+
+    width = max(len(n) for n in shared)
+    regressions: list[str] = []
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  "
+          f"{'candidate':>12}  {'delta':>8}")
+    for name in shared:
+        base_med, base_cv = base[name]
+        cand_med, cand_cv = cand[name]
+        ratio = cand_med / base_med if base_med > 0.0 else 1.0
+        delta = ratio - 1.0
+        gate = args.threshold + args.noise_mult * (base_cv + cand_cv)
+        flag = ""
+        if delta > gate:
+            regressions.append(name)
+            flag = f"  << REGRESSION (gate {gate:+.1%})"
+        print(f"{name.ljust(width)}  {base_med:>10.0f}ns  "
+              f"{cand_med:>10.0f}ns  {delta:>+7.1%}{flag}")
+    for name in only_base:
+        print(f"{name.ljust(width)}  (baseline only — dropped?)")
+    for name in only_cand:
+        print(f"{name.ljust(width)}  (candidate only — new)")
+
+    if args.dry_run:
+        drifted = [n for n in shared if cand[n][0] != base[n][0]]
+        if drifted:  # self-diff must be exact; anything else is a bug here
+            print(f"bench_diff: self-diff drift on {drifted}",
+                  file=sys.stderr)
+            return 1
+        print(f"bench_diff: dry run ok ({len(shared)} benchmarks, "
+              f"baseline {baseline_path})", file=sys.stderr)
+        return 0
+    if regressions:
+        print(f"bench_diff: {len(regressions)} benchmark(s) regressed past "
+              f"{args.threshold:.0%} + noise allowance: "
+              f"{', '.join(regressions)}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: {len(shared)} benchmarks within "
+          f"{args.threshold:.0%} (+ noise allowance) of baseline",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

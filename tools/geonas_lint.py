@@ -47,6 +47,18 @@ Rules (see DESIGN.md "Correctness tooling"):
                        neutered by a null registry. Tests, tools and
                        benches may use std::chrono freely.
 
+  hot-path-alloc       Heap allocation tokens (new, malloc, or growing a
+                       std::vector via push_back/emplace_back/resize/
+                       reserve/assign) in the kernel and recurrent-layer
+                       hot-path translation units (src/tensor/vmath.cpp
+                       and the src/nn/ layer .cpps). Forward/backward
+                       scratch lives in arena workspaces bound once per
+                       shape (DESIGN.md "Memory model"); an allocation
+                       here lands on every training batch and is exactly
+                       what tests/alloc_audit_test.cpp exists to catch.
+                       Cold-path code (constructors, (de)serialization)
+                       carries reasoned suppressions.
+
   float-eq-in-tests    EXPECT_EQ/ASSERT_EQ with a floating-point literal
                        as a top-level macro argument in tests/ — compare
                        with EXPECT_NEAR / EXPECT_DOUBLE_EQ, or suppress
@@ -86,6 +98,19 @@ IOSTREAM_RE = re.compile(
     r"(#\s*include\s*<iostream>|std::(cout|cerr|clog)\b"
     r"|\bprintf\s*\(|\bfprintf\s*\(\s*std(out|err)\b)")
 TRANSCENDENTAL_RE = re.compile(r"std::(tanh|exp|log)\s*\(")
+# Translation units on the per-batch training hot path: all scratch must
+# come from arena workspaces, never the general-purpose allocator.
+HOT_PATH_FILES = {
+    "src/tensor/vmath.cpp",
+    "src/nn/lstm.cpp",
+    "src/nn/gru.cpp",
+    "src/nn/dense.cpp",
+    "src/nn/merge.cpp",
+    "src/nn/dropout.cpp",
+}
+HOT_PATH_ALLOC_RE = re.compile(
+    r"\bnew\b|\bmalloc\s*\("
+    r"|\.(?:push_back|emplace_back|resize|reserve|assign)\s*\(")
 CHRONO_RE = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
 FLOAT_LITERAL_RE = re.compile(
     r"(?<![\w.])(\d+\.\d*(e[+-]?\d+)?|\.\d+(e[+-]?\d+)?|\d+e[+-]?\d+)f?",
@@ -283,6 +308,15 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
                        "raw std::chrono outside src/obs/ — time through "
                        "obs::monotonic_seconds / obs::StopWatch / "
                        "obs::ScopedTimer")
+
+        if rel_str in HOT_PATH_FILES:
+            m = HOT_PATH_ALLOC_RE.search(code)
+            if m:
+                report("hot-path-alloc",
+                       f"'{m.group(0).strip()}' in a hot-path translation "
+                       "unit — carve scratch from the bound Arena "
+                       "workspace, or suppress with a reason if this is "
+                       "provably cold (bind/serialize/ctor)")
 
         if in_nn:
             m = TRANSCENDENTAL_RE.search(code)

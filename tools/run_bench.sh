@@ -4,6 +4,16 @@
 #   tools/run_bench.sh                      write BENCH_kernels.json
 #   tools/run_bench.sh --out FILE.json      alternate output path
 #   tools/run_bench.sh --filter REGEX       restrict benchmark selection
+#   tools/run_bench.sh --compare            regression gate: capture and
+#                                           diff against the committed
+#                                           baseline via bench_diff.py
+#                                           (fails >5% median regression;
+#                                           never rewrites the baseline)
+#   tools/run_bench.sh --threshold FRAC     --compare failure threshold
+#   tools/run_bench.sh --reps N             benchmark repetitions (default
+#                                           5; bench_diff reads the median
+#                                           aggregate, so more reps trade
+#                                           wall time for gate stability)
 #
 # Configures and builds the `release` CMake preset, runs micro_substrate
 # with --benchmark_out, and commits the JSON to the requested path ONLY
@@ -20,17 +30,28 @@ cd "$repo"
 
 out="BENCH_kernels.json"
 filter=""
+compare=0
+threshold="0.05"
+reps=5
 jobs="$(nproc 2>/dev/null || echo 2)"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --out) out="$2"; shift ;;
     --filter) filter="$2"; shift ;;
+    --compare) compare=1 ;;
+    --threshold) threshold="$2"; shift ;;
+    --reps) reps="$2"; shift ;;
     --jobs) jobs="$2"; shift ;;
-    -h|--help) sed -n '2,8p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,14p' "$0"; exit 0 ;;
     *) echo "run_bench: unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ $compare -eq 1 && ! -f "$out" ]]; then
+  echo "run_bench: --compare needs a committed baseline at $out" >&2
+  exit 2
+fi
 
 case "$out" in
   BENCH_*|*/BENCH_*) ;;
@@ -47,7 +68,11 @@ tmp="$(mktemp --suffix=.json)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "==== run micro_substrate ===="
-args=(--benchmark_out="$tmp" --benchmark_out_format=json)
+# Median-of-N repetitions: single-pass captures swing by 10-20% on a
+# shared 1-CPU box, which a 5% gate cannot survive. bench_diff prefers
+# the per-run median aggregate these repetitions produce.
+args=(--benchmark_out="$tmp" --benchmark_out_format=json
+      --benchmark_repetitions="$reps")
 [[ -n "$filter" ]] && args+=(--benchmark_filter="$filter")
 "$bench" "${args[@]}"
 
@@ -62,6 +87,15 @@ if [[ "${build_type,,}" != "release" ]]; then
        "'$build_type', not Release (is the binary from an instrumented" \
        "or debug tree?)" >&2
   exit 1
+fi
+
+if [[ $compare -eq 1 ]]; then
+  # Gate mode: the committed baseline stays untouched; the fresh capture
+  # only exists to be diffed. A regression exits nonzero via set -e.
+  python3 tools/bench_diff.py --threshold "$threshold" "$out" "$tmp"
+  echo "compare ok: capture within $threshold of $out" \
+       "(geonas_build_type: $build_type)"
+  exit 0
 fi
 
 mv "$tmp" "$out"

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Correctness gate for geonas (see DESIGN.md "Correctness tooling").
 #
-#   tools/run_checks.sh            full rig: lint, ASan+UBSan ctest,
+#   tools/run_checks.sh            full rig: lint, bench-gate dry run,
+#                                  release alloc audit, ASan+UBSan ctest,
 #                                  TSan ctest, release build + clang-tidy
-#   tools/run_checks.sh --quick    pre-merge gate: lint + ASan+UBSan
+#   tools/run_checks.sh --quick    pre-merge gate: lint + bench-gate dry
+#                                  run + release alloc audit + ASan+UBSan
 #                                  tier-1 suite + TSan over the threaded
 #                                  kernel layer (determinism + vmath +
 #                                  hpc stress suites)
@@ -47,6 +49,22 @@ run_flavor() {
 step "geonas_lint"
 if ! python3 tools/geonas_lint.py; then
   failures+=(geonas_lint)
+fi
+
+# Bench-gate tooling self-check: a malformed committed baseline or a
+# bench_diff parser regression fails here, without a release bench run.
+step "bench_diff --dry-run"
+if ! python3 tools/bench_diff.py --dry-run; then
+  failures+=(bench_diff)
+fi
+
+# The zero-allocation audit needs the counting operator new, which the
+# sanitizer presets compile out — run it from the release tree.
+step "alloc audit [release]"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$jobs" --target alloc_audit_tests
+if ! build-release/tests/alloc_audit_tests; then
+  failures+=(alloc_audit)
 fi
 
 run_flavor asan
