@@ -97,7 +97,7 @@ hpc::EvalOutcome MemoizingEvaluator::evaluate(
     // the hit path performs no heap allocation once the buffer's
     // capacity is warm (memoized re-evaluations are a hot path in
     // mutation-based search).
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     arch.key_into(key_scratch_);
     const auto it = cache_.find(key_scratch_);
     if (it != cache_.end()) {
@@ -110,42 +110,47 @@ hpc::EvalOutcome MemoizingEvaluator::evaluate(
   // not serialize the other workers.
   const hpc::EvalOutcome outcome = inner_->evaluate(arch, eval_seed);
   if (reg != nullptr) reg->counter("memo.misses").add(1);
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   ++misses_;
   if (!outcome.failed) {
-    arch.key_into(key_scratch_);
-    const auto [it, inserted] = cache_.emplace(key_scratch_, outcome);
-    if (inserted) {
-      order_.push_back(key_scratch_);
-      cache_bytes_ += entry_bytes(key_scratch_);
-      if (reg != nullptr) {
-        reg->gauge("memo.cache_bytes")
-            .set(static_cast<double>(cache_bytes_));
-      }
-    } else {
-      return it->second;  // a concurrent first visit beat us; its result wins
+    if (const hpc::EvalOutcome* existing =
+            insert_outcome_locked(arch, outcome)) {
+      return *existing;  // a concurrent first visit beat us; its result wins
     }
   }
   return outcome;
 }
 
+const hpc::EvalOutcome* MemoizingEvaluator::insert_outcome_locked(
+    const searchspace::Architecture& arch, const hpc::EvalOutcome& outcome) {
+  arch.key_into(key_scratch_);
+  const auto [it, inserted] = cache_.emplace(key_scratch_, outcome);
+  if (!inserted) return &it->second;
+  order_.push_back(key_scratch_);
+  cache_bytes_ += entry_bytes(key_scratch_);
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    reg->gauge("memo.cache_bytes").set(static_cast<double>(cache_bytes_));
+  }
+  return nullptr;
+}
+
 std::size_t MemoizingEvaluator::hits() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::size_t MemoizingEvaluator::misses() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return misses_;
 }
 
 std::size_t MemoizingEvaluator::size() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return order_.size();
 }
 
 std::vector<MemoizingEvaluator::Entry> MemoizingEvaluator::snapshot() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   std::vector<Entry> entries;
   entries.reserve(order_.size());
   for (const std::string& key : order_) {
@@ -158,7 +163,7 @@ void MemoizingEvaluator::visit_entries(
     hpc::FunctionRef<void(std::size_t)> begin,
     hpc::FunctionRef<void(const std::string&, const hpc::EvalOutcome&)>
         entry) const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   begin(order_.size());
   for (const std::string& key : order_) {
     entry(key, cache_.at(key));
@@ -167,7 +172,7 @@ void MemoizingEvaluator::visit_entries(
 
 void MemoizingEvaluator::restore(const std::vector<Entry>& entries,
                                  std::size_t hits, std::size_t misses) {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   cache_.clear();
   order_.clear();
   cache_bytes_ = 0;
@@ -188,7 +193,7 @@ void MemoizingEvaluator::restore(const std::vector<Entry>& entries,
 }
 
 std::size_t MemoizingEvaluator::cache_bytes() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return cache_bytes_;
 }
 

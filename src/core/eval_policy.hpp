@@ -18,11 +18,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "hpc/evaluator.hpp"
 #include "hpc/parallel_for.hpp"  // FunctionRef
 
@@ -93,17 +93,21 @@ class MemoizingEvaluator final : public hpc::ArchitectureEvaluator {
  public:
   explicit MemoizingEvaluator(hpc::ArchitectureEvaluator& inner);
 
+  /// The miss-evaluated-outside-lock contract, machine-checked: the
+  /// table mutex is taken to probe, dropped across the inner evaluation,
+  /// and retaken to publish — so evaluate() must be entered lock-free.
   [[nodiscard]] hpc::EvalOutcome evaluate(
-      const searchspace::Architecture& arch, std::uint64_t eval_seed) override;
+      const searchspace::Architecture& arch, std::uint64_t eval_seed) override
+      GEONAS_EXCLUDES(mutex_);
   [[nodiscard]] bool thread_safe() const override {
     return inner_->thread_safe();
   }
 
   /// Evaluations served from the cache / forwarded to the inner
   /// evaluator. hits + misses == total evaluate() calls.
-  [[nodiscard]] std::size_t hits() const;
-  [[nodiscard]] std::size_t misses() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t hits() const GEONAS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t misses() const GEONAS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const GEONAS_EXCLUDES(mutex_);
 
   struct Entry {
     std::string key;  // searchspace::Architecture::key()
@@ -111,25 +115,27 @@ class MemoizingEvaluator final : public hpc::ArchitectureEvaluator {
   };
   /// Insertion-ordered snapshot — deterministic, so checkpoints of the
   /// same campaign state are byte-identical.
-  [[nodiscard]] std::vector<Entry> snapshot() const;
+  [[nodiscard]] std::vector<Entry> snapshot() const GEONAS_EXCLUDES(mutex_);
   /// Streams the cache in insertion order under a single lock — the
   /// checkpoint writer serializes entries in place instead of cloning
   /// the whole table (snapshot() copies every key/outcome; on a long
   /// campaign that doubled the cache's memory at every checkpoint).
   /// `begin` receives the entry count first, then `entry` fires once per
-  /// cached entry. Callbacks must not reenter this evaluator.
+  /// cached entry. Callbacks must not reenter this evaluator — the
+  /// GEONAS_EXCLUDES makes the reentrancy deadlock a compile error for
+  /// any annotated caller that still holds mutex_.
   void visit_entries(
       hpc::FunctionRef<void(std::size_t)> begin,
       hpc::FunctionRef<void(const std::string&, const hpc::EvalOutcome&)>
-          entry) const;
+          entry) const GEONAS_EXCLUDES(mutex_);
   /// Replaces the cache and counters (checkpoint resume). Later entries
   /// win on duplicate keys.
   void restore(const std::vector<Entry>& entries, std::size_t hits,
-               std::size_t misses);
+               std::size_t misses) GEONAS_EXCLUDES(mutex_);
 
   /// Approximate heap footprint of the cache (keys + outcomes + table
   /// overhead), also exported as the "memo.cache_bytes" obs gauge.
-  [[nodiscard]] std::size_t cache_bytes() const;
+  [[nodiscard]] std::size_t cache_bytes() const GEONAS_EXCLUDES(mutex_);
 
  private:
   /// Footprint estimate for one entry: its key, the outcome, and a flat
@@ -138,14 +144,25 @@ class MemoizingEvaluator final : public hpc::ArchitectureEvaluator {
     return key.size() + sizeof(hpc::EvalOutcome) + 64;
   }
 
+  /// Publishes one completed outcome under the held lock. Returns the
+  /// already-cached outcome when a concurrent first visit of the same
+  /// architecture won the race (its result stays authoritative), null
+  /// when `outcome` was inserted.
+  [[nodiscard]] const hpc::EvalOutcome* insert_outcome_locked(
+      const searchspace::Architecture& arch, const hpc::EvalOutcome& outcome)
+      GEONAS_REQUIRES(mutex_);
+
   hpc::ArchitectureEvaluator* inner_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, hpc::EvalOutcome> cache_;
-  std::vector<std::string> order_;  // cache_ keys in insertion order
-  std::string key_scratch_;  // reused key buffer (guarded by mutex_)
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t cache_bytes_ = 0;
+  mutable core::Mutex mutex_;
+  std::unordered_map<std::string, hpc::EvalOutcome> cache_
+      GEONAS_GUARDED_BY(mutex_);
+  /// cache_ keys in insertion order.
+  std::vector<std::string> order_ GEONAS_GUARDED_BY(mutex_);
+  /// Reused key buffer so the hit path never allocates once warm.
+  std::string key_scratch_ GEONAS_GUARDED_BY(mutex_);
+  std::size_t hits_ GEONAS_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ GEONAS_GUARDED_BY(mutex_) = 0;
+  std::size_t cache_bytes_ GEONAS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace geonas::core

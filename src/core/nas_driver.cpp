@@ -3,10 +3,10 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
+#include "core/thread_annotations.hpp"
 #include "hpc/parallel_for.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/random.hpp"
@@ -269,8 +269,14 @@ LocalSearchResult run_local_search_parallel(
 
   LocalSearchResult result;
   result.best_reward = -1e300;
-  std::mutex method_mutex;   // serializes ask/tell (the "coordinator")
-  std::mutex result_mutex;
+  // Lock hierarchy (DESIGN.md): method_mutex acquires before result_mutex,
+  // never the reverse. Thread-safety analysis cannot attach GUARDED_BY to
+  // the captured locals below, so the ordering contract lives here and in
+  // the acquisition sites.
+  // geonas-lint: allow(mutex-needs-annotation) local capability; guarded state (method, issued) is stack-captured, not a member
+  core::Mutex method_mutex;  // serializes ask/tell (the "coordinator")
+  // geonas-lint: allow(mutex-needs-annotation) local capability; guarded state (result) is stack-captured, not a member
+  core::Mutex result_mutex;
   std::size_t issued = 0;
   if (options.resume) {
     issued = load_search_checkpoint(method, result, seed,
@@ -313,7 +319,7 @@ LocalSearchResult run_local_search_parallel(
         searchspace::Architecture arch;
         std::uint64_t eval_seed = 0;
         {
-          std::lock_guard lock(method_mutex);
+          core::MutexLock lock(method_mutex);
           if (issued >= evaluations) {
             if (reg != nullptr) {
               const double wall = worker_watch.seconds();
@@ -330,8 +336,11 @@ LocalSearchResult run_local_search_parallel(
         const auto outcome = stack.active->evaluate(arch, eval_seed);
         busy_seconds += busy_watch.seconds();
         // Lock order is always method -> result (tell and checkpoint
-        // both honor it), so the pair can never deadlock.
-        std::scoped_lock locks(method_mutex, result_mutex);
+        // both honor it), so the pair can never deadlock. Sequential
+        // acquisition in hierarchy order replaces scoped_lock's runtime
+        // deadlock avoidance with the statically documented order.
+        core::MutexLock method_lock(method_mutex);
+        core::MutexLock result_lock(result_mutex);
         method.tell(arch, outcome.reward);
         record_outcome(result, std::move(arch), outcome);
         stack.harvest(result);

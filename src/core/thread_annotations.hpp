@@ -1,0 +1,169 @@
+// Compile-time concurrency contracts (DESIGN.md "Concurrency contracts
+// & lock hierarchy").
+//
+// Clang's Thread Safety Analysis proves lock discipline for every path
+// at compile time: which mutex guards which field, which functions
+// require or forbid a capability, and what a scoped lock acquires.
+// TSan only catches races a test happens to execute; the analysis is
+// the static complement, and the `analyze` CMake preset turns its
+// findings into build errors (-Werror=thread-safety).
+//
+// The GEONAS_* macros wrap Clang's __attribute__((...)) capability
+// annotations and compile to nothing on GCC/MSVC, so annotated code is
+// bitwise identical on every other toolchain
+// (tests/core_annotations_test.cpp asserts the no-op expansion).
+//
+// std::mutex cannot carry these annotations (the guard expression of
+// guarded_by must name a type declared with the capability attribute),
+// so this header also provides the repo's annotated lock vocabulary:
+//
+//   core::Mutex      - std::mutex wrapped as a "mutex" capability.
+//   core::MutexLock  - scoped acquisition (RAII), the annotated
+//                      replacement for std::lock_guard/std::unique_lock.
+//                      native() exposes the underlying
+//                      std::unique_lock<std::mutex> for
+//                      std::condition_variable waits.
+//
+// Annotation policy (the short version; DESIGN.md has the full table):
+//   * every mutex member is referenced by >= 1 GEONAS_GUARDED_BY
+//     (enforced by tools/geonas_lint.py, rule mutex-needs-annotation);
+//   * private helpers that assume the lock is held are annotated
+//     GEONAS_REQUIRES(mutex_) instead of re-locking;
+//   * public entry points that take the lock themselves are annotated
+//     GEONAS_EXCLUDES(mutex_) so a caller holding it (e.g. from a
+//     visit_entries callback) is a compile error under the analyzer;
+//   * condition-variable waits with predicates are written as explicit
+//     while loops — a wait predicate lambda is analyzed as a separate
+//     function that cannot see the held capability;
+//   * every GEONAS_NO_THREAD_SAFETY_ANALYSIS carries a reasoned comment
+//     (tools/geonas_lint.py treats a bare one as a finding).
+#pragma once
+
+#include <mutex>
+
+// Clang >= 3.5 understands all of these; every other compiler sees
+// empty token streams. SWIG and other non-compiling parsers also get
+// the no-op expansion.
+#if defined(__clang__) && !defined(SWIG)
+#define GEONAS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define GEONAS_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a capability ("mutex", "role", ...).
+#define GEONAS_CAPABILITY(x) GEONAS_THREAD_ANNOTATION_(capability(x))
+
+/// Declares a RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define GEONAS_SCOPED_CAPABILITY GEONAS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while the capability is held.
+#define GEONAS_GUARDED_BY(x) GEONAS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define GEONAS_PT_GUARDED_BY(x) GEONAS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-hierarchy edges: this capability must be acquired before/after
+/// the listed ones. (Checked under -Wthread-safety-beta; the registry
+/// table in DESIGN.md is the authoritative order either way.)
+#define GEONAS_ACQUIRED_BEFORE(...) \
+  GEONAS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define GEONAS_ACQUIRED_AFTER(...) \
+  GEONAS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function must be called with the capability held (and does not
+/// release it). Use on *_locked private helpers.
+#define GEONAS_REQUIRES(...) \
+  GEONAS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability itself.
+#define GEONAS_ACQUIRE(...) \
+  GEONAS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define GEONAS_RELEASE(...) \
+  GEONAS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; first argument is the return
+/// value that signals success.
+#define GEONAS_TRY_ACQUIRE(...) \
+  GEONAS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called WITHOUT the capability held (it acquires
+/// it internally, or hands work to something that will). This is how
+/// the lock-hierarchy registry's "must not hold X when calling Y" rows
+/// are encoded where the analyzer can see them.
+#define GEONAS_EXCLUDES(...) \
+  GEONAS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define GEONAS_RETURN_CAPABILITY(x) \
+  GEONAS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis. Every use carries a reasoned
+/// comment; a bare suppression is a lint finding.
+#define GEONAS_NO_THREAD_SAFETY_ANALYSIS \
+  GEONAS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Runtime-checked assertion that the capability is held (for functions
+/// reachable both with and without the lock, after refactors).
+#define GEONAS_ASSERT_CAPABILITY(x) \
+  GEONAS_THREAD_ANNOTATION_(assert_capability(x))
+
+namespace geonas::core {
+
+/// std::mutex as an annotated capability. Same layout, same cost — the
+/// wrapper exists because guarded_by/acquire expressions must name a
+/// capability-annotated type, which std::mutex (libstdc++) is not.
+class GEONAS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GEONAS_ACQUIRE() { m_.lock(); }
+  void unlock() GEONAS_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() GEONAS_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  /// The wrapped std::mutex, for std::condition_variable plumbing only
+  /// (MutexLock::native() hands it to cv.wait). Locking it directly
+  /// bypasses the analysis — don't.
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  // This member IS the capability: Mutex is the annotated guard every
+  // GEONAS_GUARDED_BY in the repo references — no outer mutex to name.
+  // geonas-lint: allow(mutex-needs-annotation) the wrapped mutex is the capability itself
+  std::mutex m_;
+};
+
+/// Scoped acquisition of a core::Mutex — the annotated lock_guard.
+/// Holds a std::unique_lock so condition variables can wait on it:
+///
+///   core::MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock.native());
+///
+/// (Predicate waits are spelled as explicit while loops: the analysis
+/// treats a predicate lambda as a separate unannotated function.)
+class GEONAS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GEONAS_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() GEONAS_RELEASE() {}  // unique_lock member unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying unique_lock, for std::condition_variable::wait.
+  /// The capability is considered continuously held across a wait (the
+  /// analysis does not model the temporary release, matching its
+  /// handling of annotated standard libraries).
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace geonas::core

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "hpc/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
@@ -21,9 +21,9 @@ std::size_t hardware_threads() {
 }
 
 struct KernelPoolState {
-  std::mutex mutex;
-  std::size_t configured = 0;  // 0 = hardware default
-  std::shared_ptr<ThreadPool> pool;
+  core::Mutex mutex;
+  std::size_t configured GEONAS_GUARDED_BY(mutex) = 0;  // 0 = hw default
+  std::shared_ptr<ThreadPool> pool GEONAS_GUARDED_BY(mutex);
 };
 
 KernelPoolState& state() {
@@ -39,7 +39,8 @@ thread_local bool t_in_kernel_worker = false;
 // resolve through this before falling back to the global pool.
 thread_local PoolShard* t_bound_shard = nullptr;
 
-std::size_t configured_threads_locked(KernelPoolState& s) {
+std::size_t configured_threads_locked(KernelPoolState& s)
+    GEONAS_REQUIRES(s.mutex) {
   return s.configured == 0 ? hardware_threads() : s.configured;
 }
 
@@ -53,7 +54,7 @@ std::shared_ptr<ThreadPool> acquire_pool(std::size_t& participants) {
   std::shared_ptr<ThreadPool> retired;
   std::shared_ptr<ThreadPool> pool;
   {
-    std::lock_guard lock(s.mutex);
+    core::MutexLock lock(s.mutex);
     participants = configured_threads_locked(s);
     if (participants <= 1) return nullptr;
     if (!s.pool || s.pool->size() != participants - 1) {
@@ -89,7 +90,7 @@ MetricViews shard_metrics(const PoolShard& shard) {
 
 std::size_t kernel_threads() noexcept {
   KernelPoolState& s = state();
-  std::lock_guard lock(s.mutex);
+  core::MutexLock lock(s.mutex);
   return configured_threads_locked(s);
 }
 
@@ -97,7 +98,7 @@ void set_kernel_threads(std::size_t threads) {
   KernelPoolState& s = state();
   std::shared_ptr<ThreadPool> retired;
   {
-    std::lock_guard lock(s.mutex);
+    core::MutexLock lock(s.mutex);
     s.configured = threads;
     retired = std::move(s.pool);  // recreated lazily at the next dispatch
   }

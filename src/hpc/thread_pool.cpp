@@ -43,7 +43,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -56,8 +56,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      core::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock.native());
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -82,9 +82,9 @@ AllReduceMean::AllReduceMean(std::size_t ranks) : ranks_(ranks) {
 }
 
 void AllReduceMean::reduce(std::span<double> data) {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   // Wait for the previous generation to fully drain before joining.
-  cv_.wait(lock, [this] { return departed_ == 0; });
+  while (departed_ != 0) cv_.wait(lock.native());
 
   if (arrived_ == 0) {
     accumulator_.assign(data.begin(), data.end());
@@ -104,7 +104,7 @@ void AllReduceMean::reduce(std::span<double> data) {
     cv_.notify_all();
   } else {
     const std::size_t my_generation = generation_;
-    cv_.wait(lock, [this, my_generation] { return generation_ != my_generation; });
+    while (generation_ == my_generation) cv_.wait(lock.native());
   }
 
   std::copy(accumulator_.begin(), accumulator_.end(), data.begin());
@@ -122,8 +122,8 @@ void Broadcast::broadcast(std::size_t rank, std::span<double> data) {
   if (rank >= ranks_) {
     throw std::invalid_argument("Broadcast: rank out of range");
   }
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return departed_ == 0; });
+  core::MutexLock lock(mutex_);
+  while (departed_ != 0) cv_.wait(lock.native());
 
   if (rank == 0) {
     buffer_.assign(data.begin(), data.end());
@@ -142,8 +142,7 @@ void Broadcast::broadcast(std::size_t rank, std::span<double> data) {
     cv_.notify_all();
   } else {
     const std::size_t my_generation = generation_;
-    cv_.wait(lock,
-             [this, my_generation] { return generation_ != my_generation; });
+    while (generation_ == my_generation) cv_.wait(lock.native());
   }
 
   if (buffer_.size() != data.size()) {
@@ -161,7 +160,7 @@ Barrier::Barrier(std::size_t ranks) : ranks_(ranks) {
 }
 
 void Barrier::arrive() {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   if (++arrived_ == ranks_) {
     arrived_ = 0;
     ++generation_;
@@ -169,8 +168,7 @@ void Barrier::arrive() {
     return;
   }
   const std::size_t my_generation = generation_;
-  cv_.wait(lock,
-           [this, my_generation] { return generation_ != my_generation; });
+  while (generation_ == my_generation) cv_.wait(lock.native());
 }
 
 }  // namespace geonas::hpc

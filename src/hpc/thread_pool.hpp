@@ -12,12 +12,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace geonas::hpc {
 
@@ -38,13 +39,14 @@ class ThreadPool {
 
   /// Enqueues a task; returns a future for its result.
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  std::future<std::invoke_result_t<F>> submit(F&& fn)
+      GEONAS_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      core::MutexLock lock(mutex_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
@@ -58,19 +60,19 @@ class ThreadPool {
 
   /// Tasks currently enqueued and not yet claimed by a worker — an
   /// instantaneous observability sample (stale by the time it returns).
-  [[nodiscard]] std::size_t queue_depth() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] std::size_t queue_depth() const GEONAS_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
     return queue_.size();
   }
 
  private:
-  void worker_loop();
+  void worker_loop() GEONAS_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
+  std::vector<std::thread> workers_;  // written only by the constructor
+  mutable core::Mutex mutex_;
+  std::deque<std::function<void()>> queue_ GEONAS_GUARDED_BY(mutex_);
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ GEONAS_GUARDED_BY(mutex_) = false;
 };
 
 /// Named, independently-owned kernel pool shard.
@@ -136,10 +138,11 @@ class Channel {
   explicit Channel(std::size_t capacity = 1024) : capacity_(capacity) {}
 
   /// Blocking send; returns false if the channel was closed.
-  bool send(T value) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || queue_.size() < capacity_; });
+  bool send(T value) GEONAS_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    while (!closed_ && queue_.size() >= capacity_) {
+      not_full_.wait(lock.native());
+    }
     if (closed_) return false;
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
@@ -147,9 +150,11 @@ class Channel {
   }
 
   /// Blocking receive; std::nullopt when closed and drained.
-  std::optional<T> recv() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  std::optional<T> recv() GEONAS_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) {
+      not_empty_.wait(lock.native());
+    }
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
@@ -158,8 +163,8 @@ class Channel {
   }
 
   /// Non-blocking receive.
-  std::optional<T> try_recv() {
-    std::lock_guard lock(mutex_);
+  std::optional<T> try_recv() GEONAS_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
@@ -167,20 +172,20 @@ class Channel {
     return value;
   }
 
-  void close() {
-    std::lock_guard lock(mutex_);
+  void close() GEONAS_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
  private:
-  std::size_t capacity_;
-  std::deque<T> queue_;
-  std::mutex mutex_;
+  const std::size_t capacity_;  // immutable after construction
+  core::Mutex mutex_;
+  std::deque<T> queue_ GEONAS_GUARDED_BY(mutex_);
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  bool closed_ = false;
+  bool closed_ GEONAS_GUARDED_BY(mutex_) = false;
 };
 
 /// Rendezvous all-reduce: `ranks` participants each contribute a vector;
@@ -193,16 +198,16 @@ class AllReduceMean {
 
   /// Contributes `data` (all participants must pass equal lengths) and
   /// blocks until the reduction completes; `data` then holds the mean.
-  void reduce(std::span<double> data);
+  void reduce(std::span<double> data) GEONAS_EXCLUDES(mutex_);
 
  private:
   std::size_t ranks_;
-  std::mutex mutex_;
+  core::Mutex mutex_;
   std::condition_variable cv_;
-  std::vector<double> accumulator_;
-  std::size_t arrived_ = 0;
-  std::size_t departed_ = 0;
-  std::size_t generation_ = 0;
+  std::vector<double> accumulator_ GEONAS_GUARDED_BY(mutex_);
+  std::size_t arrived_ GEONAS_GUARDED_BY(mutex_) = 0;
+  std::size_t departed_ GEONAS_GUARDED_BY(mutex_) = 0;
+  std::size_t generation_ GEONAS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Rendezvous broadcast: rank 0's vector is copied into every
@@ -212,31 +217,32 @@ class Broadcast {
   explicit Broadcast(std::size_t ranks);
 
   /// Rank `rank` contributes/receives `data`; blocks until all arrive.
-  void broadcast(std::size_t rank, std::span<double> data);
+  void broadcast(std::size_t rank, std::span<double> data)
+      GEONAS_EXCLUDES(mutex_);
 
  private:
   std::size_t ranks_;
-  std::mutex mutex_;
+  core::Mutex mutex_;
   std::condition_variable cv_;
-  std::vector<double> buffer_;
-  bool root_arrived_ = false;
-  std::size_t arrived_ = 0;
-  std::size_t departed_ = 0;
-  std::size_t generation_ = 0;
+  std::vector<double> buffer_ GEONAS_GUARDED_BY(mutex_);
+  bool root_arrived_ GEONAS_GUARDED_BY(mutex_) = false;
+  std::size_t arrived_ GEONAS_GUARDED_BY(mutex_) = 0;
+  std::size_t departed_ GEONAS_GUARDED_BY(mutex_) = 0;
+  std::size_t generation_ GEONAS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Reusable barrier (MPI_Barrier): arrive() blocks until all ranks do.
 class Barrier {
  public:
   explicit Barrier(std::size_t ranks);
-  void arrive();
+  void arrive() GEONAS_EXCLUDES(mutex_);
 
  private:
   std::size_t ranks_;
-  std::mutex mutex_;
+  core::Mutex mutex_;
   std::condition_variable cv_;
-  std::size_t arrived_ = 0;
-  std::size_t generation_ = 0;
+  std::size_t arrived_ GEONAS_GUARDED_BY(mutex_) = 0;
+  std::size_t generation_ GEONAS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace geonas::hpc

@@ -140,17 +140,17 @@ double Histogram::percentile(double p) const noexcept {
 // ------------------------------------------------------------------- Series
 
 void Series::append(double x, double y) {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   points_.emplace_back(x, y);
 }
 
 std::vector<std::pair<double, double>> Series::snapshot() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return points_;
 }
 
 std::size_t Series::size() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return points_.size();
 }
 
@@ -161,34 +161,38 @@ MetricsRegistry::MetricsRegistry()
       epoch_(monotonic_seconds()) {}
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  return get_or_create(counters_, name);
+  core::MutexLock lock(mutex_);
+  return get_or_create_locked(counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  return get_or_create(gauges_, name);
+  core::MutexLock lock(mutex_);
+  return get_or_create_locked(gauges_, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  return get_or_create(histograms_, name);
+  core::MutexLock lock(mutex_);
+  return get_or_create_locked(histograms_, name);
 }
 
 Series& MetricsRegistry::series(std::string_view name) {
-  return get_or_create(series_, name);
+  core::MutexLock lock(mutex_);
+  return get_or_create_locked(series_, name);
 }
 
 namespace {
 
+/// Sorted (name, instrument) view of one instrument map; the caller
+/// holds the registry mutex for the duration (the map reference is the
+/// guarded object — export-path only, so sorting under the lock is
+/// fine).
 template <typename T>
 std::vector<std::pair<std::string, const T*>> sorted_view(
-    const std::unordered_map<std::string, std::unique_ptr<T>>& map,
-    std::mutex& mutex) {
+    const std::unordered_map<std::string, std::unique_ptr<T>>& map) {
   std::vector<std::pair<std::string, const T*>> out;
-  {
-    std::lock_guard lock(mutex);
-    out.reserve(map.size());
-    for (const auto& [name, instrument] : map) {
-      out.emplace_back(name, instrument.get());
-    }
+  out.reserve(map.size());
+  for (const auto& [name, instrument] : map) {
+    out.emplace_back(name, instrument.get());
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -199,29 +203,35 @@ std::vector<std::pair<std::string, const T*>> sorted_view(
 
 std::vector<std::pair<std::string, const Counter*>> MetricsRegistry::counters()
     const {
-  return sorted_view(counters_, mutex_);
+  core::MutexLock lock(mutex_);
+  return sorted_view(counters_);
 }
 
 std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::gauges()
     const {
-  return sorted_view(gauges_, mutex_);
+  core::MutexLock lock(mutex_);
+  return sorted_view(gauges_);
 }
 
 std::vector<std::pair<std::string, const Histogram*>>
 MetricsRegistry::histograms() const {
-  return sorted_view(histograms_, mutex_);
+  core::MutexLock lock(mutex_);
+  return sorted_view(histograms_);
 }
 
 std::vector<std::pair<std::string, const Series*>>
 MetricsRegistry::series_all() const {
-  return sorted_view(series_, mutex_);
+  core::MutexLock lock(mutex_);
+  return sorted_view(series_);
 }
 
 std::vector<SpanRecord> MetricsRegistry::spans() const {
   std::vector<SpanRecord> out;
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   for (const auto& buffer : trace_buffers_) {
-    std::lock_guard buffer_lock(buffer->mutex);
+    // Nested acquisition follows the registry hierarchy (DESIGN.md):
+    // MetricsRegistry::mutex_ before TraceBuffer::mutex, never reversed.
+    core::MutexLock buffer_lock(buffer->mutex);
     out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
   }
   return out;
@@ -232,7 +242,7 @@ MetricsRegistry::TraceBuffer& MetricsRegistry::thread_buffer() {
   for (const auto& [id, buffer] : cache.buffers) {
     if (id == id_) return *static_cast<TraceBuffer*>(buffer);
   }
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   trace_buffers_.push_back(std::make_unique<TraceBuffer>());
   TraceBuffer* buffer = trace_buffers_.back().get();
   buffer->thread_id = static_cast<std::uint32_t>(trace_buffers_.size() - 1);
@@ -246,7 +256,7 @@ ScopedTimer::ScopedTimer(MetricsRegistry* registry, const char* name) noexcept
     : registry_(registry) {
   if (registry_ == nullptr) return;
   buffer_ = &registry_->thread_buffer();
-  std::lock_guard lock(buffer_->mutex);
+  core::MutexLock lock(buffer_->mutex);
   SpanRecord span;
   span.name = name;
   span.thread = buffer_->thread_id;
@@ -261,7 +271,7 @@ ScopedTimer::ScopedTimer(MetricsRegistry* registry, const char* name) noexcept
 
 ScopedTimer::~ScopedTimer() {
   if (registry_ == nullptr) return;
-  std::lock_guard lock(buffer_->mutex);
+  core::MutexLock lock(buffer_->mutex);
   SpanRecord& span = buffer_->spans[index_];
   span.duration = registry_->seconds_since_start() - span.start;
   // Open spans close LIFO per thread by construction (RAII scopes).

@@ -44,12 +44,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace geonas::obs {
 
@@ -166,13 +167,14 @@ class Histogram {
 /// per-epoch / per-improvement granularity, not per element.
 class Series {
  public:
-  void append(double x, double y);
-  [[nodiscard]] std::vector<std::pair<double, double>> snapshot() const;
-  [[nodiscard]] std::size_t size() const;
+  void append(double x, double y) GEONAS_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<std::pair<double, double>> snapshot() const
+      GEONAS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const GEONAS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::pair<double, double>> points_;
+  mutable core::Mutex mutex_;
+  std::vector<std::pair<double, double>> points_ GEONAS_GUARDED_BY(mutex_);
 };
 
 /// One closed trace span, offsets in seconds since registry creation.
@@ -196,10 +198,10 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
-  Series& series(std::string_view name);
+  Counter& counter(std::string_view name) GEONAS_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) GEONAS_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) GEONAS_EXCLUDES(mutex_);
+  Series& series(std::string_view name) GEONAS_EXCLUDES(mutex_);
 
   /// Seconds elapsed since this registry was constructed (the time base
   /// for spans and wallclock series).
@@ -210,35 +212,44 @@ class MetricsRegistry {
   /// Sorted snapshots for the exporter (names are deterministic:
   /// lexicographic).
   [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
-  counters() const;
+  counters() const GEONAS_EXCLUDES(mutex_);
   [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>> gauges()
-      const;
+      const GEONAS_EXCLUDES(mutex_);
   [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
-  histograms() const;
+  histograms() const GEONAS_EXCLUDES(mutex_);
   [[nodiscard]] std::vector<std::pair<std::string, const Series*>> series_all()
-      const;
+      const GEONAS_EXCLUDES(mutex_);
   /// All threads' spans merged, ordered by (thread, open order). Call
-  /// after instrumented work has quiesced.
-  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  /// after instrumented work has quiesced. Lock nesting here is the
+  /// registry hierarchy's only two-level edge: MetricsRegistry::mutex_
+  /// is acquired before each TraceBuffer::mutex.
+  [[nodiscard]] std::vector<SpanRecord> spans() const GEONAS_EXCLUDES(mutex_);
 
  private:
   friend class ScopedTimer;
 
   struct TraceBuffer {
-    std::mutex mutex;                // appending thread vs exporter
+    core::Mutex mutex;               // appending thread vs exporter
+    // Assigned once under the registry's mutex_ before the buffer
+    // pointer is published to its owning thread; immutable afterwards.
     std::uint32_t thread_id = 0;
-    std::vector<SpanRecord> spans;
-    std::vector<std::size_t> open;   // indices of open spans (owner only)
+    std::vector<SpanRecord> spans GEONAS_GUARDED_BY(mutex);
+    // Indices of open spans; mutated only by the owning thread, but
+    // always under the buffer mutex because the exporter scans spans.
+    std::vector<std::size_t> open GEONAS_GUARDED_BY(mutex);
   };
 
   /// Per-(thread, registry) trace buffer, cached thread-locally and
   /// keyed by the never-reused registry id.
-  TraceBuffer& thread_buffer();
+  TraceBuffer& thread_buffer() GEONAS_EXCLUDES(mutex_);
 
+  /// Get-or-create on one of the instrument maps; callers hold mutex_
+  /// (the maps are guarded, the created instruments are internally
+  /// synchronized and returned by stable address).
   template <typename T>
-  T& get_or_create(std::unordered_map<std::string, std::unique_ptr<T>>& map,
-                   std::string_view name) {
-    std::lock_guard lock(mutex_);
+  T& get_or_create_locked(
+      std::unordered_map<std::string, std::unique_ptr<T>>& map,
+      std::string_view name) GEONAS_REQUIRES(mutex_) {
     auto it = map.find(std::string(name));
     if (it == map.end()) {
       it = map.emplace(std::string(name), std::make_unique<T>()).first;
@@ -248,12 +259,17 @@ class MetricsRegistry {
 
   std::uint64_t id_;
   double epoch_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
-  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::unordered_map<std::string, std::unique_ptr<Series>> series_;
-  std::deque<std::unique_ptr<TraceBuffer>> trace_buffers_;
+  mutable core::Mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_
+      GEONAS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_
+      GEONAS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_
+      GEONAS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::unique_ptr<Series>> series_
+      GEONAS_GUARDED_BY(mutex_);
+  std::deque<std::unique_ptr<TraceBuffer>> trace_buffers_
+      GEONAS_GUARDED_BY(mutex_);
 };
 
 /// RAII trace span. A null registry makes construction and destruction

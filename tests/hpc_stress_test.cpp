@@ -11,11 +11,15 @@
 #include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/eval_policy.hpp"
 #include "core/nas_driver.hpp"
 #include "core/surrogate.hpp"
+#include "io/binary.hpp"
 #include "hpc/cluster_sim.hpp"
 #include "hpc/parallel_for.hpp"
 #include "hpc/theta.hpp"
@@ -281,6 +285,86 @@ TEST(ClusterSimStress, ConcurrentCampaignsShareEvaluator) {
     EXPECT_LE(r->utilization, 1.0);
   }
   EXPECT_GE(rl.rounds, 1u);
+}
+
+// Hammers the memoizer's single cache mutex from every direction at
+// once: worker threads mixing cache hits and misses (the
+// miss-evaluated-outside-lock path), a checkpoint thread streaming the
+// cache through visit_entries into a BinaryWriter (the single-lock
+// serialization contract), and a reader polling snapshot() /
+// cache_bytes() / counters. Under TSan this is the runtime complement
+// of the compile-time GEONAS_GUARDED_BY contracts on the same state.
+TEST(MemoizerStress, ConcurrentEvaluateVsCheckpointStreaming) {
+  const searchspace::StackedLSTMSpace space;
+  core::SurrogateEvaluator inner(space);
+  core::MemoizingEvaluator memo(inner);
+
+  // A small shared pool of architectures guarantees heavy hit traffic;
+  // pre-generated so workers share no Rng.
+  constexpr std::size_t kArchs = 16;
+  std::vector<searchspace::Architecture> archs;
+  archs.reserve(kArchs);
+  Rng rng(7);
+  for (std::size_t i = 0; i < kArchs; ++i) {
+    archs.push_back(space.random_architecture(rng));
+  }
+
+  constexpr std::size_t kWorkers = 4;
+  const std::size_t evals_per_worker = 50 * kScale;
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> checkpoints{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t i = 0; i < evals_per_worker; ++i) {
+        const auto& arch = archs[(w * 31 + i * 7) % kArchs];
+        const auto outcome = memo.evaluate(arch, w * 1000 + i);
+        EXPECT_TRUE(std::isfinite(outcome.reward));
+      }
+    });
+  }
+  std::thread checkpointer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::ostringstream os;
+      io::BinaryWriter writer(os, "GEONASMT", 1);
+      std::size_t streamed = 0;
+      memo.visit_entries(
+          [&](std::size_t count) { writer.u64(count); },
+          [&](const std::string& key, const hpc::EvalOutcome& outcome) {
+            writer.str(key);
+            writer.f64(outcome.reward);
+            ++streamed;
+          });
+      writer.finish();
+      EXPECT_LE(streamed, kArchs);
+      checkpoints.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto entries = memo.snapshot();
+      EXPECT_LE(entries.size(), kArchs);
+      EXPECT_LE(memo.size(), kArchs);
+      // The cache only grows during the run and each entry accounts for
+      // >= 64 bytes, so the footprint dominates the entry count.
+      EXPECT_GE(memo.cache_bytes(), entries.size());
+    }
+  });
+  for (auto& t : workers) t.join();
+  done.store(true, std::memory_order_release);
+  checkpointer.join();
+  reader.join();
+
+  // Every evaluation was a hit or a miss; at most one miss per distinct
+  // architecture since the surrogate never fails by default... it can,
+  // rarely (failure_prob), and failed outcomes are deliberately not
+  // cached — so misses can exceed kArchs but hits + misses is exact.
+  EXPECT_EQ(memo.hits() + memo.misses(), kWorkers * evals_per_worker);
+  EXPECT_GE(memo.misses(), memo.size());
+  EXPECT_LE(memo.size(), kArchs);
+  EXPECT_GE(checkpoints.load(), 1u);
 }
 
 }  // namespace

@@ -11,9 +11,18 @@ benchmark's time regresses by more than the threshold:
 Per benchmark the compared value is the median cpu_time: aggregate
 entries named "median" win when present (--benchmark_repetitions runs),
 otherwise the median over that benchmark's iteration entries (a single
-entry is its own median). Benchmarks present in only one capture are
-reported but never fail the gate — renames and new benchmarks land
-together with a fresh baseline.
+entry is its own median).
+
+Benchmarks present in only one capture are classified, not ignored:
+
+  added    candidate-only — informational. New benchmarks land together
+           with a fresh baseline; reporting them keeps the refresh honest
+           without blocking the PR that introduces them.
+  removed  baseline-only — a FAILURE unless --allow-removed. A benchmark
+           silently vanishing from the candidate is how a rename or a
+           broken registration deletes coverage without anyone noticing;
+           deliberate removals pass --allow-removed alongside the
+           baseline refresh.
 
 The failing bound is noise-aware: each benchmark's gate is
 
@@ -26,14 +35,16 @@ percent run-to-run; a flat 5% cut would flag that drift as regression,
 so the gate widens exactly where the measurements themselves are shown
 to be unstable while staying tight for low-variance kernels.
 
---dry-run gates the tooling instead of the numbers: it diffs the
-baseline against itself (every delta must come out 0.0%) and exits 0
-unless the capture is malformed. run_checks.sh --quick uses it so a
-broken baseline or a parser regression is caught pre-merge without a
-release bench run.
+--dry-run gates the tooling instead of the numbers: it first runs the
+built-in unit self-check (synthetic captures exercising the regression,
+added, removed and --allow-removed paths), then diffs the baseline
+against itself (every delta must come out 0.0%, nothing added or
+removed) and exits 0 unless the capture is malformed or the tooling
+itself misbehaves. run_checks.sh --quick uses it so a broken baseline or
+a comparator regression is caught pre-merge without a release bench run.
 
-Exit status: 0 within threshold, 1 regression (or malformed input),
-2 usage error.
+Exit status: 0 within threshold, 1 regression/removed benchmark (or
+malformed input), 2 usage error.
 """
 
 from __future__ import annotations
@@ -44,8 +55,10 @@ import statistics
 import sys
 from pathlib import Path
 
+Stats = dict[str, tuple[float, float]]
 
-def load_stats(path: Path) -> dict[str, tuple[float, float]]:
+
+def load_stats(path: Path) -> Stats:
     """Benchmark run_name -> (median cpu_time ns, cv fraction)."""
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
@@ -74,6 +87,69 @@ def load_stats(path: Path) -> dict[str, tuple[float, float]]:
     return {name: (med, cvs.get(name, 0.0)) for name, med in medians.items()}
 
 
+class DiffResult:
+    """Outcome of one baseline/candidate comparison (pure, testable)."""
+
+    def __init__(self) -> None:
+        self.rows: list[tuple[str, float, float, float, float]] = []
+        self.regressions: list[str] = []
+        self.added: list[str] = []    # candidate only — informational
+        self.removed: list[str] = []  # baseline only — gate failure
+
+    @property
+    def shared(self) -> list[str]:
+        return [row[0] for row in self.rows]
+
+
+def diff_captures(base: Stats, cand: Stats, threshold: float,
+                  noise_mult: float) -> DiffResult:
+    """Classifies every benchmark across the two captures. Rows carry
+    (name, base_median, cand_median, delta, gate) for shared names."""
+    result = DiffResult()
+    result.added = sorted(set(cand) - set(base))
+    result.removed = sorted(set(base) - set(cand))
+    for name in sorted(set(base) & set(cand)):
+        base_med, base_cv = base[name]
+        cand_med, cand_cv = cand[name]
+        ratio = cand_med / base_med if base_med > 0.0 else 1.0
+        delta = ratio - 1.0
+        gate = threshold + noise_mult * (base_cv + cand_cv)
+        result.rows.append((name, base_med, cand_med, delta, gate))
+        if delta > gate:
+            result.regressions.append(name)
+    return result
+
+
+def self_check() -> list[str]:
+    """Unit check of the comparator on synthetic captures; returns the
+    list of failed assertions (empty = healthy)."""
+    base: Stats = {"steady": (100.0, 0.0), "noisy": (100.0, 0.02),
+                   "gone": (50.0, 0.0)}
+    cand: Stats = {"steady": (110.0, 0.0), "noisy": (110.0, 0.02),
+                   "fresh": (10.0, 0.0)}
+    r = diff_captures(base, cand, threshold=0.05, noise_mult=3.0)
+
+    failures: list[str] = []
+
+    def expect(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+
+    expect(r.shared == ["noisy", "steady"], "shared set mismatch")
+    # steady: +10% past a 5% gate -> regression.
+    expect("steady" in r.regressions, "flat 10% regression not flagged")
+    # noisy: same +10%, but gate widens to 5% + 3*(2%+2%) = 17% -> passes.
+    expect("noisy" not in r.regressions, "noise allowance not applied")
+    expect(r.added == ["fresh"], "candidate-only benchmark not 'added'")
+    expect(r.removed == ["gone"], "baseline-only benchmark not 'removed'")
+    # A self-diff must be exact: no drift, nothing added or removed.
+    rr = diff_captures(base, base, threshold=0.05, noise_mult=3.0)
+    expect(not rr.regressions and not rr.added and not rr.removed
+           and all(row[3] == 0.0 for row in rr.rows),
+           "self-diff is not a fixed point")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0], add_help=True)
@@ -88,13 +164,24 @@ def main(argv: list[str]) -> int:
                         help="widen each benchmark's gate by this multiple "
                              "of the captures' summed cv aggregates "
                              "(default: 3.0; 0 disables the allowance)")
+    parser.add_argument("--allow-removed", action="store_true",
+                        help="report baseline-only benchmarks without "
+                             "failing (deliberate removals landing with a "
+                             "baseline refresh)")
     parser.add_argument("--dry-run", action="store_true",
-                        help="self-diff the baseline to validate capture "
-                             "and tooling; never fails on timing")
+                        help="run the comparator self-check, then self-diff "
+                             "the baseline to validate the capture; never "
+                             "fails on timing")
     args = parser.parse_args(argv)
 
     baseline_path = Path(args.baseline)
     if args.dry_run:
+        check_failures = self_check()
+        if check_failures:
+            for failure in check_failures:
+                print(f"bench_diff: self-check FAILED: {failure}",
+                      file=sys.stderr)
+            return 1
         candidate_path = baseline_path
     elif args.candidate is None:
         parser.error("candidate capture required unless --dry-run")
@@ -108,50 +195,60 @@ def main(argv: list[str]) -> int:
         print(f"bench_diff: {err}", file=sys.stderr)
         return 1
 
-    shared = sorted(set(base) & set(cand))
-    only_base = sorted(set(base) - set(cand))
-    only_cand = sorted(set(cand) - set(base))
-    if not shared:
+    result = diff_captures(base, cand, args.threshold, args.noise_mult)
+    if not result.rows:
         print("bench_diff: captures share no benchmarks", file=sys.stderr)
         return 1
 
-    width = max(len(n) for n in shared)
-    regressions: list[str] = []
+    width = max(len(n) for n in
+                result.shared + result.added + result.removed)
     print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  "
           f"{'candidate':>12}  {'delta':>8}")
-    for name in shared:
-        base_med, base_cv = base[name]
-        cand_med, cand_cv = cand[name]
-        ratio = cand_med / base_med if base_med > 0.0 else 1.0
-        delta = ratio - 1.0
-        gate = args.threshold + args.noise_mult * (base_cv + cand_cv)
+    for name, base_med, cand_med, delta, gate in result.rows:
         flag = ""
-        if delta > gate:
-            regressions.append(name)
+        if name in result.regressions:
             flag = f"  << REGRESSION (gate {gate:+.1%})"
         print(f"{name.ljust(width)}  {base_med:>10.0f}ns  "
               f"{cand_med:>10.0f}ns  {delta:>+7.1%}{flag}")
-    for name in only_base:
-        print(f"{name.ljust(width)}  (baseline only — dropped?)")
-    for name in only_cand:
-        print(f"{name.ljust(width)}  (candidate only — new)")
+    for name in result.removed:
+        verdict = "allowed" if args.allow_removed else "<< FAILURE"
+        print(f"{name.ljust(width)}  removed (baseline only)  {verdict}")
+    for name in result.added:
+        print(f"{name.ljust(width)}  added (candidate only)  informational")
 
     if args.dry_run:
-        drifted = [n for n in shared if cand[n][0] != base[n][0]]
-        if drifted:  # self-diff must be exact; anything else is a bug here
-            print(f"bench_diff: self-diff drift on {drifted}",
+        drifted = [name for name, _, _, delta, _ in result.rows
+                   if delta != 0.0]
+        if drifted or result.added or result.removed:
+            # Self-diff must be a fixed point; anything else is a bug here.
+            print(f"bench_diff: self-diff drift on "
+                  f"{drifted or result.added or result.removed}",
                   file=sys.stderr)
             return 1
-        print(f"bench_diff: dry run ok ({len(shared)} benchmarks, "
-              f"baseline {baseline_path})", file=sys.stderr)
+        print(f"bench_diff: dry run ok (self-check passed, "
+              f"{len(result.rows)} benchmarks, baseline {baseline_path})",
+              file=sys.stderr)
         return 0
-    if regressions:
-        print(f"bench_diff: {len(regressions)} benchmark(s) regressed past "
-              f"{args.threshold:.0%} + noise allowance: "
-              f"{', '.join(regressions)}", file=sys.stderr)
+
+    failed = False
+    if result.regressions:
+        print(f"bench_diff: {len(result.regressions)} benchmark(s) regressed "
+              f"past {args.threshold:.0%} + noise allowance: "
+              f"{', '.join(result.regressions)}", file=sys.stderr)
+        failed = True
+    if result.removed and not args.allow_removed:
+        print(f"bench_diff: {len(result.removed)} benchmark(s) in the "
+              f"baseline are missing from the candidate: "
+              f"{', '.join(result.removed)} (pass --allow-removed if the "
+              "removal is deliberate)", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print(f"bench_diff: {len(shared)} benchmarks within "
-          f"{args.threshold:.0%} (+ noise allowance) of baseline",
+    print(f"bench_diff: {len(result.rows)} benchmarks within "
+          f"{args.threshold:.0%} (+ noise allowance) of baseline"
+          + (f"; {len(result.added)} added" if result.added else "")
+          + (f"; {len(result.removed)} removed (allowed)"
+             if result.removed else ""),
           file=sys.stderr)
     return 0
 

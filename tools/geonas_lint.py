@@ -59,6 +59,18 @@ Rules (see DESIGN.md "Correctness tooling"):
                        Cold-path code (constructors, (de)serialization)
                        carries reasoned suppressions.
 
+  mutex-needs-annotation
+                       A mutex-family member (std::mutex, std::shared_mutex,
+                       core::Mutex, ...) or condition_variable declared in
+                       src/ without the compile-time concurrency contract:
+                       the file must include core/thread_annotations.hpp,
+                       and every mutex must be referenced by at least one
+                       GEONAS_GUARDED_BY / GEONAS_PT_GUARDED_BY so Clang
+                       Thread Safety Analysis (the analyze preset) has a
+                       capability to check. Locks whose guarded state
+                       cannot carry the attribute (stack-captured locals)
+                       carry reasoned suppressions naming that state.
+
   float-eq-in-tests    EXPECT_EQ/ASSERT_EQ with a floating-point literal
                        as a top-level macro argument in tests/ — compare
                        with EXPECT_NEAR / EXPECT_DOUBLE_EQ, or suppress
@@ -112,6 +124,18 @@ HOT_PATH_ALLOC_RE = re.compile(
     r"\bnew\b|\bmalloc\s*\("
     r"|\.(?:push_back|emplace_back|resize|reserve|assign)\s*\(")
 CHRONO_RE = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
+# Declaration of a mutex-family or condition-variable member/local. The
+# \s+ after the type keeps core::MutexLock (a scoped guard, not a
+# capability) from matching.
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(std::(?:recursive_|timed_|recursive_timed_)?(?:shared_)?mutex"
+    r"|core::Mutex)\s+(\w+)\s*(?:;|=|\{)")
+CV_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(std::condition_variable(?:_any)?)"
+    r"\s+(\w+)\s*(?:;|=|\{)")
+ANNOTATIONS_INCLUDE_RE = re.compile(
+    r'#\s*include\s*"core/thread_annotations\.hpp"')
 FLOAT_LITERAL_RE = re.compile(
     r"(?<![\w.])(\d+\.\d*(e[+-]?\d+)?|\.\d+(e[+-]?\d+)?|\d+e[+-]?\d+)f?",
     re.IGNORECASE)
@@ -249,8 +273,15 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
     in_nn = rel_str.startswith("src/nn/")
     is_reporting = rel_str.startswith("src/core/reporting.")
 
-    raw_lines = path.read_text(encoding="utf-8").splitlines()
-    code_lines = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+    raw_text = path.read_text(encoding="utf-8")
+    raw_lines = raw_text.splitlines()
+    code_text = strip_comments_and_strings("\n".join(raw_lines))
+    code_lines = code_text.splitlines()
+    # The defining header is its own "include"; everywhere else a file
+    # declaring a mutex must include core/thread_annotations.hpp directly.
+    has_annotations = bool(
+        ANNOTATIONS_INCLUDE_RE.search(raw_text)
+        or "#define GEONAS_GUARDED_BY" in raw_text)
 
     findings: list[Finding] = []
     carried_rule = None  # from a comment-only allow line just above
@@ -300,6 +331,33 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
                            "stream read without a visible status check — "
                            "check the stream (gcount/fail/if) or use "
                            "io::BinaryReader")
+
+        if in_src:
+            m = MUTEX_DECL_RE.match(code)
+            if m:
+                mutex_type, name = m.group(1), m.group(2)
+                guarded_ref = re.compile(
+                    r"GEONAS_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name)
+                    + r"\s*\)")
+                if not has_annotations:
+                    report("mutex-needs-annotation",
+                           f"{mutex_type} '{name}' declared without "
+                           "core/thread_annotations.hpp — include it and "
+                           "annotate the guarded state")
+                elif not guarded_ref.search(code_text):
+                    report("mutex-needs-annotation",
+                           f"{mutex_type} '{name}' guards nothing visible — "
+                           f"add GEONAS_GUARDED_BY({name}) to the state it "
+                           "protects (use core::Mutex so the analyzer sees "
+                           "a capability), or suppress with the reason the "
+                           "guarded state cannot carry the attribute")
+            m = CV_DECL_RE.match(code)
+            if m and not has_annotations:
+                report("mutex-needs-annotation",
+                       f"{m.group(1)} '{m.group(2)}' declared without "
+                       "core/thread_annotations.hpp — waits release a "
+                       "capability; include the annotations header and "
+                       "annotate the paired mutex")
 
         if in_src and not in_obs:
             m = CHRONO_RE.search(code)

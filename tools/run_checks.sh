@@ -3,29 +3,37 @@
 #
 #   tools/run_checks.sh            full rig: lint, bench-gate dry run,
 #                                  release alloc audit, ASan+UBSan ctest,
-#                                  TSan ctest, release build + clang-tidy
+#                                  TSan ctest, thread-safety analyze
+#                                  build, release build + clang-tidy
 #   tools/run_checks.sh --quick    pre-merge gate: lint + bench-gate dry
 #                                  run + release alloc audit + ASan+UBSan
 #                                  tier-1 suite + TSan over the threaded
 #                                  kernel layer (determinism + vmath +
-#                                  hpc stress suites)
+#                                  hpc stress + memoizer suites) + a
+#                                  one-TU thread-safety smoke
+#   tools/run_checks.sh --analyze  just the Clang Thread Safety Analysis
+#                                  build (cmake --preset analyze with
+#                                  -Werror=thread-safety)
 #
 # Each sanitizer flavor is a CMake preset (CMakePresets.json) building
 # into build-<preset>/ so flavors never share object files. clang-tidy
-# is skipped with a notice when the binary is not installed (the config
-# in .clang-tidy still gates environments that have it).
+# and the analyze stage are skipped with a notice when the binaries are
+# not installed (the configs still gate environments that have them —
+# the annotations themselves compile as no-ops everywhere).
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo"
 
 quick=0
+analyze_only=0
 jobs="$(nproc 2>/dev/null || echo 2)"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
+    --analyze) analyze_only=1 ;;
     --jobs) jobs="$2"; shift ;;
-    -h|--help) sed -n '2,12p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,17p' "$0"; exit 0 ;;
     *) echo "run_checks: unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
@@ -46,13 +54,58 @@ run_flavor() {
   fi
 }
 
+# Full-tree Clang Thread Safety Analysis: every TU built with
+# -Werror=thread-safety over the GEONAS_GUARDED_BY / GEONAS_REQUIRES
+# annotations (src/core/thread_annotations.hpp). Needs clang++ — the
+# attributes are Clang-only and expand to nothing elsewhere.
+run_analyze() {
+  step "thread-safety analysis [analyze]"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "clang++ not installed; skipping thread-safety analysis" \
+         "(preset: analyze, annotations compile as no-ops under GCC)"
+    return 0
+  fi
+  if ! cmake --preset analyze >/dev/null ||
+     ! cmake --build --preset analyze -j "$jobs"; then
+    failures+=(analyze)
+  fi
+}
+
+# One-TU analyze smoke for --quick: syntax-only, no configure, seconds
+# not minutes. thread_pool.cpp pulls in the annotated ThreadPool /
+# Channel / collectives plus the core::Mutex wrapper itself, so a broken
+# annotation in the concurrency core fails pre-merge.
+run_analyze_smoke() {
+  step "thread-safety smoke [one TU]"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "clang++ not installed; skipping thread-safety smoke"
+    return 0
+  fi
+  if ! clang++ -fsyntax-only -std=c++20 -Isrc \
+       -Wthread-safety -Werror=thread-safety src/hpc/thread_pool.cpp; then
+    failures+=(analyze-smoke)
+  fi
+}
+
+if [[ $analyze_only -eq 1 ]]; then
+  run_analyze
+  step "summary"
+  if [[ ${#failures[@]} -gt 0 ]]; then
+    echo "FAILED: ${failures[*]}"
+    exit 1
+  fi
+  echo "all checks passed (analyze rig)"
+  exit 0
+fi
+
 step "geonas_lint"
 if ! python3 tools/geonas_lint.py; then
   failures+=(geonas_lint)
 fi
 
 # Bench-gate tooling self-check: a malformed committed baseline or a
-# bench_diff parser regression fails here, without a release bench run.
+# bench_diff comparator regression (including the added/removed
+# classification) fails here, without a release bench run.
 step "bench_diff --dry-run"
 if ! python3 tools/bench_diff.py --dry-run; then
   failures+=(bench_diff)
@@ -72,12 +125,16 @@ run_flavor asan
 if [[ $quick -eq 1 ]]; then
   # Pre-merge TSan slice: the suites that exercise the kernel pool from
   # multiple threads (vmath spans, GEMM splits, recurrent fused kernels,
-  # stress rigs) plus the observability registry, which is written by
+  # stress rigs), the observability registry, which is written by
   # kernel-pool and driver worker threads while an exporter reads it —
-  # races there corrupt every NAS reward / telemetry report downstream.
-  run_flavor tsan '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs)'
+  # races there corrupt every NAS reward / telemetry report downstream —
+  # and the memoizer stress suite (concurrent evaluate vs checkpoint
+  # streaming over one cache mutex).
+  run_flavor tsan '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs|Memoizer)'
+  run_analyze_smoke
 else
   run_flavor tsan
+  run_analyze
 
   step "configure+build [release] (clang-tidy compilation database)"
   cmake --preset release >/dev/null
