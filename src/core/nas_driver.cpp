@@ -8,6 +8,7 @@
 
 #include "core/thread_annotations.hpp"
 #include "hpc/parallel_for.hpp"
+#include "io/atomic_file.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/random.hpp"
 
@@ -94,14 +95,10 @@ void save_search_checkpoint(const search::SearchMethod& method,
     throw std::invalid_argument("save_search_checkpoint: method '" +
                                 method.name() + "' is not checkpointable");
   }
-  // Write-then-rename so a crash mid-write never clobbers the previous
-  // good checkpoint.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("save_search_checkpoint: cannot open " + tmp);
-    }
+  // Write-then-rename (io::atomic_write_file) so a crash mid-write never
+  // clobbers the previous good checkpoint; failures name the path and
+  // operation (a missing checkpoint directory used to be a bare errno).
+  io::atomic_write_file(path, [&](std::ostream& os) {
     io::BinaryWriter writer(os, kCheckpointMagic, kCheckpointVersion);
     writer.str(method.name());
     writer.u64(seed);
@@ -134,11 +131,7 @@ void save_search_checkpoint(const search::SearchMethod& method,
     }
     method.save(writer);
     writer.finish();
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("save_search_checkpoint: cannot rename " + tmp +
-                             " to " + path);
-  }
+  }, "save_search_checkpoint");
 }
 
 std::size_t load_search_checkpoint(search::SearchMethod& method,

@@ -128,11 +128,32 @@ Matrix PODLSTMPipeline::test_coefficients() const {
 data::WindowedDataset PODLSTMPipeline::windows(std::size_t week0,
                                                std::size_t week1) const {
   require_prepared("windows");
-  if (week1 > cfg_.setup.total_snapshots || week0 >= week1) {
-    throw std::invalid_argument("PODLSTMPipeline::windows: bad week range");
-  }
+  require_week_range("windows", week0, week1);
   return data::make_windows(scaled_coeffs_.slice_cols(week0, week1),
                             {.window = cfg_.setup.window, .stride = 1});
+}
+
+void PODLSTMPipeline::require_week_range(const char* who, std::size_t week0,
+                                         std::size_t week1) const {
+  const std::size_t k = cfg_.setup.window;
+  const std::size_t total = cfg_.setup.total_snapshots;
+  // Ordered checks: week0 < week1 must hold before any week1 - week0
+  // arithmetic (the subtraction underflows on size_t otherwise, which
+  // used to let an inverted range slip past the 2K length check).
+  if (week0 >= week1 || week1 > total) {
+    throw std::invalid_argument(
+        std::string("PODLSTMPipeline::") + who + ": bad week range [week0=" +
+        std::to_string(week0) + ", week1=" + std::to_string(week1) +
+        "): need week0 < week1 <= total_snapshots=" + std::to_string(total));
+  }
+  if (week1 - week0 < 2 * k) {
+    throw std::invalid_argument(
+        std::string("PODLSTMPipeline::") + who + ": week range [week0=" +
+        std::to_string(week0) + ", week1=" + std::to_string(week1) +
+        ") spans " + std::to_string(week1 - week0) +
+        " weeks but one window needs 2K = " + std::to_string(2 * k) +
+        " (K=window=" + std::to_string(k) + ")");
+  }
 }
 
 Matrix PODLSTMPipeline::forecast_coefficients(nn::GraphNetwork& net,
@@ -141,10 +162,7 @@ Matrix PODLSTMPipeline::forecast_coefficients(nn::GraphNetwork& net,
   require_prepared("forecast_coefficients");
   const std::size_t k = cfg_.setup.window;
   const std::size_t nr = cfg_.setup.num_modes;
-  if (week1 > cfg_.setup.total_snapshots || week1 - week0 < 2 * k) {
-    throw std::invalid_argument(
-        "PODLSTMPipeline::forecast_coefficients: range shorter than 2K");
-  }
+  require_week_range("forecast_coefficients", week0, week1);
   const std::size_t t = week1 - week0;
 
   // Window starts tile the range with stride K; a final overlapping window

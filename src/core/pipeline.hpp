@@ -133,6 +133,11 @@ class PODLSTMPipeline {
   bool prepared_ = false;
 
   void require_prepared(const char* who) const;
+  /// Validates a [week0, week1) range: ordered, within the record, and
+  /// long enough for at least one 2K window. Throws with every value
+  /// named. Ordering is checked before any week1 - week0 arithmetic.
+  void require_week_range(const char* who, std::size_t week0,
+                          std::size_t week1) const;
 };
 
 }  // namespace geonas::core

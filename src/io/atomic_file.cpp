@@ -1,0 +1,73 @@
+#include "io/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace geonas::io {
+
+namespace {
+
+/// "<what>: cannot <action> '<path>'" plus the most specific cause we
+/// can determine: a missing parent directory by name, else the OS error.
+std::string diagnose(const std::string& what, const std::string& action,
+                     const std::string& path, int saved_errno) {
+  std::string msg = what + ": cannot " + action + " '" + path + "'";
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty() && !std::filesystem::exists(parent, ec)) {
+    msg += " (parent directory '" + parent.string() + "' does not exist)";
+  } else if (saved_errno != 0) {
+    msg += std::string(" (") + std::strerror(saved_errno) + ")";
+  }
+  return msg;
+}
+
+void remove_quietly(const std::string& path) noexcept {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& producer,
+                       const std::string& what) {
+  const std::string tmp = path + ".tmp";
+  {
+    errno = 0;
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error(
+          diagnose(what, "open temporary file for writing", tmp, errno));
+    }
+    try {
+      producer(out);
+    } catch (...) {
+      out.close();
+      remove_quietly(tmp);
+      throw;
+    }
+    errno = 0;
+    out.flush();
+    if (!out) {
+      const int saved = errno;
+      out.close();
+      remove_quietly(tmp);
+      throw std::runtime_error(diagnose(what, "write", tmp, saved));
+    }
+  }
+  errno = 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    remove_quietly(tmp);
+    throw std::runtime_error(
+        diagnose(what, "rename '" + tmp + "' into place at", path, saved));
+  }
+}
+
+}  // namespace geonas::io

@@ -1,0 +1,31 @@
+// Atomic whole-file replacement for durable artifacts.
+//
+// Every writer of a durable artifact (telemetry sidecars, weight files,
+// search checkpoints) follows the same publish protocol: stream the
+// content into `<path>.tmp`, flush, then rename over `<path>` so readers
+// only ever observe a complete file. This helper centralizes the
+// protocol and — the part the ad-hoc copies got wrong — the failure
+// diagnostics: every error names the operation, the full path it was
+// working on, and the OS error text, and a missing parent directory
+// (the most common field failure: `--metrics-out missing-dir/t.json`)
+// is called out explicitly instead of a bare stream failure.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace geonas::io {
+
+/// Atomically replaces `path`: opens `path + ".tmp"` (binary,
+/// truncating), invokes `producer` to stream the content, flushes, and
+/// renames the temporary over `path`. On any failure the temporary is
+/// removed and a std::runtime_error is thrown whose message contains
+/// `what` (the operation, e.g. "save_weights_file"), the full path, and
+/// strerror(errno); a nonexistent parent directory is diagnosed by name.
+/// Exceptions from `producer` propagate unchanged (after cleanup).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& producer,
+                       const std::string& what);
+
+}  // namespace geonas::io

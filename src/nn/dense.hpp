@@ -38,6 +38,8 @@ class Dense final : public Layer {
 
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
   [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+  [[nodiscard]] Activation activation() const noexcept { return activation_; }
+  [[nodiscard]] bool use_bias() const noexcept { return use_bias_; }
 
  private:
   std::size_t in_;

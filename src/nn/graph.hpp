@@ -84,6 +84,21 @@ class GraphNetwork {
     return arena_.get();
   }
 
+  /// The layer computing node `id` (null for the input node 0). The
+  /// non-const overload exists for compilers that lower a trained graph
+  /// into another executor (serve::FrozenPlan reads parameters()).
+  [[nodiscard]] const Layer* node_layer(std::size_t id) const {
+    return nodes_.at(id).layer.get();
+  }
+  [[nodiscard]] Layer* node_layer(std::size_t id) {
+    return nodes_.at(id).layer.get();
+  }
+  /// Input node ids of node `id` (empty for the input node 0).
+  [[nodiscard]] const std::vector<std::size_t>& node_inputs(
+      std::size_t id) const {
+    return nodes_.at(id).inputs;
+  }
+
   /// Multi-line structural description (one node per line).
   [[nodiscard]] std::string describe() const;
 

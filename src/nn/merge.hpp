@@ -17,6 +17,7 @@ class AddMerge final : public Layer {
   explicit AddMerge(std::size_t arity, bool relu_after = true);
 
   [[nodiscard]] std::size_t arity() const override { return arity_; }
+  [[nodiscard]] bool relu_after() const noexcept { return relu_; }
   void bind_workspace(tensor::Arena& arena, std::size_t batch,
                       std::size_t steps, std::size_t in_features) override;
   void forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "io/atomic_file.hpp"
 #include "io/binary.hpp"
 
 namespace geonas::nn {
@@ -143,13 +144,19 @@ void load_weights_binary(GraphNetwork& net, std::istream& is) {
 
 void save_weights_file(GraphNetwork& net, const std::string& path,
                        bool text_v1) {
-  std::ofstream os(path, text_v1 ? std::ios::out : std::ios::binary);
-  if (!os) throw std::runtime_error("save_weights_file: cannot open " + path);
-  if (text_v1) {
-    save_weights(net, os);
-  } else {
-    save_weights_binary(net, os);
-  }
+  // Atomic publish (.tmp + rename) so a crash mid-save never leaves a
+  // truncated weight file where a loader (or a serve stream) will read
+  // it; failures are diagnosed with the full path and operation.
+  io::atomic_write_file(
+      path,
+      [&net, text_v1](std::ostream& os) {
+        if (text_v1) {
+          save_weights(net, os);
+        } else {
+          save_weights_binary(net, os);
+        }
+      },
+      "save_weights_file");
 }
 
 void load_weights_file(GraphNetwork& net, const std::string& path) {

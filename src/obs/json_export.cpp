@@ -2,12 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "io/atomic_file.hpp"
 
 namespace geonas::obs {
 
@@ -184,23 +185,10 @@ void write_telemetry_json(const MetricsRegistry& registry, std::ostream& os) {
 
 void write_telemetry_file(const MetricsRegistry& registry,
                           const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("obs: cannot open telemetry file for write: " +
-                               tmp);
-    }
-    write_telemetry_json(registry, out);
-    out.flush();
-    if (!out) {
-      throw std::runtime_error("obs: write failed for telemetry file: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("obs: cannot rename telemetry file into place: " +
-                             path);
-  }
+  io::atomic_write_file(
+      path,
+      [&registry](std::ostream& out) { write_telemetry_json(registry, out); },
+      "obs telemetry export");
 }
 
 }  // namespace geonas::obs

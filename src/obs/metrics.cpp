@@ -54,6 +54,16 @@ double monotonic_seconds() noexcept {
   return std::chrono::duration<double>(clock::now() - process_epoch).count();
 }
 
+bool wait_until_deadline(std::condition_variable& cv,
+                         std::unique_lock<std::mutex>& lock,
+                         double deadline_seconds) {
+  const double now = monotonic_seconds();
+  if (deadline_seconds <= now) return false;
+  return cv.wait_for(lock, std::chrono::duration<double>(
+                               deadline_seconds - now)) ==
+         std::cv_status::no_timeout;
+}
+
 // ---------------------------------------------------------------- Histogram
 
 void Histogram::observe(double x) noexcept {
@@ -117,7 +127,13 @@ double Histogram::bucket_upper(std::size_t i) noexcept {
 double Histogram::percentile(double p) const noexcept {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
+  // Boundary semantics (locked in by obs_test.cpp table-driven cases):
+  // NaN p is a caller bug and reports 0 instead of casting NaN to an
+  // integer rank (UB); p <= 0 is the distribution minimum and p >= 100
+  // the maximum, both exact observations rather than bucket midpoints.
+  if (std::isnan(p)) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
   // Rank of the target observation (1-based, nearest-rank definition).
   const auto rank = static_cast<std::uint64_t>(
       std::ceil(p / 100.0 * static_cast<double>(n)));
@@ -131,7 +147,10 @@ double Histogram::percentile(double p) const noexcept {
       const double hi = bucket_upper(i);
       const double lo =
           hi / std::pow(10.0, 1.0 / static_cast<double>(kBucketsPerDecade));
-      return std::sqrt(lo * hi);  // geometric midpoint of the bucket
+      // Clamping the geometric bucket midpoint into [min, max] keeps a
+      // reported percentile inside the observed range (a single-bucket
+      // distribution would otherwise report a value above its max).
+      return std::clamp(std::sqrt(lo * hi), min(), max());
     }
   }
   return max();  // rank fell in the overflow bucket

@@ -41,8 +41,10 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -56,6 +58,17 @@ namespace geonas::obs {
 
 /// Monotonic process clock in seconds (steady, not wall-calendar time).
 [[nodiscard]] double monotonic_seconds() noexcept;
+
+/// Waits on `cv` until notified or until monotonic_seconds() reaches
+/// `deadline_seconds`; returns false on timeout, true when notified
+/// (spurious wakeups report as notifications — callers re-check their
+/// predicate in a loop either way). This is the repo's only timed
+/// condition-variable wait: deadlines stay in the monotonic_seconds()
+/// time base and raw std::chrono stays inside src/obs (lint rule
+/// chrono-outside-obs).
+bool wait_until_deadline(std::condition_variable& cv,
+                         std::unique_lock<std::mutex>& lock,
+                         double deadline_seconds);
 
 /// Tiny monotonic stopwatch; the repo-wide replacement for raw
 /// std::chrono timing pairs. Independent of any registry.
@@ -136,7 +149,11 @@ class Histogram {
   [[nodiscard]] double sum() const noexcept;
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
-  /// p in [0, 100]; returns 0 on an empty histogram.
+  /// Nearest-rank percentile. Boundary semantics: 0 on an empty
+  /// histogram or NaN p; min() for p <= 0; max() for p >= 100 and for
+  /// ranks falling in the overflow bucket; min() for ranks falling in
+  /// the underflow bucket; otherwise the geometric midpoint of the
+  /// bucket holding the rank, clamped into [min(), max()].
   [[nodiscard]] double percentile(double p) const noexcept;
 
   /// Inclusive upper bound of bucket i (exported as "le").

@@ -1,0 +1,136 @@
+// FrozenPlan: a trained GraphNetwork lowered to a forward-only
+// execution plan for serving.
+//
+// The freeze-then-infer split (RoseNNa / CodeJeNN, PAPERS.md): training
+// and inference want different executors. GraphNetwork carries gradient
+// matrices, backward workspaces and rebind machinery; a serving stream
+// needs none of it. compile() walks the trained graph's topological node
+// schedule once and emits a flat op list (LSTM / GRU / Dense / AddMerge
+// / Identity — Dropout lowers to Identity at inference) whose execution
+// replays the layers' exact forward kernel sequences: the same gemm_raw
+// calls, the same fused tensor::vmath pointwise kernels, the same loop
+// order. That makes a FrozenPlan's output BITWISE identical to
+// GraphNetwork::forward for the same weights (tests/serve_plan_test.cpp
+// pins this at kernel_threads 1/2/8 and across batch sizes).
+//
+// Memory model: one tensor::Arena per plan. Workspaces are carved once
+// at construction for the plan's capacity (max_batch x steps) and runs
+// at any batch b <= max_batch reuse them — run() performs zero heap
+// allocation (lint rule hot-path-alloc covers this file). Only the
+// forward workspaces exist: the backward scratch a training layer binds
+// (dz/dh/dc/dx for LSTM, da/dh/drh/dx for GRU, activation caches for
+// Dense) is never carved, so a plan's working set is roughly half a
+// bound training graph's.
+//
+// Weights are copied out of the source network once and shared
+// read-only (shared_ptr) across stream clones: clone_stream() gives a
+// serving stream its own workspaces and activation buffers — layer
+// forwards mutate internal state, so streams must not share them — at
+// the cost of only the arena, not another weight copy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/graph.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/matrix.hpp"
+
+namespace geonas::serve {
+
+class FrozenPlan {
+ public:
+  /// Lowers `net` into a plan able to serve batches of up to `max_batch`
+  /// windows of `steps` timesteps. `net` is read (structure + weights)
+  /// and not retained; it is non-const only because Layer::parameters()
+  /// is non-const. Throws on an unsupported layer type or zero sizes.
+  static FrozenPlan compile(nn::GraphNetwork& net, std::size_t steps,
+                            std::size_t max_batch);
+
+  FrozenPlan(FrozenPlan&&) = default;
+  FrozenPlan& operator=(FrozenPlan&&) = default;
+  FrozenPlan(const FrozenPlan&) = delete;
+  FrozenPlan& operator=(const FrozenPlan&) = delete;
+
+  /// A new plan for another serving stream: shares this plan's weights,
+  /// owns fresh workspaces/activations.
+  [[nodiscard]] FrozenPlan clone_stream() const;
+
+  /// Runs the plan on [b, steps, input_features] with b in
+  /// [1, max_batch]; returns the output node's activation buffer
+  /// ([b, steps, output_features]), valid until the next run on this
+  /// plan. Zero heap allocation; per-example rows of the result are
+  /// bitwise independent of b (GEMM rows and the pointwise kernels are
+  /// row-local), which is what makes micro-batch coalescing transparent.
+  const Tensor3& run(const Tensor3& input);
+
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t max_batch() const noexcept { return max_batch_; }
+  [[nodiscard]] std::size_t input_features() const noexcept {
+    return in_features_;
+  }
+  [[nodiscard]] std::size_t output_features() const noexcept {
+    return out_features_;
+  }
+  [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+  /// Bytes of forward workspace carved from the plan's arena.
+  [[nodiscard]] std::size_t workspace_bytes() const noexcept {
+    return arena_->bytes_in_use();
+  }
+  /// One line per op (debugging / CLI banner).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  enum class OpKind { kLSTM, kGRU, kDense, kAddMerge, kIdentity };
+
+  /// One lowered node. Weight slots index into the shared weight pool;
+  /// workspace views are carved from the owning plan's arena at capacity
+  /// (max_batch) and indexed with the runtime batch inside run().
+  struct Op {
+    OpKind kind = OpKind::kIdentity;
+    std::size_t node = 0;               // output buffer id
+    std::vector<std::size_t> inputs;    // source node ids (0 = external)
+    std::size_t in_features = 0;
+    std::size_t out_features = 0;       // == units for LSTM/GRU
+    // Dense
+    nn::Activation activation = nn::Activation::kIdentity;
+    bool use_bias = false;
+    // AddMerge
+    bool relu = false;
+    // Weight slots: {wx, wh, b} for LSTM/GRU, {w, b?} for Dense.
+    std::size_t w0 = 0, w1 = 0, w2 = 0;
+    // Forward workspaces (layouts mirror the training layers).
+    tensor::ArenaMatrix x_tm;   // [T*B, in]
+    tensor::ArenaMatrix gates;  // [T*B, 4u] (LSTM) / [T*B, 3u] (GRU)
+    tensor::ArenaMatrix h_seq;  // [(T+1)*B, u]
+    tensor::ArenaMatrix c_seq;  // [(T+1)*B, u] (LSTM only)
+    tensor::ArenaMatrix rh;     // [T*B, u] (GRU only)
+  };
+
+  FrozenPlan() = default;
+
+  /// Carves every op's workspaces from a fresh arena and sizes the
+  /// activation buffers at capacity (cold path: construction/clone).
+  void bind_workspaces();
+
+  void run_lstm(Op& op, const Tensor3& x, Tensor3& out, std::size_t batch);
+  void run_gru(Op& op, const Tensor3& x, Tensor3& out, std::size_t batch);
+  void run_dense(const Op& op, const Tensor3& x, Tensor3& out,
+                 std::size_t batch);
+
+  std::shared_ptr<const std::vector<Matrix>> weights_;
+  std::vector<Op> ops_;
+  std::vector<std::size_t> node_features_;  // indexed by node id
+  std::vector<Tensor3> activations_;        // indexed by node id; 0 unused
+  std::unique_ptr<tensor::Arena> arena_;
+  std::size_t output_node_ = 0;
+  std::size_t steps_ = 0;
+  std::size_t max_batch_ = 0;
+  std::size_t in_features_ = 0;
+  std::size_t out_features_ = 0;
+};
+
+}  // namespace geonas::serve

@@ -142,6 +142,53 @@ TEST_F(PipelineTest, ForecastCoefficientsLayout) {
                std::invalid_argument);
 }
 
+TEST_F(PipelineTest, WeekRangeValidationNamesEveryValue) {
+  // Regression: an INVERTED range (week0 > week1) used to slip past the
+  // length check — week1 - week0 underflowed on size_t to a huge span —
+  // and crash deep inside windowing. The ordering check must run before
+  // any subtraction, and the message must name the offending values.
+  auto& p = *pipeline_;
+  searchspace::StackedLSTMSpace space;
+  Rng rng(1);
+  nn::GraphNetwork net = space.build(space.random_architecture(rng));
+  net.init_params(2);
+
+  const auto expect_named_throw = [](auto&& call, const char* needle) {
+    try {
+      call();
+      FAIL() << "expected invalid_argument naming " << needle;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("week0="), std::string::npos) << what;
+      EXPECT_NE(what.find("week1="), std::string::npos) << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+
+  // Inverted range: the size_t-underflow regression case proper.
+  expect_named_throw(
+      [&] { (void)p.forecast_coefficients(net, 120, 40); }, "week0=120");
+  expect_named_throw([&] { (void)p.windows(120, 40); }, "week0=120");
+  // Empty range.
+  expect_named_throw([&] { (void)p.windows(50, 50); }, "week0=50");
+  // Past the end of the record (total = 240).
+  expect_named_throw([&] { (void)p.windows(0, 500); },
+                     "total_snapshots=240");
+  // Ordered but too short for one 2K window: the message names the span
+  // and the window length K.
+  try {
+    (void)p.windows(0, 15);
+    FAIL() << "expected invalid_argument for a sub-2K range";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spans 15"), std::string::npos) << what;
+    EXPECT_NE(what.find("2K = 16"), std::string::npos) << what;
+    EXPECT_NE(what.find("K=window=8"), std::string::npos) << what;
+  }
+  // The boundary itself is fine: exactly one window.
+  EXPECT_EQ(p.windows(0, 16).size(), 1u);
+}
+
 TEST_F(PipelineTest, TrainedForecastBeatsUntrained) {
   auto& p = *pipeline_;
   searchspace::StackedLSTMSpace space;

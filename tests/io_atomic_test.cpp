@@ -1,0 +1,103 @@
+// io::atomic_write_file — the tmp+rename discipline behind every
+// artifact writer (telemetry, weights, checkpoints) — and its failure
+// diagnostics: errors name the operation, the full path, and the most
+// specific cause (a missing parent directory by name).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/atomic_file.hpp"
+#include "obs/json_export.hpp"
+#include "obs/metrics.hpp"
+
+namespace geonas::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(IoAtomicWrite, WritesContentAndRemovesTmp) {
+  const fs::path dir = fs::temp_directory_path() / "geonas_atomic_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "out.txt").string();
+  atomic_write_file(
+      path, [](std::ostream& os) { os << "payload"; }, "test write");
+  EXPECT_EQ(read_all(path), "payload");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // Overwrite is atomic too: the old content is fully replaced.
+  atomic_write_file(
+      path, [](std::ostream& os) { os << "v2"; }, "test write");
+  EXPECT_EQ(read_all(path), "v2");
+  fs::remove_all(dir);
+}
+
+TEST(IoAtomicWrite, MissingParentDirectoryIsNamed) {
+  const std::string path =
+      (fs::temp_directory_path() / "geonas_no_such_dir" / "out.bin").string();
+  ASSERT_FALSE(fs::exists(fs::path(path).parent_path()));
+  try {
+    atomic_write_file(
+        path, [](std::ostream& os) { os << "x"; }, "checkpoint save");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checkpoint save"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("parent directory"), std::string::npos) << what;
+    EXPECT_NE(what.find("geonas_no_such_dir"), std::string::npos) << what;
+  }
+}
+
+TEST(IoAtomicWrite, ProducerExceptionCleansUpTmp) {
+  const fs::path dir = fs::temp_directory_path() / "geonas_atomic_throw";
+  fs::create_directories(dir);
+  const std::string path = (dir / "out.txt").string();
+  atomic_write_file(
+      path, [](std::ostream& os) { os << "original"; }, "test write");
+  EXPECT_THROW(atomic_write_file(
+                   path,
+                   [](std::ostream&) {
+                     throw std::logic_error("producer failed");
+                   },
+                   "test write"),
+               std::logic_error);
+  // The target is untouched and no orphan tmp file is left behind.
+  EXPECT_EQ(read_all(path), "original");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(IoAtomicWrite, TelemetryExportDiagnosesBadMetricsOutDir) {
+  // The user-facing shape of the same failure: --metrics-out pointing
+  // into a directory that does not exist must fail with the path and
+  // cause, not a silent zero-byte sidecar.
+  obs::MetricsRegistry registry;
+  registry.counter("x").add(1);
+  const std::string path = (fs::temp_directory_path() /
+                            "geonas_missing_metrics_dir" / "telemetry.json")
+                               .string();
+  try {
+    obs::write_telemetry_file(registry, path);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("obs telemetry export"), std::string::npos) << what;
+    EXPECT_NE(what.find("parent directory"), std::string::npos) << what;
+    EXPECT_NE(what.find("geonas_missing_metrics_dir"), std::string::npos)
+        << what;
+  }
+}
+
+}  // namespace
+}  // namespace geonas::io

@@ -107,6 +107,56 @@ TEST(ObsHistogram, PercentileWithinBucketWidth) {
   EXPECT_LE(h.percentile(90), h.percentile(99) + 1e-12);
 }
 
+TEST(ObsHistogram, PercentileBoundarySemantics) {
+  // Table-driven pin of the documented boundary contract: empty/NaN-p
+  // report 0, p <= 0 reports min(), p >= 100 reports max(), ranks in the
+  // underflow/overflow buckets report min()/max(), and in-range results
+  // are clamped into [min(), max()].
+  const double nan_p = std::numeric_limits<double>::quiet_NaN();
+
+  {
+    Histogram empty;
+    for (const double p : {-5.0, 0.0, 50.0, 100.0, 150.0, nan_p}) {
+      EXPECT_DOUBLE_EQ(empty.percentile(p), 0.0) << "empty, p=" << p;
+    }
+  }
+
+  Histogram h;
+  for (const double x : {0.02, 0.04, 0.08, 0.16}) h.observe(x);
+  struct Case {
+    double p;
+    double want;
+    const char* why;
+  };
+  const Case cases[] = {
+      {nan_p, 0.0, "NaN p is not a rank"},
+      {-10.0, h.min(), "p below 0 pins to min"},
+      {0.0, h.min(), "p == 0 pins to min"},
+      {100.0, h.max(), "p == 100 pins to max"},
+      {250.0, h.max(), "p above 100 pins to max"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_DOUBLE_EQ(h.percentile(c.p), c.want) << c.why;
+  }
+  // In-range percentiles stay inside the observed envelope even though
+  // bucket midpoints can exceed it.
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, h.min()) << "p=" << p;
+    EXPECT_LE(v, h.max()) << "p=" << p;
+  }
+
+  {
+    // All mass in the underflow/overflow buckets: in-range ranks resolve
+    // to the recorded extremes, never a synthetic bucket bound.
+    Histogram edges;
+    edges.observe(-3.0);   // underflow (negative)
+    edges.observe(1e9);    // overflow
+    EXPECT_DOUBLE_EQ(edges.percentile(25), -3.0);
+    EXPECT_DOUBLE_EQ(edges.percentile(99), 1e9);
+  }
+}
+
 TEST(ObsRegistry, SortedSnapshotsAndSeries) {
   MetricsRegistry reg;
   reg.counter("z.last").add(1);

@@ -16,6 +16,18 @@
 //   geonas_cli train     --snapshots snaps.bin [--modes 5] [--window 8]
 //                        [--arch GENE-KEY] [--epochs 60] [--seed 1]
 //                        [--weights-out weights.bin]
+//   geonas_cli serve     --arch GENE-KEY [--weights weights.bin]
+//                        [--modes 5] [--window 8] [--streams 4]
+//                        [--max-batch 32] [--max-delay-ms 0.5]
+//                        [--requests 20000] [--shard-threads 1] [--seed 1]
+//
+// `serve` freezes the architecture (trained weights from --weights, or
+// seeded initial weights for smoke runs) into a forward-only
+// serve::FrozenPlan, spins up a micro-batching ServeEngine with
+// --streams parallel model streams, fires --requests seeded forecast
+// windows through it, and reports batched throughput. With metrics
+// enabled the queue-wait / batch-size / end-to-end latency histograms
+// land in telemetry.json and the p50/p90/p99 are printed at exit.
 //
 // Observability: every subcommand accepts --metrics-out PATH (write a
 // versioned telemetry.json sidecar at exit; implies --metrics 1) and
@@ -44,9 +56,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/nas_driver.hpp"
@@ -68,10 +82,52 @@
 #include "search/ppo.hpp"
 #include "search/random_search.hpp"
 #include "searchspace/space.hpp"
+#include "serve/engine.hpp"
+#include "serve/frozen_plan.hpp"
 
 namespace {
 
 using namespace geonas;
+
+/// Checked integer parse for --flag values: the whole token must be
+/// consumed, so "--epochs 10x" or "--seed 1e3" fail loudly (naming the
+/// flag and the offending text) instead of silently truncating the way
+/// bare std::stol would.
+long parse_num(const std::string& flag, const std::string& text) {
+  std::size_t pos = 0;
+  long value = 0;
+  try {
+    value = std::stol(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + flag + ": '" + text +
+                                "' is not an integer");
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("--" + flag + ": trailing characters '" +
+                                text.substr(pos) + "' in '" + text +
+                                "' (expected an integer)");
+  }
+  return value;
+}
+
+/// Checked real-number parse for --flag values (same whole-token
+/// contract as parse_num).
+double parse_real(const std::string& flag, const std::string& text) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + flag + ": '" + text +
+                                "' is not a number");
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("--" + flag + ": trailing characters '" +
+                                text.substr(pos) + "' in '" + text +
+                                "' (expected a number)");
+  }
+  return value;
+}
 
 /// Minimal --key value argument map.
 class Args {
@@ -103,7 +159,12 @@ class Args {
   }
   [[nodiscard]] long get_long(const std::string& key, long fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stol(it->second);
+    return it == values_.end() ? fallback : parse_num(key, it->second);
+  }
+  [[nodiscard]] double get_real(const std::string& key,
+                                double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : parse_real(key, it->second);
   }
 
  private:
@@ -214,8 +275,7 @@ int cmd_search(const Args& args) {
   options.resume = args.get_long("resume", 0) != 0;
   options.retry.max_attempts =
       static_cast<std::size_t>(args.get_long("retries", 0)) + 1;
-  options.retry.timeout_seconds =
-      std::stod(args.get("eval-timeout", "0"));
+  options.retry.timeout_seconds = args.get_real("eval-timeout", 0.0);
   options.memoize = args.get_long("memoize", 0) != 0;
   if (options.resume && options.checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume 1 requires --checkpoint PATH\n");
@@ -357,11 +417,99 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const auto modes = static_cast<std::size_t>(args.get_long("modes", 5));
+  const auto window = static_cast<std::size_t>(args.get_long("window", 8));
+  const auto streams = static_cast<std::size_t>(args.get_long("streams", 4));
+  const auto max_batch =
+      static_cast<std::size_t>(args.get_long("max-batch", 32));
+  const double max_delay_ms = args.get_real("max-delay-ms", 0.5);
+  const auto requests =
+      static_cast<std::size_t>(args.get_long("requests", 20000));
+  const auto shard_threads =
+      static_cast<std::size_t>(args.get_long("shard-threads", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  if (streams == 0 || max_batch == 0 || requests == 0) {
+    std::fprintf(stderr,
+                 "--streams, --max-batch and --requests must be >= 1\n");
+    return 2;
+  }
+
+  const searchspace::StackedLSTMSpace space(
+      {.input_features = modes, .output_features = modes});
+  const auto arch = searchspace::Architecture::from_key(args.require("arch"));
+  if (!space.valid(arch)) {
+    std::fprintf(stderr, "--arch key is not a member of the space\n");
+    return 2;
+  }
+  nn::GraphNetwork net = space.build(arch);
+  const std::string weights = args.get("weights", "");
+  if (weights.empty()) {
+    net.init_params(seed);
+    std::printf("no --weights given; serving seeded initial weights "
+                "(smoke-test mode)\n");
+  } else {
+    nn::load_weights_file(net, weights);
+    std::printf("loaded weights from %s\n", weights.c_str());
+  }
+
+  serve::FrozenPlan plan = serve::FrozenPlan::compile(net, window, max_batch);
+  std::printf("%s", plan.describe().c_str());
+  std::printf("workspace: %zu bytes/stream, %zu streams x %zu shard "
+              "threads\n",
+              plan.workspace_bytes(), streams, shard_threads);
+
+  serve::ServeEngine engine(
+      std::move(plan), {.streams = streams,
+                        .max_delay_seconds = max_delay_ms / 1000.0,
+                        .shard_threads = shard_threads});
+
+  // A pool of seeded windows reused round-robin: the engine copies each
+  // submission, so the pool only has to decorrelate neighboring batches.
+  const std::size_t pool_size = std::min<std::size_t>(requests, 256);
+  std::vector<std::vector<double>> pool(pool_size);
+  Rng rng(seed);
+  for (auto& w : pool) {
+    w.resize(window * modes);
+    for (double& v : w) v = rng.uniform(-2.0, 2.0);
+  }
+
+  std::vector<std::future<serve::Forecast>> futures;
+  futures.reserve(requests);
+  obs::StopWatch watch;
+  for (std::size_t i = 0; i < requests; ++i) {
+    futures.push_back(engine.submit(pool[i % pool_size]));
+  }
+  for (auto& f : futures) f.get();
+  const double elapsed = watch.seconds();
+  engine.shutdown();
+
+  std::printf("%zu forecasts in %.3f s: %.0f requests/s\n", requests,
+              elapsed, static_cast<double>(requests) / elapsed);
+  if (obs::MetricsRegistry* reg = obs::registry()) {
+    const obs::Histogram& e2e = reg->histogram("serve.e2e_seconds");
+    const obs::Histogram& wait = reg->histogram("serve.queue_wait_seconds");
+    const obs::Histogram& size = reg->histogram("serve.batch_size");
+    std::printf("e2e latency: p50 %.1f us, p90 %.1f us, p99 %.1f us\n",
+                e2e.percentile(50) * 1e6, e2e.percentile(90) * 1e6,
+                e2e.percentile(99) * 1e6);
+    std::printf("queue wait: p50 %.1f us, p99 %.1f us; mean batch %.1f "
+                "(%llu batches)\n",
+                wait.percentile(50) * 1e6, wait.percentile(99) * 1e6,
+                size.count() > 0
+                    ? size.sum() / static_cast<double>(size.count())
+                    : 0.0,
+                static_cast<unsigned long long>(
+                    reg->counter("serve.batches").value()));
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: geonas_cli <generate|pod|search|train> [--option "
-               "value]...\n(see the header comment of tools/geonas_cli.cpp "
-               "for the full option list)\n");
+               "usage: geonas_cli <generate|pod|search|train|serve> "
+               "[--option value]...\n(see the header comment of "
+               "tools/geonas_cli.cpp for the full option list)\n");
 }
 
 }  // namespace
@@ -379,6 +527,7 @@ int main(int argc, char** argv) {
     if (command == "pod") return cmd_pod(args);
     if (command == "search") return cmd_search(args);
     if (command == "train") return cmd_train(args);
+    if (command == "serve") return cmd_serve(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

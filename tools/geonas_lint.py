@@ -119,6 +119,7 @@ HOT_PATH_FILES = {
     "src/nn/dense.cpp",
     "src/nn/merge.cpp",
     "src/nn/dropout.cpp",
+    "src/serve/frozen_plan.cpp",
 }
 HOT_PATH_ALLOC_RE = re.compile(
     r"\bnew\b|\bmalloc\s*\("

@@ -2,6 +2,10 @@
 # Captures BENCH_*.json from a release build, with provenance enforcement.
 #
 #   tools/run_bench.sh                      write BENCH_kernels.json
+#   tools/run_bench.sh --suite NAME         pick the suite: kernels
+#                                           (micro_substrate, default) or
+#                                           serve (serve_engine ->
+#                                           BENCH_serve.json)
 #   tools/run_bench.sh --out FILE.json      alternate output path
 #   tools/run_bench.sh --filter REGEX       restrict benchmark selection
 #   tools/run_bench.sh --compare            regression gate: capture and
@@ -15,10 +19,10 @@
 #                                           aggregate, so more reps trade
 #                                           wall time for gate stability)
 #
-# Configures and builds the `release` CMake preset, runs micro_substrate
-# with --benchmark_out, and commits the JSON to the requested path ONLY
-# if the binary's self-reported `geonas_build_type` context field says
-# Release. That field is stamped by micro_substrate's custom main() from
+# Configures and builds the `release` CMake preset, runs the suite's
+# binary with --benchmark_out, and commits the JSON to the requested path
+# ONLY if the binary's self-reported `geonas_build_type` context field
+# says Release. That field is stamped by the suite's custom main() from
 # CMAKE_BUILD_TYPE; the upstream `library_build_type` field describes how
 # the *system benchmark library* was compiled and says nothing about
 # this repo's flags (committing a debug-flagged capture is exactly the
@@ -28,7 +32,8 @@ set -euo pipefail
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo"
 
-out="BENCH_kernels.json"
+suite="kernels"
+out=""
 filter=""
 compare=0
 threshold="0.05"
@@ -36,17 +41,27 @@ reps=5
 jobs="$(nproc 2>/dev/null || echo 2)"
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --suite) suite="$2"; shift ;;
     --out) out="$2"; shift ;;
     --filter) filter="$2"; shift ;;
     --compare) compare=1 ;;
     --threshold) threshold="$2"; shift ;;
     --reps) reps="$2"; shift ;;
     --jobs) jobs="$2"; shift ;;
-    -h|--help) sed -n '2,14p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
     *) echo "run_bench: unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+# Each suite is one provenance-stamped binary with its own committed
+# baseline; --out still overrides the default path.
+case "$suite" in
+  kernels) target="micro_substrate"; default_out="BENCH_kernels.json" ;;
+  serve)   target="serve_engine";    default_out="BENCH_serve.json" ;;
+  *) echo "run_bench: unknown suite: $suite (kernels|serve)" >&2; exit 2 ;;
+esac
+out="${out:-$default_out}"
 
 if [[ $compare -eq 1 && ! -f "$out" ]]; then
   echo "run_bench: --compare needs a committed baseline at $out" >&2
@@ -61,13 +76,13 @@ esac
 
 echo "==== configure+build [release] ===="
 cmake --preset release >/dev/null
-cmake --build --preset release -j "$jobs" --target micro_substrate
+cmake --build --preset release -j "$jobs" --target "$target"
 
-bench="build-release/bench/micro_substrate"
+bench="build-release/bench/$target"
 tmp="$(mktemp --suffix=.json)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "==== run micro_substrate ===="
+echo "==== run $target ===="
 # Median-of-N repetitions: single-pass captures swing by 10-20% on a
 # shared 1-CPU box, which a 5% gate cannot survive. bench_diff prefers
 # the per-run median aggregate these repetitions produce.

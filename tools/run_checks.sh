@@ -9,8 +9,8 @@
 #                                  run + release alloc audit + ASan+UBSan
 #                                  tier-1 suite + TSan over the threaded
 #                                  kernel layer (determinism + vmath +
-#                                  hpc stress + memoizer suites) + a
-#                                  one-TU thread-safety smoke
+#                                  hpc stress + memoizer + serve suites)
+#                                  + a one-TU thread-safety smoke
 #   tools/run_checks.sh --analyze  just the Clang Thread Safety Analysis
 #                                  build (cmake --preset analyze with
 #                                  -Werror=thread-safety)
@@ -107,9 +107,11 @@ fi
 # bench_diff comparator regression (including the added/removed
 # classification) fails here, without a release bench run.
 step "bench_diff --dry-run"
-if ! python3 tools/bench_diff.py --dry-run; then
-  failures+=(bench_diff)
-fi
+for baseline in BENCH_kernels.json BENCH_serve.json; do
+  if ! python3 tools/bench_diff.py --dry-run "$baseline"; then
+    failures+=("bench_diff:$baseline")
+  fi
+done
 
 # The zero-allocation audit needs the counting operator new, which the
 # sanitizer presets compile out — run it from the release tree.
@@ -129,8 +131,10 @@ if [[ $quick -eq 1 ]]; then
   # kernel-pool and driver worker threads while an exporter reads it —
   # races there corrupt every NAS reward / telemetry report downstream —
   # and the memoizer stress suite (concurrent evaluate vs checkpoint
-  # streaming over one cache mutex).
-  run_flavor tsan '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs|Memoizer)'
+  # streaming over one cache mutex). Serve* covers the inference engine's
+  # MPSC queue/stream handoff (multi-producer backpressure + drain).
+  run_flavor tsan \
+    '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs|Memoizer|Serve)'
   run_analyze_smoke
 else
   run_flavor tsan
