@@ -23,8 +23,11 @@
 #include "searchspace/space.hpp"
 #include "search/aging_evolution.hpp"
 #include "tensor/blas.hpp"
+#include "tensor/prepack.hpp"
 #include "tensor/random.hpp"
 #include "tensor/vmath.hpp"
+
+#include "bench_host_context.hpp"
 
 #ifndef GEONAS_BENCH_BUILD_TYPE
 #define GEONAS_BENCH_BUILD_TYPE "unknown"
@@ -82,6 +85,48 @@ void BM_GemmNaive(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_GemmNaive)->Arg(32)->Arg(128)->Arg(256);
+
+// Pack-once vs per-call B packing at the small-M shapes the recurrent
+// per-timestep and serve paths issue. The weight is the LSTM(64)
+// recurrent operand (64 x 256 = 128 KiB packed — inside the prepack L2
+// bound, so the packed dispatch also drops the jc/ic blocking loops);
+// m = 1 is the single-request serve shape, m = 8 a micro-batch. The
+// paired BM_GemmPerCallPack runs the identical GEMM through the raw
+// kernel, which re-packs B every call.
+void BM_GemmPrepacked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kK = 64, kN = 256;
+  const Matrix w = random_matrix(kK, kN, 7);
+  const Matrix a = random_matrix(m, kK, 8);
+  Matrix c(m, kN);
+  tensor::PackedPanels pack;
+  pack.ensure(w, Trans::kNone);
+  for (auto _ : state) {
+    pack.ensure(w, Trans::kNone);  // steady state: one version compare
+    gemm_raw(Trans::kNone, m, 1.0, a.flat().data(), kK, pack, 0.0,
+             c.flat().data(), kN);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * kK * kN));
+}
+BENCHMARK(BM_GemmPrepacked)->Arg(1)->Arg(8);
+
+void BM_GemmPerCallPack(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kK = 64, kN = 256;
+  const Matrix w = random_matrix(kK, kN, 7);
+  const Matrix a = random_matrix(m, kK, 8);
+  Matrix c(m, kN);
+  for (auto _ : state) {
+    gemm_raw(Trans::kNone, Trans::kNone, m, kN, kK, 1.0, a.flat().data(), kK,
+             w.flat().data(), kN, 0.0, c.flat().data(), kN);
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * kK * kN));
+}
+BENCHMARK(BM_GemmPerCallPack)->Arg(1)->Arg(8);
 
 void BM_MatmulAtB(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -281,6 +326,77 @@ void BM_LSTMForwardPerStepReference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LSTMForwardPerStepReference)->Arg(40)->Arg(80);
+
+// Small-batch LSTM forward through the prepacked layer path (the panels
+// are validated by a version compare per pass and never re-packed), vs
+// an inline replica of the same kernel sequence with raw weight
+// pointers (the blocked GEMM re-packs Wx/Wh on every call — what every
+// forward paid before the prepack layer). Batch 8 is the micro-batch
+// regime where packing dominated the per-timestep recurrent GEMMs.
+void BM_LSTMForwardPrepacked(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  nn::LSTM lstm(5, units);
+  Rng rng(14);
+  lstm.init_params(rng);
+  Tensor3 x(8, 8, 5);
+  for (double& v : x.flat()) v = rng.normal();
+  const Tensor3* ptr = &x;
+  Tensor3 out(8, 8, units);
+  for (auto _ : state) {
+    lstm.forward_into({&ptr, 1}, out, false);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+}
+BENCHMARK(BM_LSTMForwardPrepacked)->Arg(16)->Arg(96);
+
+void BM_LSTMForwardPerCallPack(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kB = 8, kT = 8, kIn = 5;
+  const std::size_t g4 = 4 * units;
+  const std::size_t rows = kB * kT;
+  Rng rng(14);
+  Matrix wx(kIn, g4), wh(units, g4), b(1, g4);
+  for (double& v : wx.flat()) v = rng.uniform(-0.1, 0.1);
+  for (double& v : wh.flat()) v = rng.normal(0.0, 0.1);
+  Tensor3 x(kB, kT, kIn);
+  for (double& v : x.flat()) v = rng.normal();
+  // Persistent workspaces mirroring the layer's arena binds; h/c row
+  // blocks [0, kB) stay zero across iterations like the bound layer's.
+  Matrix x_tm(rows, kIn), gates(rows, g4);
+  Matrix h_seq((kT + 1) * kB, units), c_seq((kT + 1) * kB, units);
+  Tensor3 out(kB, kT, units);
+  for (auto _ : state) {
+    for (std::size_t bi = 0; bi < kB; ++bi) {
+      const double* src = x.flat().data() + bi * kT * kIn;
+      for (std::size_t t = 0; t < kT; ++t) {
+        std::copy(src + t * kIn, src + (t + 1) * kIn,
+                  x_tm.row_span(t * kB + bi).begin());
+      }
+    }
+    gemm_raw(Trans::kNone, Trans::kNone, rows, g4, kIn, 1.0,
+             x_tm.flat().data(), kIn, wx.flat().data(), g4, 0.0,
+             gates.flat().data(), g4);
+    const double* bias = b.flat().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      double* zrow = gates.flat().data() + r * g4;
+      for (std::size_t j = 0; j < g4; ++j) zrow[j] += bias[j];
+    }
+    for (std::size_t t = 0; t < kT; ++t) {
+      double* z = gates.flat().data() + t * kB * g4;
+      const double* h_prev = h_seq.flat().data() + t * kB * units;
+      gemm_raw(Trans::kNone, Trans::kNone, kB, g4, units, 1.0, h_prev, units,
+               wh.flat().data(), g4, 1.0, z, g4);
+      const double* c_prev = c_seq.flat().data() + t * kB * units;
+      double* c_new = c_seq.flat().data() + (t + 1) * kB * units;
+      double* h_new = h_seq.flat().data() + (t + 1) * kB * units;
+      tensor::lstm_pointwise_forward(kB, units, z, c_prev, c_new, h_new,
+                                     out.flat().data() + t * units,
+                                     kT * units);
+    }
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+}
+BENCHMARK(BM_LSTMForwardPerCallPack)->Arg(16)->Arg(96);
 
 // Paper-scale shapes (Maulik et al.: batch 32, 8-step windows, 40/80
 // LSTM units) for the batched-GEMM cell.
@@ -482,6 +598,7 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("geonas_build_type", GEONAS_BENCH_BUILD_TYPE);
   benchmark::AddCustomContext("geonas_vmath_backend",
                               geonas::tensor::vmath_backend());
+  geonas::benchutil::add_host_context();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

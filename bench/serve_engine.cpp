@@ -30,6 +30,8 @@
 #include "tensor/random.hpp"
 #include "tensor/vmath.hpp"
 
+#include "bench_host_context.hpp"
+
 #ifndef GEONAS_BENCH_BUILD_TYPE
 #define GEONAS_BENCH_BUILD_TYPE "unknown"
 #endif
@@ -167,6 +169,7 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("geonas_build_type", GEONAS_BENCH_BUILD_TYPE);
   benchmark::AddCustomContext("geonas_vmath_backend",
                               geonas::tensor::vmath_backend());
+  geonas::benchutil::add_host_context();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

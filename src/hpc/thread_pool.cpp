@@ -1,11 +1,20 @@
 #include "hpc/thread_pool.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "hpc/parallel_for.hpp"
 #include "obs/metrics.hpp"
 
 namespace geonas::hpc {
+
+namespace {
+std::atomic<WorkerWarmupFn> g_worker_warmup{nullptr};
+}  // namespace
+
+void set_worker_warmup(WorkerWarmupFn fn) noexcept {
+  g_worker_warmup.store(fn, std::memory_order_release);
+}
 
 PoolShard::PoolShard(std::string name, std::size_t threads)
     : name_(std::move(name)),
@@ -53,6 +62,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  // Warm thread_local kernel scratch before the first task is claimed:
+  // a completed dispatch therefore implies every participating worker is
+  // warm (see set_worker_warmup).
+  if (const WorkerWarmupFn warmup =
+          g_worker_warmup.load(std::memory_order_acquire)) {
+    warmup();
+  }
   for (;;) {
     std::function<void()> task;
     {

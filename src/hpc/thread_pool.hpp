@@ -22,6 +22,18 @@
 
 namespace geonas::hpc {
 
+/// Process-wide worker warm-up hook. When set, every ThreadPool worker
+/// invokes it once at thread start, BEFORE claiming any task — so by the
+/// time a submitted task runs on a worker, the warm-up has completed on
+/// that thread. Kernel layers use this to pre-reserve thread_local
+/// scratch (GEMM pack buffers) so a worker's first dispatch allocates
+/// exactly what steady-state dispatches do. The hook must be
+/// thread-safe and must not throw; pass nullptr to clear. Workers
+/// spawned before the hook is set never run it — register from a static
+/// initializer (pools are created lazily, after static init).
+using WorkerWarmupFn = void (*)();
+void set_worker_warmup(WorkerWarmupFn fn) noexcept;
+
 /// Fixed-size pool executing submitted tasks FIFO.
 ///
 /// Shutdown contract: the destructor drains the queue and joins every

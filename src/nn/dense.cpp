@@ -59,9 +59,11 @@ void Dense::forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
   const std::size_t rows = batch * steps;
 
   // Treat [B,T,F] as (B*T) x F; both tensors are contiguous row-major,
-  // so the whole layer is one GEMM plus a bias broadcast.
-  gemm_raw(Trans::kNone, Trans::kNone, rows, out_, in_, 1.0, x.flat().data(),
-           in_, w_.flat().data(), out_, 0.0, out.flat().data(), out_);
+  // so the whole layer is one GEMM (against the prepacked weight panel,
+  // re-validated per pass) plus a bias broadcast.
+  w_pack_.ensure(w_, Trans::kNone);
+  gemm_raw(Trans::kNone, rows, 1.0, x.flat().data(), in_, w_pack_, 0.0,
+           out.flat().data(), out_);
   if (use_bias_) {
     const double* bias = b_.flat().data();
     double* op = out.flat().data();
@@ -111,13 +113,15 @@ void Dense::backward_into(const Tensor3& grad_output,
     dz = dz_.flat().data();
   }
 
-  // dW += X^T dZ and dX = dZ W^T as whole-batch slab GEMMs.
+  // dW += X^T dZ and dX = dZ W^T as whole-batch slab GEMMs (the dX side
+  // consumes the prepacked transposed panel).
   Tensor3& dx = *input_grads[0];
+  w_t_pack_.ensure(w_, Trans::kTranspose);
   gemm_raw(Trans::kTranspose, Trans::kNone, in_, out_, rows, 1.0,
            input_cache_->flat().data(), in_, dz, out_, 1.0,
            w_grad_.flat().data(), out_);
-  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, out_, 1.0, dz, out_,
-           w_.flat().data(), out_, 0.0, dx.flat().data(), in_);
+  gemm_raw(Trans::kNone, rows, 1.0, dz, out_, w_t_pack_, 0.0,
+           dx.flat().data(), in_);
   if (use_bias_) {
     double* bg = b_grad_.flat().data();
     for (std::size_t r = 0; r < rows; ++r) {
@@ -125,6 +129,11 @@ void Dense::backward_into(const Tensor3& grad_output,
       for (std::size_t j = 0; j < out_; ++j) bg[j] += dzrow[j];
     }
   }
+}
+
+void Dense::repack_weights() {
+  w_pack_.ensure(w_, Trans::kNone);
+  w_t_pack_.ensure(w_, Trans::kTranspose);
 }
 
 std::vector<Matrix*> Dense::parameters() {

@@ -28,6 +28,7 @@ class Dense final : public Layer {
   void backward_into(const Tensor3& grad_output,
                      std::span<Tensor3* const> input_grads) override;
   void init_params(Rng& rng) override;
+  void repack_weights() override;
   std::vector<Matrix*> parameters() override;
   std::vector<Matrix*> gradients() override;
   [[nodiscard]] std::string name() const override;
@@ -51,6 +52,10 @@ class Dense final : public Layer {
   Matrix b_;       // 1 x out
   Matrix w_grad_;
   Matrix b_grad_;
+
+  // Pack-once weight panels (see lstm.hpp): forward x*W, backward dZ*W^T.
+  tensor::PackedPanels w_pack_;    // op = W
+  tensor::PackedPanels w_t_pack_;  // op = W^T
 
   // Training-mode caches: the input stays with its owner (pointer), the
   // pre-/post-activation copies live in the bound arena. For an identity

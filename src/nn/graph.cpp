@@ -159,6 +159,12 @@ void GraphNetwork::zero_grad() {
   for (Matrix* g : grad_cache_) g->fill(0.0);
 }
 
+void GraphNetwork::repack_weights() {
+  for (auto& node : nodes_) {
+    if (node.layer) node.layer->repack_weights();
+  }
+}
+
 std::vector<Matrix*> GraphNetwork::parameters() {
   std::vector<Matrix*> out;
   for (auto& node : nodes_) {

@@ -74,6 +74,9 @@ class GraphNetwork {
   const Tensor3& backward_ref(const Tensor3& grad_output);
 
   void zero_grad();
+  /// Re-packs every layer's prepacked weight panels (Layer::
+  /// repack_weights); the trainer calls this after each optimizer step.
+  void repack_weights();
   [[nodiscard]] std::vector<Matrix*> parameters();
   [[nodiscard]] std::vector<Matrix*> gradients();
   [[nodiscard]] std::size_t param_count();

@@ -70,30 +70,35 @@ void GRU::forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
     }
   }
 
+  // Weight panels: packed once, re-validated per pass (a version-counter
+  // compare unless the optimizer touched the weights since last pack).
+  wx_pack_.ensure(wx_, Trans::kNone);
+  wh_zr_pack_.ensure_block(wh_, Trans::kNone, 0, 2 * units_);
+  wh_h_pack_.ensure_block(wh_, Trans::kNone, 2 * units_, units_);
+
   // Input projection for the entire sequence in one GEMM, then the bias.
-  gemm_raw(Trans::kNone, Trans::kNone, rows, g3, in_, 1.0, x_tm_.flat().data(),
-           in_, wx_.flat().data(), g3, 0.0, gates_.flat().data(), g3);
+  gemm_raw(Trans::kNone, rows, 1.0, x_tm_.flat().data(), in_, wx_pack_, 0.0,
+           gates_.flat().data(), g3);
   const double* bias = b_.flat().data();
   for (std::size_t r = 0; r < rows; ++r) {
     double* arow = gates_.flat().data() + r * g3;
     for (std::size_t j = 0; j < g3; ++j) arow[j] += bias[j];
   }
 
-  const double* whp = wh_.flat().data();
   for (std::size_t t = 0; t < steps; ++t) {
     double* a = gates_.flat().data() + t * batch * g3;
     const double* h_prev = h_seq_.flat().data() + t * batch * units_;
     // z/r recurrent terms see the raw previous state: the [z | r]
-    // column block of Wh is a strided (units x 2*units) submatrix.
-    gemm_raw(Trans::kNone, Trans::kNone, batch, 2 * units_, units_, 1.0,
-             h_prev, units_, whp, g3, 1.0, a, g3);
+    // column block of Wh, prepacked as its own (units x 2*units) panel.
+    gemm_raw(Trans::kNone, batch, 1.0, h_prev, units_, wh_zr_pack_, 1.0, a,
+             g3);
     // Fused z/r gate sigmoids + the candidate's recurrent input
     // r .* h_{t-1} (tensor::vmath).
     double* rh = rh_.flat().data() + t * batch * units_;
     tensor::gru_pointwise_zr(batch, units_, a, h_prev, rh);
     // Candidate recurrent term against the [h] column block of Wh.
-    gemm_raw(Trans::kNone, Trans::kNone, batch, units_, units_, 1.0, rh,
-             units_, whp + 2 * units_, g3, 1.0, a + 2 * units_, g3);
+    gemm_raw(Trans::kNone, batch, 1.0, rh, units_, wh_h_pack_, 1.0,
+             a + 2 * units_, g3);
     // Fused candidate tanh + state blend, scattered straight into the
     // batch-major output (tensor::vmath).
     double* h_new = h_seq_.flat().data() + (t + 1) * batch * units_;
@@ -120,7 +125,12 @@ void GRU::backward_into(const Tensor3& grad_output,
   // zero; every other workspace is fully overwritten below.
   dh_.fill(0.0);
 
-  const double* whp = wh_.flat().data();
+  // Transposed weight panels for the input-gradient GEMMs (packed once;
+  // transposition happened at pack time, so BPTT reads them forward).
+  wh_h_t_pack_.ensure_block(wh_, Trans::kTranspose, 2 * units_, units_);
+  wh_zr_t_pack_.ensure_block(wh_, Trans::kTranspose, 0, 2 * units_);
+  wx_t_pack_.ensure(wx_, Trans::kTranspose);
+
   double* whg = wh_grad_.flat().data();
   double* bg = b_grad_.flat().data();
 
@@ -139,8 +149,7 @@ void GRU::backward_into(const Tensor3& grad_output,
                                       steps * units_, dh_.flat().data(), da);
 
     // d(r .* h_prev) = da_h Uh^T over the candidate column block.
-    gemm_raw(Trans::kNone, Trans::kTranspose, batch, units_, units_, 1.0,
-             da + 2 * units_, g3, whp + 2 * units_, g3, 0.0,
+    gemm_raw(Trans::kNone, batch, 1.0, da + 2 * units_, g3, wh_h_t_pack_, 0.0,
              drh_.flat().data(), units_);
     // Through rh = r .* h_prev, plus the deterministic row-order bias
     // accumulation over all three gate blocks (tensor::vmath).
@@ -150,8 +159,8 @@ void GRU::backward_into(const Tensor3& grad_output,
 
     // Remaining recurrent paths, one GEMM each: dh_{t-1} += da_zr W_zr^T,
     // Wh_grad[:, z|r] += h_{t-1}^T da_zr, Wh_grad[:, h] += rh^T da_h.
-    gemm_raw(Trans::kNone, Trans::kTranspose, batch, units_, 2 * units_, 1.0,
-             da, g3, whp, g3, 1.0, dh_.flat().data(), units_);
+    gemm_raw(Trans::kNone, batch, 1.0, da, g3, wh_zr_t_pack_, 1.0,
+             dh_.flat().data(), units_);
     gemm_raw(Trans::kTranspose, Trans::kNone, units_, 2 * units_, batch, 1.0,
              h_prev, units_, da, g3, 1.0, whg, g3);
     gemm_raw(Trans::kTranspose, Trans::kNone, units_, units_, batch, 1.0, rh,
@@ -162,8 +171,7 @@ void GRU::backward_into(const Tensor3& grad_output,
   gemm_raw(Trans::kTranspose, Trans::kNone, in_, g3, rows, 1.0,
            x_tm_.flat().data(), in_, da_.flat().data(), g3, 1.0,
            wx_grad_.flat().data(), g3);
-  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, g3, 1.0,
-           da_.flat().data(), g3, wx_.flat().data(), g3, 0.0,
+  gemm_raw(Trans::kNone, rows, 1.0, da_.flat().data(), g3, wx_t_pack_, 0.0,
            dx_tm_.flat().data(), in_);
 
   Tensor3& dx = *input_grads[0];
@@ -174,6 +182,15 @@ void GRU::backward_into(const Tensor3& grad_output,
       std::copy(src.begin(), src.end(), dst + t * in_);
     }
   }
+}
+
+void GRU::repack_weights() {
+  wx_pack_.ensure(wx_, Trans::kNone);
+  wh_zr_pack_.ensure_block(wh_, Trans::kNone, 0, 2 * units_);
+  wh_h_pack_.ensure_block(wh_, Trans::kNone, 2 * units_, units_);
+  wh_zr_t_pack_.ensure_block(wh_, Trans::kTranspose, 0, 2 * units_);
+  wh_h_t_pack_.ensure_block(wh_, Trans::kTranspose, 2 * units_, units_);
+  wx_t_pack_.ensure(wx_, Trans::kTranspose);
 }
 
 std::vector<Matrix*> GRU::parameters() { return {&wx_, &wh_, &b_}; }

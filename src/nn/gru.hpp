@@ -36,6 +36,7 @@ class GRU final : public Layer {
   void backward_into(const Tensor3& grad_output,
                      std::span<Tensor3* const> input_grads) override;
   void init_params(Rng& rng) override;
+  void repack_weights() override;
   std::vector<Matrix*> parameters() override;
   std::vector<Matrix*> gradients() override;
   [[nodiscard]] std::string name() const override;
@@ -57,6 +58,17 @@ class GRU final : public Layer {
   Matrix wx_grad_;
   Matrix wh_grad_;
   Matrix b_grad_;
+
+  // Pack-once weight panels (see lstm.hpp). The per-timestep GEMMs
+  // consume the [z | r] and [h] column blocks of the fused Wh
+  // separately, so each block gets its own panel (forward and
+  // transposed-backward variants); Wx packs whole.
+  tensor::PackedPanels wx_pack_;       // op = Wx
+  tensor::PackedPanels wh_zr_pack_;    // op = Wh[:, z|r]
+  tensor::PackedPanels wh_h_pack_;     // op = Wh[:, h]
+  tensor::PackedPanels wh_zr_t_pack_;  // op = Wh[:, z|r]^T
+  tensor::PackedPanels wh_h_t_pack_;   // op = Wh[:, h]^T
+  tensor::PackedPanels wx_t_pack_;     // op = Wx^T
 
   // Time-major workspaces (row t*batch + b) carved from the bound arena,
   // reused across calls. Rows [0, B) of h_seq_ are h_0 = 0 — written

@@ -33,6 +33,7 @@
 
 #include "tensor/arena.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/prepack.hpp"
 #include "tensor/random.hpp"
 
 namespace geonas::nn {
@@ -110,6 +111,15 @@ class Layer {
 
   /// Randomly (re-)initialize parameters.
   virtual void init_params(Rng& /*rng*/) {}
+
+  /// Re-packs any prepacked weight panels (tensor::PackedPanels) against
+  /// the current parameter values. The trainer calls this right after
+  /// each optimizer step so the next forward starts with warm panels;
+  /// layers ALSO lazily re-validate before every use (the Matrix
+  /// version() counter makes stale panels structurally impossible), so
+  /// skipping this call costs latency, never correctness. Default:
+  /// layer has no packed weights.
+  virtual void repack_weights() {}
 
   /// Mutable views of parameters and their accumulated gradients; the two
   /// lists are parallel.

@@ -77,9 +77,14 @@ void LSTM::forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
     }
   }
 
+  // Weight panels: packed once, re-validated per pass (a version-counter
+  // compare unless the optimizer touched the weights since last pack).
+  wx_pack_.ensure(wx_, Trans::kNone);
+  wh_pack_.ensure(wh_, Trans::kNone);
+
   // Input projection for the entire sequence in one GEMM, then the bias.
-  gemm_raw(Trans::kNone, Trans::kNone, rows, g4, in_, 1.0, x_tm_.flat().data(),
-           in_, wx_.flat().data(), g4, 0.0, gates_.flat().data(), g4);
+  gemm_raw(Trans::kNone, rows, 1.0, x_tm_.flat().data(), in_, wx_pack_, 0.0,
+           gates_.flat().data(), g4);
   const double* bias = b_.flat().data();
   for (std::size_t r = 0; r < rows; ++r) {
     double* zrow = gates_.flat().data() + r * g4;
@@ -90,8 +95,7 @@ void LSTM::forward_into(std::span<const Tensor3* const> inputs, Tensor3& out,
     // z_t += h_{t-1} Wh: one (B, units) x (units, 4*units) GEMM.
     double* z = gates_.flat().data() + t * batch * g4;
     const double* h_prev = h_seq_.flat().data() + t * batch * units_;
-    gemm_raw(Trans::kNone, Trans::kNone, batch, g4, units_, 1.0, h_prev,
-             units_, wh_.flat().data(), g4, 1.0, z, g4);
+    gemm_raw(Trans::kNone, batch, 1.0, h_prev, units_, wh_pack_, 1.0, z, g4);
     // Fused gate nonlinearities + state update (tensor::vmath); gates_
     // holds post-activation values afterwards (what BPTT needs), and the
     // hidden state is scattered straight into the batch-major output.
@@ -122,6 +126,11 @@ void LSTM::backward_into(const Tensor3& grad_output,
   dh_.fill(0.0);
   dc_.fill(0.0);
 
+  // Transposed weight panels for the input-gradient GEMMs (packed once;
+  // transposition happened at pack time, so BPTT reads them forward).
+  wh_t_pack_.ensure(wh_, Trans::kTranspose);
+  wx_t_pack_.ensure(wx_, Trans::kTranspose);
+
   double* bg = b_grad_.flat().data();
 
   for (std::size_t t = steps; t-- > 0;) {
@@ -143,16 +152,15 @@ void LSTM::backward_into(const Tensor3& grad_output,
     // Wh_grad += H_{t-1}^T dZ_t and dH_{t-1} = dZ_t Wh^T: one GEMM each.
     gemm_raw(Trans::kTranspose, Trans::kNone, units_, g4, batch, 1.0, h_prev,
              units_, dz, g4, 1.0, wh_grad_.flat().data(), g4);
-    gemm_raw(Trans::kNone, Trans::kTranspose, batch, units_, g4, 1.0, dz, g4,
-             wh_.flat().data(), g4, 0.0, dh_.flat().data(), units_);
+    gemm_raw(Trans::kNone, batch, 1.0, dz, g4, wh_t_pack_, 0.0,
+             dh_.flat().data(), units_);
   }
 
   // Whole-sequence slab GEMMs: Wx_grad += X^T dZ and dX = dZ Wx^T.
   gemm_raw(Trans::kTranspose, Trans::kNone, in_, g4, rows, 1.0,
            x_tm_.flat().data(), in_, dz_.flat().data(), g4, 1.0,
            wx_grad_.flat().data(), g4);
-  gemm_raw(Trans::kNone, Trans::kTranspose, rows, in_, g4, 1.0,
-           dz_.flat().data(), g4, wx_.flat().data(), g4, 0.0,
+  gemm_raw(Trans::kNone, rows, 1.0, dz_.flat().data(), g4, wx_t_pack_, 0.0,
            dx_tm_.flat().data(), in_);
 
   // Scatter time-major dX back to batch-major [B, T, in].
@@ -164,6 +172,13 @@ void LSTM::backward_into(const Tensor3& grad_output,
       std::copy(src.begin(), src.end(), dst + t * in_);
     }
   }
+}
+
+void LSTM::repack_weights() {
+  wx_pack_.ensure(wx_, Trans::kNone);
+  wh_pack_.ensure(wh_, Trans::kNone);
+  wh_t_pack_.ensure(wh_, Trans::kTranspose);
+  wx_t_pack_.ensure(wx_, Trans::kTranspose);
 }
 
 std::vector<Matrix*> LSTM::parameters() { return {&wx_, &wh_, &b_}; }

@@ -32,6 +32,7 @@ class LSTM final : public Layer {
   void backward_into(const Tensor3& grad_output,
                      std::span<Tensor3* const> input_grads) override;
   void init_params(Rng& rng) override;
+  void repack_weights() override;
   std::vector<Matrix*> parameters() override;
   std::vector<Matrix*> gradients() override;
   [[nodiscard]] std::string name() const override;
@@ -53,6 +54,17 @@ class LSTM final : public Layer {
   Matrix wx_grad_;
   Matrix wh_grad_;
   Matrix b_grad_;
+
+  // Pack-once weight panels for every GEMM that multiplies persistent
+  // weights (forward x*Wx / h*Wh, backward dZ*Wh^T / dZ*Wx^T); the
+  // gradient GEMMs multiply activations on both sides and stay on the
+  // per-call path. Re-validated lazily against Matrix::version() before
+  // each use and re-packed eagerly by repack_weights() after optimizer
+  // steps. Owned storage, not the self-arena (which resets per rebind).
+  tensor::PackedPanels wx_pack_;    // op = Wx
+  tensor::PackedPanels wh_pack_;    // op = Wh
+  tensor::PackedPanels wh_t_pack_;  // op = Wh^T
+  tensor::PackedPanels wx_t_pack_;  // op = Wx^T
 
   // Time-major workspaces carved from the bound arena, valid between a
   // training forward and its backward; any forward (training or not)

@@ -157,6 +157,10 @@ TrainHistory Trainer::fit(GraphNetwork& net, const ExampleSource& train,
       }
       if (timed) bwd_seconds += lap.lap();
       optimizer.step();
+      // Eager re-pack of the weight panels the step just invalidated, so
+      // the next forward (or a serve freeze) starts warm; counted as
+      // update time since it is part of applying the step.
+      net.repack_weights();
       if (timed) opt_seconds += lap.lap();
     }
     history.train_loss.push_back(epoch_loss / static_cast<double>(n));

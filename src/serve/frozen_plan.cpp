@@ -149,6 +149,40 @@ FrozenPlan FrozenPlan::compile(nn::GraphNetwork& net, std::size_t steps,
   plan.in_features_ = plan.node_features_[0];
   plan.out_features_ = plan.node_features_[plan.output_node_];
   plan.weights_ = std::move(weights);
+
+  // Pack every weight GEMM operand exactly once, from the now-final
+  // weight pool (the pool is never mutated again, so these packs stay
+  // fresh for the plan's lifetime and are shared across stream clones).
+  // run() then never touches a raw weight pointer for a GEMM.
+  auto packs = std::make_shared<std::vector<tensor::PackedPanels>>();
+  const std::vector<Matrix>& pool = *plan.weights_;
+  auto add_pack = [&packs, &pool](std::size_t slot, std::size_t col0,
+                                  std::size_t ncols) {
+    packs->emplace_back();  // geonas-lint: allow(hot-path-alloc) cold path: plan compile time
+    packs->back().ensure_block(pool[slot], Trans::kNone, col0, ncols);
+    return packs->size() - 1;
+  };
+  for (Op& op : plan.ops_) {
+    const std::size_t u = op.out_features;
+    switch (op.kind) {
+      case OpKind::kLSTM:
+        op.p0 = add_pack(op.w0, 0, 4 * u);  // wx: [in, 4u]
+        op.p1 = add_pack(op.w1, 0, 4 * u);  // wh: [u, 4u]
+        break;
+      case OpKind::kGRU:
+        op.p0 = add_pack(op.w0, 0, 3 * u);      // wx: [in, 3u]
+        op.p1 = add_pack(op.w1, 0, 2 * u);      // wh z/r block
+        op.p2 = add_pack(op.w1, 2 * u, u);      // wh candidate block
+        break;
+      case OpKind::kDense:
+        op.p0 = add_pack(op.w0, 0, u);  // w: [in, out]
+        break;
+      case OpKind::kAddMerge:
+      case OpKind::kIdentity:
+        break;  // no weights
+    }
+  }
+  plan.packs_ = std::move(packs);
   plan.bind_workspaces();
   return plan;
 }
@@ -156,6 +190,7 @@ FrozenPlan FrozenPlan::compile(nn::GraphNetwork& net, std::size_t steps,
 FrozenPlan FrozenPlan::clone_stream() const {
   FrozenPlan copy;
   copy.weights_ = weights_;  // shared, read-only at inference
+  copy.packs_ = packs_;      // packed once at compile, shared likewise
   copy.ops_ = ops_;  // geonas-lint: allow(hot-path-alloc) cold path: stream clone (workspace views rebound below)
   copy.node_features_ = node_features_;
   copy.output_node_ = output_node_;
@@ -261,8 +296,10 @@ void FrozenPlan::run_lstm(Op& op, const Tensor3& x, Tensor3& out,
   const std::size_t g4 = 4 * units;
   const std::size_t rows = batch * steps;
   const std::vector<Matrix>& w = *weights_;
-  const double* wx = w[op.w0].flat().data();
-  const double* wh = w[op.w1].flat().data();
+  const tensor::PackedPanels& wx_pack = (*packs_)[op.p0];
+  const tensor::PackedPanels& wh_pack = (*packs_)[op.p1];
+  wx_pack.assert_fresh(w[op.w0]);
+  wh_pack.assert_fresh(w[op.w1]);
   const double* bias = w[op.w2].flat().data();
 
   // Rows [0, batch) of h_seq/c_seq are the zero initial state. The
@@ -287,9 +324,8 @@ void FrozenPlan::run_lstm(Op& op, const Tensor3& x, Tensor3& out,
     }
   }
 
-  gemm_raw(Trans::kNone, Trans::kNone, rows, g4, in, 1.0,
-           op.x_tm.flat().data(), in, wx, g4, 0.0, op.gates.flat().data(),
-           g4);
+  gemm_raw(Trans::kNone, rows, 1.0, op.x_tm.flat().data(), in, wx_pack, 0.0,
+           op.gates.flat().data(), g4);
   for (std::size_t r = 0; r < rows; ++r) {
     double* zrow = op.gates.flat().data() + r * g4;
     for (std::size_t j = 0; j < g4; ++j) zrow[j] += bias[j];
@@ -298,8 +334,7 @@ void FrozenPlan::run_lstm(Op& op, const Tensor3& x, Tensor3& out,
   for (std::size_t t = 0; t < steps; ++t) {
     double* z = op.gates.flat().data() + t * batch * g4;
     const double* h_prev = op.h_seq.flat().data() + t * batch * units;
-    gemm_raw(Trans::kNone, Trans::kNone, batch, g4, units, 1.0, h_prev,
-             units, wh, g4, 1.0, z, g4);
+    gemm_raw(Trans::kNone, batch, 1.0, h_prev, units, wh_pack, 1.0, z, g4);
     const double* c_prev = op.c_seq.flat().data() + t * batch * units;
     double* c_new = op.c_seq.flat().data() + (t + 1) * batch * units;
     double* h_new = op.h_seq.flat().data() + (t + 1) * batch * units;
@@ -317,8 +352,12 @@ void FrozenPlan::run_gru(Op& op, const Tensor3& x, Tensor3& out,
   const std::size_t g3 = 3 * units;
   const std::size_t rows = batch * steps;
   const std::vector<Matrix>& w = *weights_;
-  const double* wx = w[op.w0].flat().data();
-  const double* whp = w[op.w1].flat().data();
+  const tensor::PackedPanels& wx_pack = (*packs_)[op.p0];
+  const tensor::PackedPanels& wh_zr_pack = (*packs_)[op.p1];
+  const tensor::PackedPanels& wh_h_pack = (*packs_)[op.p2];
+  wx_pack.assert_fresh(w[op.w0]);
+  wh_zr_pack.assert_fresh(w[op.w1]);
+  wh_h_pack.assert_fresh(w[op.w1]);
   const double* bias = w[op.w2].flat().data();
 
   // Zero initial state rows [0, batch) — see run_lstm.
@@ -333,9 +372,8 @@ void FrozenPlan::run_gru(Op& op, const Tensor3& x, Tensor3& out,
     }
   }
 
-  gemm_raw(Trans::kNone, Trans::kNone, rows, g3, in, 1.0,
-           op.x_tm.flat().data(), in, wx, g3, 0.0, op.gates.flat().data(),
-           g3);
+  gemm_raw(Trans::kNone, rows, 1.0, op.x_tm.flat().data(), in, wx_pack, 0.0,
+           op.gates.flat().data(), g3);
   for (std::size_t r = 0; r < rows; ++r) {
     double* arow = op.gates.flat().data() + r * g3;
     for (std::size_t j = 0; j < g3; ++j) arow[j] += bias[j];
@@ -344,12 +382,11 @@ void FrozenPlan::run_gru(Op& op, const Tensor3& x, Tensor3& out,
   for (std::size_t t = 0; t < steps; ++t) {
     double* a = op.gates.flat().data() + t * batch * g3;
     const double* h_prev = op.h_seq.flat().data() + t * batch * units;
-    gemm_raw(Trans::kNone, Trans::kNone, batch, 2 * units, units, 1.0,
-             h_prev, units, whp, g3, 1.0, a, g3);
+    gemm_raw(Trans::kNone, batch, 1.0, h_prev, units, wh_zr_pack, 1.0, a, g3);
     double* rh = op.rh.flat().data() + t * batch * units;
     tensor::gru_pointwise_zr(batch, units, a, h_prev, rh);
-    gemm_raw(Trans::kNone, Trans::kNone, batch, units, units, 1.0, rh, units,
-             whp + 2 * units, g3, 1.0, a + 2 * units, g3);
+    gemm_raw(Trans::kNone, batch, 1.0, rh, units, wh_h_pack, 1.0,
+             a + 2 * units, g3);
     double* h_new = op.h_seq.flat().data() + (t + 1) * batch * units;
     tensor::gru_pointwise_out(batch, units, a, h_prev, h_new,
                               out.flat().data() + t * units, steps * units);
@@ -362,9 +399,11 @@ void FrozenPlan::run_dense(const Op& op, const Tensor3& x, Tensor3& out,
   const std::size_t width = op.out_features;
   const std::size_t rows = batch * steps_;
   const std::vector<Matrix>& w = *weights_;
+  const tensor::PackedPanels& w_pack = (*packs_)[op.p0];
+  w_pack.assert_fresh(w[op.w0]);
 
-  gemm_raw(Trans::kNone, Trans::kNone, rows, width, in, 1.0, x.flat().data(),
-           in, w[op.w0].flat().data(), width, 0.0, out.flat().data(), width);
+  gemm_raw(Trans::kNone, rows, 1.0, x.flat().data(), in, w_pack, 0.0,
+           out.flat().data(), width);
   if (op.use_bias) {
     const double* bias = w[op.w1].flat().data();
     double* op_ = out.flat().data();

@@ -26,7 +26,11 @@
 // read-only (shared_ptr) across stream clones: clone_stream() gives a
 // serving stream its own workspaces and activation buffers — layer
 // forwards mutate internal state, so streams must not share them — at
-// the cost of only the arena, not another weight copy.
+// the cost of only the arena, not another weight copy. compile() also
+// packs every weight GEMM operand into tensor::PackedPanels exactly
+// once at freeze time; run() consumes only the packed panels (plus the
+// raw bias rows, which feed broadcasts, not GEMMs), never a raw weight
+// pointer, and the pack pool is shared across clones like the weights.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +42,7 @@
 #include "nn/graph.hpp"
 #include "tensor/arena.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/prepack.hpp"
 
 namespace geonas::serve {
 
@@ -102,6 +107,9 @@ class FrozenPlan {
     bool relu = false;
     // Weight slots: {wx, wh, b} for LSTM/GRU, {w, b?} for Dense.
     std::size_t w0 = 0, w1 = 0, w2 = 0;
+    // Prepacked-panel slots into the shared pack pool: {wx, wh} for
+    // LSTM, {wx, wh[:,0:2u), wh[:,2u:3u)} for GRU, {w} for Dense.
+    std::size_t p0 = 0, p1 = 0, p2 = 0;
     // Forward workspaces (layouts mirror the training layers).
     tensor::ArenaMatrix x_tm;   // [T*B, in]
     tensor::ArenaMatrix gates;  // [T*B, 4u] (LSTM) / [T*B, 3u] (GRU)
@@ -122,6 +130,10 @@ class FrozenPlan {
                  std::size_t batch);
 
   std::shared_ptr<const std::vector<Matrix>> weights_;
+  // Panels packed once at compile() from the frozen weight pool; the
+  // pool above is immutable afterwards, so the packs can never go stale
+  // (run_* pins this with PackedPanels::assert_fresh in debug builds).
+  std::shared_ptr<const std::vector<tensor::PackedPanels>> packs_;
   std::vector<Op> ops_;
   std::vector<std::size_t> node_features_;  // indexed by node id
   std::vector<Tensor3> activations_;        // indexed by node id; 0 unused

@@ -7,6 +7,7 @@
 
 #include "hpc/parallel_for.hpp"
 #include "tensor/gemm_kernel.hpp"
+#include "tensor/prepack.hpp"
 
 namespace geonas {
 
@@ -31,6 +32,14 @@ void gemm_raw(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
               std::size_t ldc) {
   detail::gemm_blocked(m, n, k, alpha, a, lda, trans_a == Trans::kTranspose,
                        b, ldb, trans_b == Trans::kTranspose, beta, c, ldc);
+}
+
+void gemm_raw(Trans trans_a, std::size_t m, double alpha, const double* a,
+              std::size_t lda, const tensor::PackedPanels& b, double beta,
+              double* c, std::size_t ldc) {
+  detail::gemm_blocked_packed_b(m, b.n(), b.k(), alpha, a, lda,
+                                trans_a == Trans::kTranspose, b.data(), beta,
+                                c, ldc);
 }
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, double alpha,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hpc/parallel_for.hpp"
+#include "hpc/thread_pool.hpp"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define GEONAS_GEMM_X86_DISPATCH 1
@@ -91,6 +92,8 @@ MicroKernel micro_kernel() {
   return kernel;
 }
 
+}  // namespace
+
 // Packs the logical block op(A)(i0:i0+mc, p0:p0+kc) into kMR-row
 // slivers: sliver ir holds [p][r] = op(A)(i0+ir+r, p0+p), zero-padded
 // to kMR rows so edge tiles run the same full micro-kernel.
@@ -126,6 +129,26 @@ void pack_b(double* dst, const double* b, std::size_t ldb, bool trans,
   }
 }
 
+// Full-width prepack: every kKC-row block of op(B) packed across the
+// whole width n. Identical bytes to the per-call pack_b tiles laid
+// end-to-end (see gemm_kernel.hpp for the offset arithmetic).
+void pack_b_full(double* dst, const double* b, std::size_t ldb, bool trans,
+                 std::size_t k, std::size_t n) {
+  const std::size_t n_pad = packed_b_ncols(n);
+  for (std::size_t pc = 0; pc < k; pc += kKC) {
+    const std::size_t kc = std::min(kKC, k - pc);
+    pack_b(dst + pc * n_pad, b, ldb, trans, pc, 0, kc, n);
+  }
+}
+
+namespace {
+
+// Per-thread pack scratch, sized once (kMC*kKC + kKC*kNC doubles) and
+// reused across every gemm on the thread. File-scope so the pool
+// warm-up hook can pre-reserve it before a worker's first dispatch.
+thread_local std::vector<double> t_a_pack;
+thread_local std::vector<double> t_b_pack;
+
 // C tile (mr x nr at c, leading dim ldc) <- alpha * ab combined with the
 // existing C: the first K-block applies beta (without reading C when
 // beta == 0, so uninitialized output storage is fine), later K-blocks
@@ -160,8 +183,8 @@ void gemm_stripe(std::size_t i_begin, std::size_t i_end, std::size_t n,
                  std::size_t k, double alpha, const double* a, std::size_t lda,
                  bool trans_a, const double* b, std::size_t ldb, bool trans_b,
                  double beta, double* c, std::size_t ldc) {
-  thread_local std::vector<double> a_pack;
-  thread_local std::vector<double> b_pack;
+  std::vector<double>& a_pack = t_a_pack;
+  std::vector<double>& b_pack = t_b_pack;
   a_pack.resize(kMC * kKC);
   b_pack.resize(kKC * kNC);
 
@@ -192,7 +215,99 @@ void gemm_stripe(std::size_t i_begin, std::size_t i_end, std::size_t n,
   }
 }
 
+// gemm_stripe against a pack_b_full panel: no B packing, and when the
+// stripe is one kMC block tall with the whole panel L2-resident, no
+// jc/ic blocking either. The kKC K-partitioning and per-tile
+// accumulation order match gemm_stripe exactly (only the traversal
+// order over distinct C tiles differs), so every C element sees the
+// same floating-point operations in the same order.
+void gemm_stripe_packed(std::size_t i_begin, std::size_t i_end, std::size_t n,
+                        std::size_t k, double alpha, const double* a,
+                        std::size_t lda, bool trans_a, const double* bp,
+                        double beta, double* c, std::size_t ldc) {
+  std::vector<double>& a_pack = t_a_pack;
+  a_pack.resize(kMC * kKC);
+
+  const MicroKernel micro = micro_kernel();
+  const std::size_t n_pad = packed_b_ncols(n);
+  double ab[kMR * kNR];
+
+  if (i_end - i_begin <= kMC && k * n_pad * sizeof(double) <= kPrepackL2Bytes) {
+    // Small-M fast path: one A pack per K-block covers the whole stripe.
+    const std::size_t mc = i_end - i_begin;
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      const bool first_kblock = pc == 0;
+      const double* b_block = bp + pc * n_pad;
+      pack_a(a_pack.data(), a, lda, trans_a, i_begin, pc, mc, kc);
+      for (std::size_t jr = 0; jr < n; jr += kNR) {
+        const std::size_t nr = std::min(kNR, n - jr);
+        const double* b_sliver = b_block + (jr / kNR) * kNR * kc;
+        for (std::size_t ir = 0; ir < mc; ir += kMR) {
+          const std::size_t mr = std::min(kMR, mc - ir);
+          micro(kc, a_pack.data() + (ir / kMR) * kMR * kc, b_sliver, ab);
+          write_tile(c + (i_begin + ir) * ldc + jr, ldc, ab, mr, nr, alpha,
+                     beta, first_kblock);
+        }
+      }
+    }
+    return;
+  }
+
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      const bool first_kblock = pc == 0;
+      const double* b_block = bp + pc * n_pad;
+      for (std::size_t ic = i_begin; ic < i_end; ic += kMC) {
+        const std::size_t mc = std::min(kMC, i_end - ic);
+        pack_a(a_pack.data(), a, lda, trans_a, ic, pc, mc, kc);
+        for (std::size_t jr = 0; jr < nc; jr += kNR) {
+          const std::size_t nr = std::min(kNR, nc - jr);
+          // kNC % kNR == 0, so jc + jr always lands on a sliver start.
+          const double* b_sliver = b_block + ((jc + jr) / kNR) * kNR * kc;
+          for (std::size_t ir = 0; ir < mc; ir += kMR) {
+            const std::size_t mr = std::min(kMR, mc - ir);
+            micro(kc, a_pack.data() + (ir / kMR) * kMR * kc, b_sliver, ab);
+            write_tile(c + (ic + ir) * ldc + jc + jr, ldc, ab, mr, nr, alpha,
+                       beta, first_kblock);
+          }
+        }
+      }
+    }
+  }
+}
+
+// C = beta * C for the degenerate alpha == 0 / k == 0 cases.
+void scale_c(std::size_t m, std::size_t n, double beta, double* c,
+             std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = c + i * ldc;
+    if (beta == 0.0) {
+      std::fill(row, row + n, 0.0);
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+// Pre-reserve pack scratch on every pool worker before it claims its
+// first task, so the thread_local first-allocation cannot land inside a
+// steady-state (alloc-audited) dispatch. Registered from a static
+// initializer: pools are created lazily at first over-threshold
+// dispatch, which is always after static init completes.
+[[maybe_unused]] const bool g_warmup_registered = [] {
+  hpc::set_worker_warmup(&reserve_gemm_scratch);
+  return true;
+}();
+
 }  // namespace
+
+void reserve_gemm_scratch() {
+  t_a_pack.resize(kMC * kKC);
+  t_b_pack.resize(kKC * kNC);
+}
 
 void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, double alpha,
                   const double* a, std::size_t lda, bool trans_a,
@@ -200,15 +315,7 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, double alpha,
                   double* c, std::size_t ldc) {
   if (m == 0 || n == 0) return;
   if (alpha == 0.0 || k == 0) {
-    // Degenerate product: C = beta * C.
-    for (std::size_t i = 0; i < m; ++i) {
-      double* row = c + i * ldc;
-      if (beta == 0.0) {
-        std::fill(row, row + n, 0.0);
-      } else if (beta != 1.0) {
-        for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
-      }
-    }
+    scale_c(m, n, beta, c, ldc);  // degenerate product: C = beta * C
     return;
   }
   const double cost = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
@@ -217,6 +324,28 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, double alpha,
       0, m, cost, kMR, [&](std::size_t lo, std::size_t hi) {
         gemm_stripe(lo, hi, n, k, alpha, a, lda, trans_a, b, ldb, trans_b,
                     beta, c, ldc);
+      });
+}
+
+void gemm_blocked_packed_b(std::size_t m, std::size_t n, std::size_t k,
+                           double alpha, const double* a, std::size_t lda,
+                           bool trans_a, const double* packed_b, double beta,
+                           double* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0 || k == 0) {
+    scale_c(m, n, beta, c, ldc);
+    return;
+  }
+  // Same cost model, grain and split as gemm_blocked: a given (m, n, k)
+  // lands on identical stripe boundaries, which (with the identical
+  // K-order inside the stripes) keeps packed and unpacked results
+  // bitwise equal at every thread count.
+  const double cost = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                      static_cast<double>(k);
+  hpc::parallel_for(
+      0, m, cost, kMR, [&](std::size_t lo, std::size_t hi) {
+        gemm_stripe_packed(lo, hi, n, k, alpha, a, lda, trans_a, packed_b,
+                           beta, c, ldc);
       });
 }
 

@@ -66,6 +66,7 @@ void Matrix::set_row(std::size_t r, std::span<const double> values) {
   if (values.size() != cols_) {
     throw std::invalid_argument("Matrix::set_row length mismatch");
   }
+  ++version_;
   std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
 }
 
@@ -110,28 +111,33 @@ Matrix Matrix::slice_cols(std::size_t c0, std::size_t c1) const {
 }
 
 void Matrix::fill(double value) noexcept {
+  ++version_;
   std::fill(data_.begin(), data_.end(), value);
 }
 
 void Matrix::resize(std::size_t rows, std::size_t cols, double fill_value) {
   rows_ = rows;
   cols_ = cols;
+  ++version_;
   data_.assign(rows * cols, fill_value);
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   require_same_shape(*this, other, "operator+=");
+  ++version_;
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   require_same_shape(*this, other, "operator-=");
+  ++version_;
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
   return *this;
 }
 
 Matrix& Matrix::operator*=(double scalar) noexcept {
+  ++version_;
   for (double& v : data_) v *= scalar;
   return *this;
 }

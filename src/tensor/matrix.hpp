@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace geonas {
@@ -21,11 +23,47 @@ namespace geonas {
 /// Invariants: data_.size() == rows_ * cols_ at all times. A 0x0 matrix is
 /// a valid empty state. Element access is bounds-checked in debug builds
 /// via at(); operator() is unchecked for kernel-speed inner loops.
+///
+/// Every mutable access path bumps a monotonic version() counter, which
+/// derived caches (tensor::PackedPanels weight panels) compare against to
+/// decide whether they must re-derive. The counter over-approximates
+/// mutation — handing out a mutable span counts as a write — so a cache
+/// that matches version() is guaranteed fresh, while a reader that only
+/// uses const access never invalidates anything. The one blind spot:
+/// writes through a PREVIOUSLY obtained span are invisible, so code that
+/// interleaves span writes with reads of derived caches must re-acquire
+/// flat() (or any mutable accessor) per mutation event, as the optimizer
+/// and deserializer do.
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  // Assignment keeps the destination's own monotonic counter and bumps
+  // it: copying version numbers across objects would let a cache keyed on
+  // (matrix, version) accept a pack built from entirely different data.
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      ++version_;
+    }
+    return *this;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = std::move(other.data_);
+      ++version_;
+    }
+    return *this;
+  }
+  ~Matrix() = default;
 
   /// Build from nested initializer lists: Matrix{{1,2},{3,4}}.
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
@@ -42,6 +80,7 @@ class Matrix {
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
   double& operator()(std::size_t r, std::size_t c) noexcept {
+    ++version_;
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const noexcept {
@@ -52,11 +91,15 @@ class Matrix {
   double& at(std::size_t r, std::size_t c);
   [[nodiscard]] double at(std::size_t r, std::size_t c) const;
 
-  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<double> flat() noexcept {
+    ++version_;
+    return data_;
+  }
   [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
 
   /// Contiguous view of one row.
   [[nodiscard]] std::span<double> row_span(std::size_t r) noexcept {
+    ++version_;
     return {data_.data() + r * cols_, cols_};
   }
   [[nodiscard]] std::span<const double> row_span(std::size_t r) const noexcept {
@@ -86,7 +129,18 @@ class Matrix {
   friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
   friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
 
-  bool operator==(const Matrix& other) const = default;
+  /// Value equality: shape and elements only. version() is bookkeeping,
+  /// not value — two matrices with equal contents compare equal no
+  /// matter how they got there.
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  /// Monotonic mutation counter (see class comment). Never decreases;
+  /// equal values across two observations of the SAME object mean no
+  /// mutable access happened in between.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   /// Frobenius norm.
   [[nodiscard]] double frobenius_norm() const noexcept;
@@ -100,6 +154,7 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
+  std::uint64_t version_ = 0;
 };
 
 /// Dense 3-D tensor (dim0 x dim1 x dim2), row-major in the last index.

@@ -24,6 +24,7 @@
 #include "core/eval_policy.hpp"
 #include "hpc/evaluator.hpp"
 #include "hpc/parallel_for.hpp"
+#include "tensor/blas.hpp"
 #include "nn/dense.hpp"
 #include "nn/example_source.hpp"
 #include "nn/graph.hpp"
@@ -184,6 +185,71 @@ TEST(AllocAudit, LstmTrainStepSteadyStateIsHeapFree) {
   const tensor::Arena* arena = net.arena();
   ASSERT_NE(arena, nullptr);
   EXPECT_GT(arena->high_water_bytes(), 0u);
+#endif
+}
+
+TEST(AllocAudit, FirstGemmDispatchAfterResizeMatchesSteadyState) {
+#ifdef GEONAS_SANITIZE_BUILD
+  GTEST_SKIP() << "allocator overrides disabled under sanitizers";
+#else
+  obs::set_registry(nullptr);
+  // A multi-threaded dispatch can never be heap-free (ThreadPool::submit
+  // allocates shared task state), but its allocation count must not
+  // depend on whether a worker has ever run a GEMM: the worker warmup
+  // hook (hpc::set_worker_warmup, registered by the blocked GEMM)
+  // reserves the thread_local pack scratch when the pool spins up, so
+  // the first GEMM dispatched into a fresh pool costs exactly as many
+  // allocations as every later one. Without the hook, the first dispatch
+  // after a set_kernel_threads resize would add the pack-buffer resizes
+  // of every worker seeing its first stripe.
+  constexpr std::size_t kDim = 128;  // 2*128^3 FLOPs: well over the
+                                     // parallel_for engage threshold
+  Matrix a(kDim, kDim), b(kDim, kDim), c(kDim, kDim);
+  Rng rng(7);
+  for (double& v : a.flat()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b.flat()) v = rng.uniform(-1.0, 1.0);
+  const auto gemm = [&] {
+    gemm_raw(Trans::kNone, Trans::kNone, kDim, kDim, kDim, 1.0,
+             a.flat().data(), kDim, b.flat().data(), kDim, 0.0,
+             c.flat().data(), kDim);
+  };
+
+  // Warm the CALLING thread's pack scratch serially: the audit isolates
+  // the pool workers' first dispatch, not the main thread's first GEMM
+  // (which depends on test ordering within this binary).
+  {
+    KernelThreadsGuard serial(1);
+    gemm();
+  }
+
+  KernelThreadsGuard two(2);  // retires the pool; recreated lazily below
+  // Spin the fresh pool up — and run its workers' warmup hooks — with a
+  // dispatch that is not a GEMM, so the audited first GEMM meets
+  // warmed-but-GEMM-naive workers.
+  std::atomic<std::size_t> covered{0};
+  hpc::parallel_for(0, 1024, /*cost_flops=*/2.0e6, /*grain=*/1,
+                    [&](std::size_t begin, std::size_t end) {
+                      covered.fetch_add(end - begin,
+                                        std::memory_order_relaxed);
+                    });
+  ASSERT_EQ(covered.load(), 1024u);
+
+  std::size_t first = 0;
+  std::size_t steady = 0;
+  {
+    const AllocCountScope audit;
+    gemm();
+    first = audit.count();
+  }
+  {
+    const AllocCountScope audit;
+    gemm();
+    steady = audit.count();
+  }
+  EXPECT_EQ(first, steady)
+      << "first GEMM dispatch into a fresh pool allocated beyond its "
+         "steady state";
+  EXPECT_GT(steady, 0u);  // sanity: the MT dispatch itself does allocate
 #endif
 }
 

@@ -43,15 +43,19 @@ inline void check_layer_gradients(Layer& layer, const Tensor3& input,
   const auto grads = layer.gradients();
   ASSERT_EQ(params.size(), grads.size());
   for (std::size_t p = 0; p < params.size(); ++p) {
-    auto flat = params[p]->flat();
     const auto gflat = grads[p]->flat();
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-      const double saved = flat[i];
-      flat[i] = saved + eps;
+    // Each write re-acquires the mutable span: Matrix::version() only
+    // advances on mutable-accessor calls, and the layers' prepacked
+    // weight panels use it to notice changes. Perturbing through a span
+    // cached across loss evaluations would mutate the weights invisibly
+    // and the packed forward would keep serving stale panels.
+    for (std::size_t i = 0; i < gflat.size(); ++i) {
+      const double saved = params[p]->flat()[i];
+      params[p]->flat()[i] = saved + eps;
       const double up = loss_of(input);
-      flat[i] = saved - eps;
+      params[p]->flat()[i] = saved - eps;
       const double down = loss_of(input);
-      flat[i] = saved;
+      params[p]->flat()[i] = saved;
       const double numeric = (up - down) / (2.0 * eps);
       ASSERT_NEAR(gflat[i], numeric, tol)
           << "param " << p << " element " << i;

@@ -325,8 +325,12 @@ TEST(MemoizerStress, ConcurrentEvaluateVsCheckpointStreaming) {
       }
     });
   }
+  // do/while: the workers can finish (and set `done`) before this thread
+  // is first scheduled under a loaded machine; the test's checkpoint
+  // assertions hold at any point in the run, so always stream at least
+  // one checkpoint instead of flaking on checkpoints == 0.
   std::thread checkpointer([&] {
-    while (!done.load(std::memory_order_acquire)) {
+    do {
       std::ostringstream os;
       io::BinaryWriter writer(os, "GEONASMT", 1);
       std::size_t streamed = 0;
@@ -340,7 +344,7 @@ TEST(MemoizerStress, ConcurrentEvaluateVsCheckpointStreaming) {
       writer.finish();
       EXPECT_LE(streamed, kArchs);
       checkpoints.fetch_add(1, std::memory_order_relaxed);
-    }
+    } while (!done.load(std::memory_order_acquire));
   });
   std::thread reader([&] {
     while (!done.load(std::memory_order_acquire)) {

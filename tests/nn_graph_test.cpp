@@ -143,15 +143,17 @@ TEST(GraphNetwork, GradientThroughSkipGraph) {
   const auto grads = net.gradients();
   const double eps = 1e-5;
   for (std::size_t p = 0; p < params.size(); ++p) {
-    auto flat = params[p]->flat();
     const auto gflat = grads[p]->flat();
-    for (std::size_t i = 0; i < flat.size(); i += 3) {  // stride for speed
-      const double saved = flat[i];
-      flat[i] = saved + eps;
+    // Re-acquire flat() per write so Matrix::version() advances and the
+    // layers' prepacked weight panels notice each perturbation (see
+    // gradient_check.hpp).
+    for (std::size_t i = 0; i < gflat.size(); i += 3) {  // stride for speed
+      const double saved = params[p]->flat()[i];
+      params[p]->flat()[i] = saved + eps;
       const double up = loss_of(x);
-      flat[i] = saved - eps;
+      params[p]->flat()[i] = saved - eps;
       const double down = loss_of(x);
-      flat[i] = saved;
+      params[p]->flat()[i] = saved;
       ASSERT_NEAR(gflat[i], (up - down) / (2.0 * eps), 3e-6)
           << "param " << p << " elem " << i;
     }

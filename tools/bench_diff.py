@@ -24,6 +24,13 @@ Benchmarks present in only one capture are classified, not ignored:
            deliberate removals pass --allow-removed alongside the
            baseline refresh.
 
+Captures carry the host shape they were measured on (context fields
+geonas_host_cpus / geonas_kernel_threads / geonas_native_arch, stamped
+by the bench mains). When both captures carry a field and the values
+differ, the comparison is REFUSED: cross-host medians gate nothing.
+--allow-host-mismatch overrides for eyeballing; captures predating the
+stamping simply lack the fields and are not blocked.
+
 The failing bound is noise-aware: each benchmark's gate is
 
   threshold + noise_mult * (cv_baseline + cv_candidate)
@@ -57,11 +64,21 @@ from pathlib import Path
 
 Stats = dict[str, tuple[float, float]]
 
+# Host-shape context fields stamped by the bench mains
+# (bench/bench_host_context.hpp). Two captures are only comparable when
+# these agree: medians move with core count, kernel thread pinning, and
+# the -march the kernels were tuned for.
+HOST_KEYS = ("geonas_host_cpus", "geonas_kernel_threads",
+             "geonas_native_arch")
 
-def load_stats(path: Path) -> Stats:
-    """Benchmark run_name -> (median cpu_time ns, cv fraction)."""
+
+def load_capture(path: Path) -> tuple[Stats, dict[str, str]]:
+    """(benchmark run_name -> (median cpu_time ns, cv fraction),
+    host-context fields present in the capture)."""
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
+    context = doc.get("context") or {}
+    host = {key: str(context[key]) for key in HOST_KEYS if key in context}
     benchmarks = doc.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         raise ValueError(f"{path}: no 'benchmarks' array")
@@ -84,7 +101,21 @@ def load_stats(path: Path) -> Stats:
 
     medians = {name: statistics.median(ts) for name, ts in iterations.items()}
     medians.update(aggregates)  # repetition medians are authoritative
-    return {name: (med, cvs.get(name, 0.0)) for name, med in medians.items()}
+    stats = {name: (med, cvs.get(name, 0.0))
+             for name, med in medians.items()}
+    return stats, host
+
+
+def host_mismatches(base_host: dict[str, str],
+                    cand_host: dict[str, str]) -> list[tuple[str, str, str]]:
+    """Host-context fields present in BOTH captures with differing
+    values. Fields absent from either side are skipped: captures
+    predating the stamping carry none, and refusing those would block
+    every baseline refresh that introduces the fields."""
+    return [(key, base_host[key], cand_host[key])
+            for key in HOST_KEYS
+            if key in base_host and key in cand_host
+            and base_host[key] != cand_host[key]]
 
 
 class DiffResult:
@@ -147,6 +178,21 @@ def self_check() -> list[str]:
     expect(not rr.regressions and not rr.added and not rr.removed
            and all(row[3] == 0.0 for row in rr.rows),
            "self-diff is not a fixed point")
+
+    # Host-mismatch refusal: differing values on a shared key flag, a
+    # key missing from either side does not (pre-stamping baselines).
+    this_host = {"geonas_host_cpus": "8", "geonas_kernel_threads": "8",
+                 "geonas_native_arch": "off"}
+    other_host = {"geonas_host_cpus": "64", "geonas_kernel_threads": "8",
+                  "geonas_native_arch": "on"}
+    mism = host_mismatches(this_host, other_host)
+    expect([m[0] for m in mism] == ["geonas_host_cpus",
+                                    "geonas_native_arch"],
+           "host mismatch not detected on differing fields")
+    expect(host_mismatches(this_host, this_host) == [],
+           "identical hosts reported as mismatched")
+    expect(host_mismatches({}, this_host) == [],
+           "unstamped baseline blocked by host check")
     return failures
 
 
@@ -168,6 +214,12 @@ def main(argv: list[str]) -> int:
                         help="report baseline-only benchmarks without "
                              "failing (deliberate removals landing with a "
                              "baseline refresh)")
+    parser.add_argument("--allow-host-mismatch", action="store_true",
+                        help="compare captures from different hosts "
+                             "anyway (the refusal exists because medians "
+                             "move with core count / kernel threads / "
+                             "-march; only meaningful for eyeballing, "
+                             "never for the gate)")
     parser.add_argument("--dry-run", action="store_true",
                         help="run the comparator self-check, then self-diff "
                              "the baseline to validate the capture; never "
@@ -189,11 +241,26 @@ def main(argv: list[str]) -> int:
         candidate_path = Path(args.candidate)
 
     try:
-        base = load_stats(baseline_path)
-        cand = load_stats(candidate_path)
+        base, base_host = load_capture(baseline_path)
+        cand, cand_host = load_capture(candidate_path)
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"bench_diff: {err}", file=sys.stderr)
         return 1
+
+    mismatches = host_mismatches(base_host, cand_host)
+    if mismatches:
+        for key, base_val, cand_val in mismatches:
+            print(f"bench_diff: host mismatch: {key}: baseline "
+                  f"{base_val!r} vs candidate {cand_val!r}",
+                  file=sys.stderr)
+        if not args.allow_host_mismatch:
+            print("bench_diff: refusing a cross-host comparison — medians "
+                  "from different machines/kernel configs are not "
+                  "comparable (pass --allow-host-mismatch to eyeball "
+                  "anyway)", file=sys.stderr)
+            return 1
+        print("bench_diff: continuing despite host mismatch "
+              "(--allow-host-mismatch)", file=sys.stderr)
 
     result = diff_captures(base, cand, args.threshold, args.noise_mult)
     if not result.rows:

@@ -114,6 +114,7 @@ TRANSCENDENTAL_RE = re.compile(r"std::(tanh|exp|log)\s*\(")
 # come from arena workspaces, never the general-purpose allocator.
 HOT_PATH_FILES = {
     "src/tensor/vmath.cpp",
+    "src/tensor/prepack.cpp",
     "src/nn/lstm.cpp",
     "src/nn/gru.cpp",
     "src/nn/dense.cpp",

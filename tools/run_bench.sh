@@ -22,7 +22,10 @@
 # Configures and builds the `release` CMake preset, runs the suite's
 # binary with --benchmark_out, and commits the JSON to the requested path
 # ONLY if the binary's self-reported `geonas_build_type` context field
-# says Release. That field is stamped by the suite's custom main() from
+# says Release. Each capture also stamps the host shape (cpu count,
+# kernel threads, native-arch tuning — bench/bench_host_context.hpp);
+# `--compare` therefore refuses to gate against a baseline captured on a
+# different host (bench_diff.py --allow-host-mismatch to eyeball). That field is stamped by the suite's custom main() from
 # CMAKE_BUILD_TYPE; the upstream `library_build_type` field describes how
 # the *system benchmark library* was compiled and says nothing about
 # this repo's flags (committing a debug-flagged capture is exactly the

@@ -132,9 +132,11 @@ if [[ $quick -eq 1 ]]; then
   # races there corrupt every NAS reward / telemetry report downstream —
   # and the memoizer stress suite (concurrent evaluate vs checkpoint
   # streaming over one cache mutex). Serve* covers the inference engine's
-  # MPSC queue/stream handoff (multi-producer backpressure + drain).
+  # MPSC queue/stream handoff (multi-producer backpressure + drain);
+  # Prepack* covers packed-panel consumption from pool workers (the
+  # panels are shared read-only across GEMM worker threads).
   run_flavor tsan \
-    '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs|Memoizer|Serve)'
+    '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs|Memoizer|Serve|Prepack)'
   run_analyze_smoke
 else
   run_flavor tsan
