@@ -1,13 +1,28 @@
 #include "core/scale.hpp"
 
+#include <cctype>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace geonas::core {
 
 Scale detect_scale() {
   const char* env = std::getenv("GEONAS_SCALE");
-  if (env != nullptr && std::string(env) == "full") return Scale::kFull;
-  return Scale::kQuick;
+  if (env == nullptr || *env == '\0') return Scale::kQuick;
+  // Case-insensitive: "Full", "FULL" and "full" all mean paper scale.
+  // Anything else is a hard error — a typo ("ful", "fulll") used to
+  // silently downgrade an hours-long paper-scale run to quick scale,
+  // which is far worse than refusing to start.
+  std::string lower(env);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "full") return Scale::kFull;
+  if (lower == "quick") return Scale::kQuick;
+  throw std::runtime_error(
+      "GEONAS_SCALE='" + std::string(env) +
+      "' is not a recognized scale (expected 'quick' or 'full', "
+      "case-insensitive) — refusing to silently run quick scale");
 }
 
 const char* scale_name(Scale scale) noexcept {

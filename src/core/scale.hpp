@@ -7,6 +7,8 @@
 //                        shape.
 //   "full"             — the paper's 1-degree 360 x 180 grid and full
 //                        epoch counts (hours of CPU time).
+// Values are matched case-insensitively; an unrecognized value makes
+// detect_scale() throw instead of silently downgrading to quick scale.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,121 @@
+// NetMaster: the real multi-process campaign coordinator.
+//
+// The discrete-event simulator (hpc/cluster_sim.cpp, simulate_async) is
+// this master's specification: a campaign run over TCP sockets must
+// produce the *identical* best-architecture trajectory — same completed
+// evaluations, same simulated completion times, same failure accounting —
+// as simulate_async with the same ClusterConfig. The tests enforce this
+// oracle equivalence bitwise.
+//
+// How a real transport can be deterministic: the master re-derives every
+// scheduling decision in *virtual* time. Remote workers are pure function
+// evaluators — evaluate(arch, eval_seed) is deterministic — so the only
+// thing the network supplies is outcomes; WHEN they arrive and WHICH
+// worker computed them is irrelevant. The master mirrors simulate_async's
+// launch loop draw-for-draw:
+//
+//  * launch(slot, t): coordinator FIFO bookkeeping, one exponential
+//    overhead draw, wall check, method.ask(), eval_seed from the shared
+//    counter, then the failure-fate draws — the exact RNG order of the
+//    simulator. The evaluation itself is shipped to any remote worker.
+//  * An outstanding launch's busy_end becomes known once its outcome
+//    arrives. Completed launches are "popped" in (busy_end, seq) order,
+//    but only when the next pop is *admissible*: its busy_end must not
+//    exceed the start time of any launch whose outcome is still in
+//    flight (an evaluation can never finish before it starts, so no
+//    in-flight launch can beat an admissible pop). Each pop performs
+//    the simulator's tell/record/count step and immediately launches
+//    the slot's next evaluation.
+//
+// Worker death is therefore trivially safe: a connection that dies with
+// an assigned task gets its task re-dispatched to any other worker —
+// deterministic evaluation means the retry is bitwise the original.
+// Elastic join/leave only changes real wall time, never the trajectory.
+//
+// Campaign checkpoints (magic "GEONASNC") capture the complete master
+// state — RNG, coordinator clock, eval counter, completed evaluations,
+// failure counts, utilization intervals, outstanding launches, and the
+// search method's own state — so a SIGKILLed or paused campaign resumes
+// to the bitwise-identical final result.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "hpc/cluster_sim.hpp"
+#include "search/search_method.hpp"
+
+namespace geonas::hpc::net {
+
+struct MasterOptions {
+  ClusterConfig cluster;
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back via NetMaster::port().
+  std::uint16_t port = 0;
+
+  /// Campaign checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Rewrite the checkpoint every N completed evaluations (0 = only at
+  /// stop/completion).
+  std::size_t checkpoint_every = 0;
+  /// Load checkpoint_path before starting (validates method + config).
+  bool resume = false;
+
+  /// Pause the campaign after this many completed evaluations: write a
+  /// checkpoint, shut workers down, and return with stopped_early set.
+  /// 0 = run the full simulated wall time. The pause point is a
+  /// deterministic function of the campaign config — the hook the
+  /// resume tests are built on.
+  std::size_t stop_after_evaluations = 0;
+
+  /// Abort (throw) when the campaign exceeds this much real wall-clock
+  /// time — a hang guard for tests. 0 = unlimited.
+  double real_time_limit_seconds = 0.0;
+  /// Send a liveness heartbeat to every idle worker this often (real
+  /// seconds).
+  double heartbeat_seconds = 5.0;
+  int poll_timeout_ms = 50;
+};
+
+struct MasterResult {
+  SimResult sim;                    // the oracle-comparable campaign result
+  std::size_t workers_joined = 0;   // hello handshakes completed
+  std::size_t worker_deaths = 0;    // joined connections that died
+  std::size_t redispatches = 0;     // tasks reassigned after a death
+  bool stopped_early = false;       // stop_after_evaluations/request_stop
+};
+
+class NetMaster {
+ public:
+  /// Binds the listener immediately (so port() is valid before run()).
+  explicit NetMaster(MasterOptions options);
+  ~NetMaster();
+  NetMaster(const NetMaster&) = delete;
+  NetMaster& operator=(const NetMaster&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Drives the campaign to completion (or pause). Blocks; single
+  /// caller. Throws on configuration errors, checkpoint mismatches, or
+  /// the real-time limit.
+  [[nodiscard]] MasterResult run(search::SearchMethod& method);
+
+  /// Asks a running campaign to pause at the next deterministic point
+  /// (checkpoint + worker shutdown). Safe from any thread.
+  void request_stop() noexcept { stop_requested_.store(true); }
+
+  /// Completed evaluations so far. Safe from any thread (the kill tests
+  /// watch this to time their SIGKILL mid-campaign).
+  [[nodiscard]] std::uint64_t evaluations_completed() const noexcept {
+    return evals_completed_.load();
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> evals_completed_{0};
+};
+
+}  // namespace geonas::hpc::net

@@ -1,0 +1,183 @@
+#include "hpc/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace geonas::hpc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& operation) {
+  throw std::runtime_error("net: " + operation + " failed: " +
+                           std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: '" + address +
+                             "' is not a valid IPv4 address");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+std::ptrdiff_t Socket::read_some(void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    // A peer killed with SIGKILL mid-write surfaces as ECONNRESET; the
+    // master treats that exactly like an orderly close — worker death.
+    if (errno == ECONNRESET) return 0;
+    throw_errno("recv");
+  }
+}
+
+std::ptrdiff_t Socket::write_some(const void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    if (errno == EPIPE || errno == ECONNRESET) return 0;  // peer departed
+    throw_errno("send");
+  }
+}
+
+TcpListener::TcpListener(const std::string& bind_address, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  socket_ = Socket(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = make_addr(bind_address, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind " + bind_address + ":" + std::to_string(port));
+  }
+  if (::listen(fd, SOMAXCONN) < 0) throw_errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  socket_.set_nonblocking(true);
+}
+
+Socket TcpListener::accept_connection() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      conn.set_nonblocking(true);
+      const int one = 1;
+      // Latency over throughput: frames are tiny (tens of bytes), and the
+      // oracle tests round-trip thousands of them.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();
+    throw_errno("accept");
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket conn(fd);
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+std::size_t poll_sockets(std::vector<PollEntry>& entries, int timeout_ms) {
+  std::vector<pollfd> fds(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    fds[i].fd = entries[i].fd;
+    fds[i].events = POLLIN;
+    if (entries[i].want_write) fds[i].events |= POLLOUT;
+    fds[i].revents = 0;
+  }
+  int ready;
+  for (;;) {
+    ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready >= 0) break;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].readable = (fds[i].revents & (POLLIN | POLLHUP)) != 0;
+    entries[i].writable = (fds[i].revents & POLLOUT) != 0;
+    entries[i].error = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+  }
+  return static_cast<std::size_t>(ready);
+}
+
+bool loopback_available() {
+  try {
+    TcpListener listener("127.0.0.1", 0);
+    return listener.port() != 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void sleep_ms(int milliseconds) {
+  if (milliseconds <= 0) return;
+  ::poll(nullptr, 0, milliseconds);
+}
+
+}  // namespace geonas::hpc::net

@@ -1,0 +1,106 @@
+// Thin RAII layer over POSIX TCP sockets for the master/worker transport.
+//
+// This is the only place in the library allowed to touch raw socket and
+// poll(2) syscalls (enforced by geonas_lint's raw-socket-outside-net
+// rule): everything above it — framing, the master scheduler, workers —
+// deals in byte buffers and never sees a file descriptor. All sockets
+// are IPv4; campaigns bind 127.0.0.1 by default so tests never open a
+// routable port.
+//
+// Error model: hard socket errors throw std::runtime_error naming the
+// operation and strerror(errno); would-block and clean EOF are returned
+// as values (kWouldBlock / 0) because both are normal events in the
+// master's poll loop, not failures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geonas::hpc::net {
+
+/// Returned by read_some/write_some when a non-blocking socket has no
+/// data/space right now.
+inline constexpr std::ptrdiff_t kWouldBlock = -1;
+
+/// Move-only owner of a connected socket descriptor.
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// O_NONBLOCK on/off. Throws on fcntl failure.
+  void set_nonblocking(bool enabled);
+
+  /// Reads up to `size` bytes. Returns the byte count, 0 on orderly EOF,
+  /// or kWouldBlock. Throws on hard errors (ECONNRESET is reported as
+  /// EOF: a peer killed mid-campaign looks like a disconnect, not a
+  /// master crash).
+  [[nodiscard]] std::ptrdiff_t read_some(void* data, std::size_t size);
+
+  /// Writes up to `size` bytes (MSG_NOSIGNAL: a dead peer yields an
+  /// error return, never SIGPIPE). Returns the byte count or kWouldBlock;
+  /// throws on hard errors other than a broken/reset pipe, which returns
+  /// 0 so callers treat the peer as departed.
+  [[nodiscard]] std::ptrdiff_t write_some(const void* data, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 TCP socket. Port 0 binds an ephemeral port; `port()`
+/// reports the actual one so tests and the CLI can hand it to workers.
+class TcpListener {
+ public:
+  TcpListener(const std::string& bind_address, std::uint16_t port);
+
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one pending connection (returned non-blocking), or an
+  /// invalid Socket when none is waiting.
+  [[nodiscard]] Socket accept_connection();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking IPv4 connect. Throws when the address does not parse or the
+/// connection is refused/unreachable.
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+/// One entry of a poll(2) set: which fd, whether to watch writability
+/// (readability is always watched), and what fired.
+struct PollEntry {
+  int fd = -1;
+  bool want_write = false;
+  bool readable = false;   // out: data or EOF pending
+  bool writable = false;   // out
+  bool error = false;      // out: POLLERR/POLLHUP/POLLNVAL
+};
+
+/// poll(2) over `entries` with a millisecond timeout; fills the `out`
+/// fields. Returns the number of entries with any event. Throws on hard
+/// poll failure (EINTR is retried internally).
+std::size_t poll_sockets(std::vector<PollEntry>& entries, int timeout_ms);
+
+/// True when a loopback TCP listener can be bound on this machine —
+/// the skip guard for transport tests in network-less sandboxes.
+[[nodiscard]] bool loopback_available();
+
+/// Sleeps without std::chrono (poll(2) with no fds), for worker
+/// reconnect backoff.
+void sleep_ms(int milliseconds);
+
+}  // namespace geonas::hpc::net

@@ -1,0 +1,106 @@
+#include "hpc/net/worker.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hpc/net/frame.hpp"
+#include "hpc/net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace geonas::hpc::net {
+
+namespace {
+
+Socket connect_with_retries(const WorkerOptions& options) {
+  std::string last_error = "no attempts made";
+  const int attempts = options.connect_attempts > 0
+                           ? options.connect_attempts
+                           : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) sleep_ms(options.reconnect_delay_ms);
+    try {
+      return connect_tcp(options.host, options.port);
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+  }
+  throw std::runtime_error(
+      "worker '" + options.name + "': master at " + options.host + ":" +
+      std::to_string(options.port) + " unreachable after " +
+      std::to_string(attempts) + " attempt(s): " + last_error);
+}
+
+/// Sends a whole frame on a blocking socket; false when the peer is gone.
+bool send_all(Socket& socket, const std::string& frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const std::ptrdiff_t n =
+        socket.write_some(frame.data() + sent, frame.size() - sent);
+    if (n == 0) return false;
+    if (n > 0) sent += static_cast<std::size_t>(n);
+    // kWouldBlock cannot happen on a blocking socket; loop regardless.
+  }
+  return true;
+}
+
+}  // namespace
+
+WorkerStats run_worker(ArchitectureEvaluator& evaluator,
+                       const WorkerOptions& options) {
+  WorkerStats stats;
+  Socket socket = connect_with_retries(options);
+  if (!send_all(socket, encode_frame(make_hello(options.name)))) {
+    return stats;  // master vanished between accept and hello
+  }
+
+  FrameAssembler assembler;
+  std::string payload;
+  char buf[4096];
+  for (;;) {
+    const std::ptrdiff_t n = socket.read_some(buf, sizeof(buf));
+    if (n == 0) return stats;  // master closed: campaign over (or died)
+    if (n > 0) {
+      assembler.feed(buf, static_cast<std::size_t>(n));
+    }
+    while (assembler.next(payload)) {
+      ++stats.frames_received;
+      const Message m = decode_payload(payload);
+      switch (m.type) {
+        case MsgType::kTask: {
+          EvalOutcome outcome;
+          try {
+            outcome = evaluator.evaluate(m.arch, m.eval_seed);
+          } catch (const std::exception&) {
+            // Policy-free fallback: report the failure; the master's
+            // failure accounting (and any RetryingEvaluator composed
+            // around this evaluator) decides what it means.
+            outcome = EvalOutcome{};
+            outcome.failed = true;
+          }
+          ++stats.evaluations;
+          if (obs::MetricsRegistry* reg = obs::registry()) {
+            reg->counter("net.worker.evals").add(1);
+          }
+          if (!send_all(socket, encode_frame(make_result(m.seq, outcome)))) {
+            return stats;
+          }
+          break;
+        }
+        case MsgType::kHeartbeat:
+          if (!send_all(socket, encode_frame(make_heartbeat(m.seq)))) {
+            return stats;
+          }
+          break;
+        case MsgType::kShutdown:
+          stats.shutdown_received = true;
+          return stats;
+        case MsgType::kHello:
+        case MsgType::kResult:
+          break;  // worker-to-master types; ignore from the master
+      }
+    }
+  }
+}
+
+}  // namespace geonas::hpc::net

@@ -1,0 +1,45 @@
+// Worker side of the master/worker transport.
+//
+// A worker is deliberately dumb: connect, say hello, then loop —
+// receive a task, evaluate it (synchronously; the evaluator IS the
+// work), send the result back, echo heartbeats — until the master says
+// shutdown or the connection drops. All campaign intelligence (scheduling,
+// retries, checkpoints, determinism) lives in the master; a worker can be
+// SIGKILLed at any instant and the campaign is unaffected beyond losing
+// its throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hpc/evaluator.hpp"
+
+namespace geonas::hpc::net {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Reported in the hello handshake (diagnostics only).
+  std::string name = "worker";
+  /// Connection retries while the master is still starting up.
+  int connect_attempts = 40;
+  int reconnect_delay_ms = 250;
+};
+
+struct WorkerStats {
+  std::size_t evaluations = 0;
+  std::size_t frames_received = 0;
+  /// True when the master sent an orderly shutdown (vs the connection
+  /// simply dropping).
+  bool shutdown_received = false;
+};
+
+/// Runs the worker loop until shutdown or disconnect. Throws when the
+/// master never becomes reachable. An evaluator exception is reported to
+/// the master as a failed outcome (reward 0, failed flag) rather than
+/// killing the worker — fault *policy* belongs to wrappers like
+/// core::RetryingEvaluator composed around `evaluator`.
+WorkerStats run_worker(ArchitectureEvaluator& evaluator,
+                       const WorkerOptions& options);
+
+}  // namespace geonas::hpc::net

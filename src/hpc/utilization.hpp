@@ -30,6 +30,18 @@ class UtilizationTracker {
   [[nodiscard]] std::size_t nodes() const noexcept { return nodes_; }
   [[nodiscard]] double wall_time() const noexcept { return wall_; }
 
+  /// Recorded (already clipped) busy intervals, in insertion order. The
+  /// net master serializes these into campaign checkpoints so a resumed
+  /// campaign reports the same utilization as an uninterrupted one.
+  [[nodiscard]] const std::vector<std::pair<double, double>>& intervals()
+      const noexcept {
+    return intervals_;
+  }
+  /// Replaces the recorded intervals (checkpoint resume).
+  void restore_intervals(std::vector<std::pair<double, double>> intervals) {
+    intervals_ = std::move(intervals);
+  }
+
  private:
   std::size_t nodes_;
   double wall_;

@@ -143,10 +143,21 @@ BinaryReader::BinaryReader(std::istream& is, std::string_view magic,
 }
 
 void BinaryReader::read_exact(void* data, std::size_t size, const char* what) {
+  // istream::read already loops over short underflows (a streambuf that
+  // delivers one byte at a time still assembles the full field), so a
+  // short count here means the stream genuinely ended or failed mid-field.
+  // The diagnostic names the field, the exact byte offset at which the
+  // stream died, and expected-vs-received so a truncated frame arriving
+  // from a socket is distinguishable from a short local file.
   is_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-  if (static_cast<std::size_t>(is_->gcount()) != size || !*is_) {
-    fail("BinaryReader: truncated stream reading",
-         what, offset_ + static_cast<std::uint64_t>(is_->gcount()));
+  const auto received = static_cast<std::size_t>(is_->gcount());
+  if (received != size || !*is_) {
+    throw std::runtime_error(
+        "BinaryReader: truncated stream reading '" + std::string(what) +
+        "' at byte offset " +
+        std::to_string(offset_ + static_cast<std::uint64_t>(received)) +
+        " (expected " + std::to_string(size) + " bytes, received " +
+        std::to_string(received) + ")");
   }
   crc_ = crc32_update(crc_, data, size);
   offset_ += size;
@@ -204,7 +215,10 @@ void BinaryReader::finish() {
   std::array<unsigned char, 4> raw{};
   is_->read(reinterpret_cast<char*>(raw.data()), 4);
   if (is_->gcount() != 4 || !*is_) {
-    fail("BinaryReader: truncated stream reading", "crc trailer", offset_);
+    throw std::runtime_error(
+        "BinaryReader: truncated stream reading 'crc trailer' at byte "
+        "offset " + std::to_string(offset_) + " (expected 4 bytes, received " +
+        std::to_string(is_->gcount()) + ")");
   }
   const auto stored = static_cast<std::uint32_t>(decode_le(raw.data(), 4));
   if (stored != expected) {

@@ -10,7 +10,12 @@
 // training's NaN/inf weights) round-trip exactly.
 //
 // Every read checks the stream; any failure throws std::runtime_error
-// naming the field and the byte offset at which the stream died.
+// naming the field, the byte offset at which the stream died, and
+// expected-vs-received byte counts. BinaryReader never blocks waiting
+// for more input: it is fed complete, already-delivered byte sequences
+// (files, or socket frames assembled by hpc::net::FrameAssembler — a
+// live socket is never handed to the reader directly, so a partially
+// delivered frame surfaces as a truncation diagnostic, not a hang).
 #pragma once
 
 #include <cstdint>

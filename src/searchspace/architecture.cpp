@@ -1,8 +1,8 @@
 #include "searchspace/architecture.hpp"
 
 #include <charconv>
-#include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace geonas::searchspace {
 
@@ -25,19 +25,33 @@ void Architecture::key_into(std::string& out) const {
 }
 
 Architecture Architecture::from_key(const std::string& key) {
-  Architecture arch;
-  std::istringstream is(key);
-  std::string token;
-  while (std::getline(is, token, '-')) {
-    try {
-      arch.genes.push_back(std::stoi(token));
-    } catch (const std::exception&) {
-      throw std::invalid_argument("Architecture::from_key: bad token '" +
-                                  token + "'");
-    }
-  }
-  if (arch.genes.empty()) {
+  // Strict inverse of key(): '-'-separated decimal tokens, every token
+  // consumed completely. std::stoi accepted partial parses, so a corrupt
+  // key like "3x-2y" silently decoded as {3, 2} and poisoned every store
+  // keyed on the canonical form (memoizer cache, checkpoints). Any token
+  // with trailing garbage, an empty token ("3--2", "3-", "-3"), or an
+  // out-of-range value now fails naming the token and its byte offset.
+  if (key.empty()) {
     throw std::invalid_argument("Architecture::from_key: empty key");
+  }
+  Architecture arch;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t dash = key.find('-', pos);
+    const std::size_t end = dash == std::string::npos ? key.size() : dash;
+    const char* first = key.data() + pos;
+    const char* last = key.data() + end;
+    int value = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last || first == last) {
+      throw std::invalid_argument("Architecture::from_key: bad token '" +
+                                  std::string(first, last) + "' at offset " +
+                                  std::to_string(pos) + " of key '" + key +
+                                  "'");
+    }
+    arch.genes.push_back(value);
+    if (dash == std::string::npos) break;
+    pos = dash + 1;
   }
   return arch;
 }

@@ -1,0 +1,90 @@
+// GEONAS_SCALE parsing: case-insensitive matching and the hard error on
+// unrecognized values (a typo must refuse to run, not silently downgrade
+// an hours-long paper-scale campaign to quick scale).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/scale.hpp"
+
+namespace geonas::core {
+namespace {
+
+/// Restores the previous GEONAS_SCALE on scope exit so this suite never
+/// leaks environment into other tests.
+class ScopedScaleEnv {
+ public:
+  explicit ScopedScaleEnv(const char* value) {
+    const char* prev = std::getenv("GEONAS_SCALE");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value == nullptr) {
+      unsetenv("GEONAS_SCALE");
+    } else {
+      setenv("GEONAS_SCALE", value, 1);
+    }
+  }
+  ~ScopedScaleEnv() {
+    if (had_prev_) {
+      setenv("GEONAS_SCALE", prev_.c_str(), 1);
+    } else {
+      unsetenv("GEONAS_SCALE");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(CoreScale, UnsetAndEmptyDefaultToQuick) {
+  {
+    ScopedScaleEnv env(nullptr);
+    EXPECT_EQ(detect_scale(), Scale::kQuick);
+  }
+  {
+    ScopedScaleEnv env("");
+    EXPECT_EQ(detect_scale(), Scale::kQuick);
+  }
+}
+
+TEST(CoreScale, MatchesCaseInsensitively) {
+  for (const char* v : {"full", "Full", "FULL", "fUlL"}) {
+    ScopedScaleEnv env(v);
+    EXPECT_EQ(detect_scale(), Scale::kFull) << v;
+  }
+  for (const char* v : {"quick", "Quick", "QUICK"}) {
+    ScopedScaleEnv env(v);
+    EXPECT_EQ(detect_scale(), Scale::kQuick) << v;
+  }
+}
+
+TEST(CoreScale, RejectsUnrecognizedValuesInsteadOfDowngrading) {
+  for (const char* v : {"ful", "fulll", "paper", "1", " full", "full "}) {
+    ScopedScaleEnv env(v);
+    EXPECT_THROW((void)detect_scale(), std::runtime_error) << v;
+  }
+}
+
+TEST(CoreScale, ErrorNamesTheBadValue) {
+  ScopedScaleEnv env("Fulll");
+  try {
+    (void)detect_scale();
+    FAIL() << "expected detect_scale to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Fulll"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CoreScale, SetupFollowsDetectedScale) {
+  ScopedScaleEnv env("FULL");
+  const ExperimentSetup setup = ExperimentSetup::from_env();
+  EXPECT_EQ(setup.scale, Scale::kFull);
+  EXPECT_STREQ(scale_name(setup.scale), "full");
+}
+
+}  // namespace
+}  // namespace geonas::core

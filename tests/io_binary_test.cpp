@@ -7,7 +7,9 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <streambuf>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/binary.hpp"
@@ -161,6 +163,93 @@ TEST(IoBinary, Crc32MatchesKnownVector) {
   // IEEE CRC-32 of "123456789" is the classic check value 0xCBF43926.
   const char data[] = "123456789";
   EXPECT_EQ(crc32_update(0, data, 9), 0xCBF43926U);
+}
+
+/// Streambuf that delivers exactly one byte per underflow — the worst
+/// case a socket-fed stream can present to istream::read.
+class DripStreambuf : public std::streambuf {
+ public:
+  explicit DripStreambuf(std::string data) : data_(std::move(data)) {}
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= data_.size()) return traits_type::eof();
+    ch_ = data_[pos_++];
+    setg(&ch_, &ch_, &ch_ + 1);
+    return traits_type::to_int_type(ch_);
+  }
+
+ private:
+  std::string data_;
+  std::size_t pos_ = 0;
+  char ch_ = 0;
+};
+
+TEST(IoBinary, ReadsAssembleAcrossOneByteUnderflows) {
+  // Multi-byte fields arriving one byte at a time must assemble whole
+  // values, never partial garbage — the contract the net transport's
+  // frame decoding relies on.
+  DripStreambuf drip(make_container());
+  std::istream is(&drip);
+  BinaryReader reader(is, kMagic, 1, 3);
+  EXPECT_EQ(reader.u8("a"), 7u);
+  EXPECT_EQ(reader.u32("b"), 0xDEADBEEFU);
+  EXPECT_EQ(reader.u64("c"), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(reader.f64("d"), -1.5);
+  EXPECT_EQ(reader.str("e"), "hello");
+  EXPECT_EQ(reader.f64_array("f").size(), 3u);
+  reader.finish();
+}
+
+TEST(IoBinary, TruncationAtEveryOffsetThrowsWithByteAccounting) {
+  // Fuzz-style: cutting the container at every possible byte offset must
+  // produce a thrown diagnostic (never a hang, never silent garbage),
+  // and past the header the message must carry expected-vs-received
+  // byte counts at the exact death offset.
+  const std::string full = make_container();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream is(full.substr(0, cut), std::ios::binary);
+    try {
+      BinaryReader reader(is, kMagic, 1, 3);
+      (void)reader.u8("a");
+      (void)reader.u32("b");
+      (void)reader.u64("c");
+      (void)reader.f64("d");
+      (void)reader.str("e");
+      (void)reader.f64_array("f");
+      reader.finish();
+      FAIL() << "no throw with container cut at byte " << cut;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      if (cut >= 12) {  // past magic+version: field-level diagnostics
+        EXPECT_NE(what.find("expected"), std::string::npos)
+            << "cut=" << cut << ": " << what;
+        EXPECT_NE(what.find("received"), std::string::npos)
+            << "cut=" << cut << ": " << what;
+      }
+    }
+  }
+}
+
+TEST(IoBinary, TruncationDiagnosticReportsExactCounts) {
+  std::ostringstream os(std::ios::binary);
+  BinaryWriter writer(os, kMagic, 1);
+  writer.u64(42);
+  writer.finish();
+  const std::string full = os.str();
+  // Cut three bytes into the u64 field (header is 12 bytes).
+  std::istringstream is(full.substr(0, 15), std::ios::binary);
+  BinaryReader reader(is, kMagic, 1, 1);
+  try {
+    (void)reader.u64("answer");
+    FAIL() << "expected truncation throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'answer'"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset 15"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 8 bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("received 3"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

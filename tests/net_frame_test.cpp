@@ -1,0 +1,157 @@
+// Wire-format contracts of the master/worker transport: message
+// round-trips, frame reassembly from arbitrary byte dribbles, and hard
+// rejection of truncated/corrupted/desynchronized streams.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hpc/net/frame.hpp"
+#include "searchspace/architecture.hpp"
+
+namespace geonas::hpc::net {
+namespace {
+
+searchspace::Architecture arch_of(std::vector<int> genes) {
+  searchspace::Architecture a;
+  a.genes = std::move(genes);
+  return a;
+}
+
+std::string payload_of(const std::string& frame) {
+  return frame.substr(4);  // strip the u32 length prefix
+}
+
+TEST(NetFrame, HelloRoundTrips) {
+  const Message m = decode_payload(payload_of(
+      encode_frame(make_hello("worker-07"))));
+  EXPECT_EQ(m.type, MsgType::kHello);
+  EXPECT_EQ(m.worker_name, "worker-07");
+}
+
+TEST(NetFrame, TaskRoundTripsArchitectureAndSeed) {
+  const Message m = decode_payload(payload_of(encode_frame(
+      make_task(42, 0xDEADBEEFCAFEF00DULL, arch_of({3, 1, 4, 1, 5, 9})))));
+  EXPECT_EQ(m.type, MsgType::kTask);
+  EXPECT_EQ(m.seq, 42u);
+  EXPECT_EQ(m.eval_seed, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(m.arch.genes, (std::vector<int>{3, 1, 4, 1, 5, 9}));
+}
+
+TEST(NetFrame, ResultRoundTripsOutcomeBitwise) {
+  EvalOutcome outcome;
+  outcome.reward = 0.9537281;
+  outcome.duration_seconds = 131.25;
+  outcome.params = 123456;
+  outcome.failed = true;
+  const Message m =
+      decode_payload(payload_of(encode_frame(make_result(7, outcome))));
+  EXPECT_EQ(m.type, MsgType::kResult);
+  EXPECT_EQ(m.seq, 7u);
+  EXPECT_DOUBLE_EQ(m.outcome.reward, 0.9537281);
+  EXPECT_DOUBLE_EQ(m.outcome.duration_seconds, 131.25);
+  EXPECT_EQ(m.outcome.params, 123456u);
+  EXPECT_TRUE(m.outcome.failed);
+}
+
+TEST(NetFrame, HeartbeatAndShutdownRoundTrip) {
+  EXPECT_EQ(decode_payload(payload_of(encode_frame(make_heartbeat(99)))).seq,
+            99u);
+  EXPECT_EQ(decode_payload(payload_of(encode_frame(make_shutdown()))).type,
+            MsgType::kShutdown);
+}
+
+TEST(NetFrame, AssemblerSurvivesByteByByteDelivery) {
+  // TCP may deliver one byte at a time; the assembler must produce the
+  // exact frame sequence regardless.
+  std::string stream;
+  stream += encode_frame(make_hello("drip"));
+  stream += encode_frame(make_task(1, 11, arch_of({2, 2})));
+  stream += encode_frame(make_heartbeat(5));
+  stream += encode_frame(make_shutdown());
+
+  FrameAssembler assembler;
+  std::vector<Message> out;
+  std::string payload;
+  for (char byte : stream) {
+    assembler.feed(&byte, 1);
+    while (assembler.next(payload)) out.push_back(decode_payload(payload));
+  }
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].type, MsgType::kHello);
+  EXPECT_EQ(out[1].type, MsgType::kTask);
+  EXPECT_EQ(out[1].arch.genes, (std::vector<int>{2, 2}));
+  EXPECT_EQ(out[2].type, MsgType::kHeartbeat);
+  EXPECT_EQ(out[3].type, MsgType::kShutdown);
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+}
+
+TEST(NetFrame, AssemblerHoldsTruncatedFrameAtEveryPrefixLength) {
+  // Fuzz-style: every proper prefix of a frame must yield no message and
+  // wedge nothing — the remainder still completes it.
+  const std::string frame =
+      encode_frame(make_task(3, 33, arch_of({8, 16, 32})));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameAssembler assembler;
+    assembler.feed(frame.data(), cut);
+    std::string payload;
+    EXPECT_FALSE(assembler.next(payload)) << "false frame at prefix " << cut;
+    assembler.feed(frame.data() + cut, frame.size() - cut);
+    ASSERT_TRUE(assembler.next(payload)) << "lost frame at prefix " << cut;
+    EXPECT_EQ(decode_payload(payload).seq, 3u);
+    EXPECT_FALSE(assembler.next(payload));
+  }
+}
+
+TEST(NetFrame, CorruptedByteFailsTheChecksum) {
+  const std::string frame = encode_frame(make_task(9, 99, arch_of({7})));
+  std::string payload = payload_of(frame);
+  payload[payload.size() / 2] =
+      static_cast<char>(payload[payload.size() / 2] ^ 0x40);
+  EXPECT_THROW((void)decode_payload(payload), std::runtime_error);
+}
+
+TEST(NetFrame, TruncatedPayloadNamesExpectedVersusReceived) {
+  const std::string payload = payload_of(encode_frame(make_heartbeat(1)));
+  try {
+    (void)decode_payload(payload.substr(0, payload.size() - 6));
+    FAIL() << "truncated payload decoded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("expected"), std::string::npos) << what;
+    EXPECT_NE(what.find("received"), std::string::npos) << what;
+  }
+}
+
+TEST(NetFrame, OversizeLengthPrefixThrowsAsDesync) {
+  FrameAssembler assembler;
+  const char bogus[4] = {'\xFF', '\xFF', '\xFF', '\x7F'};
+  assembler.feed(bogus, sizeof(bogus));
+  std::string payload;
+  EXPECT_THROW((void)assembler.next(payload), std::runtime_error);
+}
+
+TEST(NetFrame, InterleavedFramesAcrossFeedBoundaries) {
+  // Two frames fed in three unaligned chunks spanning the boundary.
+  const std::string a = encode_frame(make_task(1, 10, arch_of({1, 2, 3})));
+  const std::string b = encode_frame(make_result(1, EvalOutcome{}));
+  const std::string stream = a + b;
+  const std::size_t cut1 = a.size() - 3;
+  const std::size_t cut2 = a.size() + 5;
+
+  FrameAssembler assembler;
+  std::string payload;
+  assembler.feed(stream.data(), cut1);
+  EXPECT_FALSE(assembler.next(payload));
+  assembler.feed(stream.data() + cut1, cut2 - cut1);
+  ASSERT_TRUE(assembler.next(payload));
+  EXPECT_EQ(decode_payload(payload).type, MsgType::kTask);
+  EXPECT_FALSE(assembler.next(payload));
+  assembler.feed(stream.data() + cut2, stream.size() - cut2);
+  ASSERT_TRUE(assembler.next(payload));
+  EXPECT_EQ(decode_payload(payload).type, MsgType::kResult);
+}
+
+}  // namespace
+}  // namespace geonas::hpc::net

@@ -1,0 +1,60 @@
+// Standalone worker process for the transport kill tests: connects to a
+// master on localhost, evaluates with the calibrated surrogate (optionally
+// slowed so a SIGKILL can land mid-evaluation), and exits on shutdown.
+// Not a gtest binary — tests fork/exec it and kill -9 it.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "core/surrogate.hpp"
+#include "hpc/net/socket.hpp"
+#include "hpc/net/worker.hpp"
+#include "searchspace/space.hpp"
+
+namespace {
+
+class SlowedEvaluator final : public geonas::hpc::ArchitectureEvaluator {
+ public:
+  SlowedEvaluator(geonas::hpc::ArchitectureEvaluator& inner, int delay_ms)
+      : inner_(&inner), delay_ms_(delay_ms) {}
+  [[nodiscard]] geonas::hpc::EvalOutcome evaluate(
+      const geonas::searchspace::Architecture& arch,
+      std::uint64_t eval_seed) override {
+    geonas::hpc::net::sleep_ms(delay_ms_);
+    return inner_->evaluate(arch, eval_seed);
+  }
+
+ private:
+  geonas::hpc::ArchitectureEvaluator* inner_;
+  int delay_ms_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  int slow_ms = 0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
+      slow_ms = std::atoi(argv[i + 1]);
+    }
+  }
+  if (port == 0) return 2;
+
+  const geonas::searchspace::StackedLSTMSpace space;
+  geonas::core::SurrogateEvaluator surrogate(space);
+  SlowedEvaluator slowed(surrogate, slow_ms);
+  geonas::hpc::net::WorkerOptions options;
+  options.port = port;
+  options.name = "helper-pid-" + std::to_string(::getpid());
+  try {
+    (void)geonas::hpc::net::run_worker(slowed, options);
+  } catch (const std::exception&) {
+    return 1;
+  }
+  return 0;
+}

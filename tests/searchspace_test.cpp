@@ -20,6 +20,29 @@ TEST(Architecture, KeyRoundTrip) {
   EXPECT_THROW((void)Architecture::from_key(""), std::invalid_argument);
 }
 
+TEST(Architecture, FromKeyRejectsPartialParses) {
+  // std::stoi-style partial parsing once accepted "3x-2y" as {3, 2};
+  // every token must now be a complete integer, and empty tokens (from
+  // leading/trailing/double dashes) are malformed too.
+  for (const char* bad : {"3x-2y", "3-2x", "12abc", "3--2", "3-", "-3",
+                          "-", "3- 2", " 3-2", "0x1f", "+3", "3.5"}) {
+    EXPECT_THROW((void)Architecture::from_key(bad), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+  // The diagnostic names the offending token and its offset.
+  try {
+    (void)Architecture::from_key("3-2y-1");
+    FAIL() << "expected from_key to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'2y'"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 2"), std::string::npos) << what;
+  }
+  // Negative genes are never produced by key() but parse consistently.
+  EXPECT_EQ(Architecture::from_key("7"), (Architecture{{7}}));
+  EXPECT_EQ(Architecture::from_key("0-0"), (Architecture{{0, 0}}));
+}
+
 TEST(Architecture, HashDistinguishes) {
   Architecture a{{1, 2, 3}};
   Architecture b{{1, 2, 4}};

@@ -13,6 +13,12 @@
 //                        [--resume 1] [--retries 3] [--eval-timeout 0]
 //                        [--memoize 1] [--workers 1]
 //                        [--train 1] [--epochs 10]
+//                        [--master 1] [--nodes 8] [--wall-time 10800]
+//                        [--port 0] [--bind 127.0.0.1] [--stop-after 0]
+//                        [--cluster-seed 7]
+//   geonas_cli worker    --port PORT [--host 127.0.0.1] [--name worker]
+//                        [--connect-attempts 40]
+//                        [--train 1] [--epochs 10]
 //   geonas_cli train     --snapshots snaps.bin [--modes 5] [--window 8]
 //                        [--arch GENE-KEY] [--epochs 60] [--seed 1]
 //                        [--weights-out weights.bin]
@@ -53,6 +59,15 @@
 // the canonical architecture key so duplicate candidates (common under
 // mutation-based search) are never re-trained; the cache rides in the
 // checkpoint.
+//
+// Distributed campaigns: `search --master 1` runs the TCP master — it
+// owns the search method and the deterministic campaign clock (the
+// cluster simulator's event logic over --nodes virtual slots within
+// --wall-time simulated seconds) and farms evaluations out to `worker`
+// processes over localhost/LAN sockets. Workers join and leave freely;
+// the trajectory depends only on the campaign config, never on worker
+// count or timing, so the run is resumable (--checkpoint/--resume) and
+// bitwise comparable to the in-process simulator.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -65,6 +80,8 @@
 
 #include "core/nas_driver.hpp"
 #include "core/pipeline.hpp"
+#include "hpc/net/master.hpp"
+#include "hpc/net/worker.hpp"
 #include "hpc/parallel_for.hpp"
 #include "obs/json_export.hpp"
 #include "obs/metrics.hpp"
@@ -262,6 +279,99 @@ int cmd_pod(const Args& args) {
   return 0;
 }
 
+/// Builds the search method the `search` subcommand drives (nullptr for
+/// an unknown name).
+std::unique_ptr<search::SearchMethod> make_method(
+    const std::string& name, const searchspace::StackedLSTMSpace& space,
+    std::uint64_t seed) {
+  if (name == "rs") {
+    return std::make_unique<search::RandomSearch>(space, seed);
+  }
+  if (name == "ae") {
+    return std::make_unique<search::AgingEvolution>(
+        space, search::AgingEvolutionConfig{.population_size = 100,
+                                            .sample_size = 10,
+                                            .seed = seed});
+  }
+  if (name == "ppo") {
+    return std::make_unique<search::PPOSearch>(
+        space, search::PPOConfig{.seed = seed});
+  }
+  return nullptr;
+}
+
+/// Builds the evaluator that `search` runs locally and `worker` serves
+/// over the wire: the calibrated surrogate by default, or the real
+/// POD-LSTM training pipeline with --train 1. The pipeline (when used)
+/// must outlive the evaluator — it owns the window tensors.
+std::unique_ptr<hpc::ArchitectureEvaluator> make_oracle(
+    const Args& args, const searchspace::StackedLSTMSpace& space,
+    std::unique_ptr<core::PODLSTMPipeline>& pipeline) {
+  const bool train_mode = args.get_long("train", 0) != 0;
+  if (!train_mode) return std::make_unique<core::SurrogateEvaluator>(space);
+  const auto epochs = static_cast<std::size_t>(args.get_long("epochs", 10));
+  pipeline =
+      std::make_unique<core::PODLSTMPipeline>(core::PipelineConfig::from_env());
+  pipeline->prepare();
+  const auto& split = pipeline->split();
+  return std::make_unique<core::TrainingEvaluator>(
+      space, split.train.x, split.train.y, split.val.x, split.val.y,
+      nn::TrainConfig{.epochs = epochs, .batch_size = 64});
+}
+
+/// `search --master 1`: the distributed campaign master. Owns the search
+/// method and the deterministic virtual-time clock; evaluations happen
+/// in `geonas_cli worker` processes that connect to the printed port.
+int cmd_search_master(const Args& args, search::SearchMethod& method,
+                      const core::SearchRunOptions& run_options) {
+  hpc::net::MasterOptions opts;
+  opts.cluster.nodes = static_cast<std::size_t>(args.get_long("nodes", 8));
+  opts.cluster.wall_time_seconds =
+      args.get_real("wall-time", opts.cluster.wall_time_seconds);
+  opts.cluster.seed =
+      static_cast<std::uint64_t>(args.get_long("cluster-seed", 7));
+  opts.bind_address = args.get("bind", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_long("port", 0));
+  opts.checkpoint_path = run_options.checkpoint_path;
+  opts.checkpoint_every = run_options.checkpoint_every;
+  opts.resume = run_options.resume;
+  opts.stop_after_evaluations =
+      static_cast<std::size_t>(args.get_long("stop-after", 0));
+
+  hpc::net::NetMaster master(opts);
+  std::printf("master '%s' on %s:%u — %zu virtual slots, %.0f s simulated "
+              "wall time\n",
+              method.name().c_str(), opts.bind_address.c_str(),
+              static_cast<unsigned>(master.port()), opts.cluster.nodes,
+              opts.cluster.wall_time_seconds);
+  std::printf("start workers with: geonas_cli worker --port %u\n",
+              static_cast<unsigned>(master.port()));
+
+  const hpc::net::MasterResult result = master.run(method);
+  std::printf("%zu evaluations, utilization %.3f; %zu workers joined, %zu "
+              "died, %zu tasks re-dispatched%s\n",
+              result.sim.evals.size(), result.sim.utilization,
+              result.workers_joined, result.worker_deaths,
+              result.redispatches,
+              result.stopped_early ? " (paused early)" : "");
+  if (!opts.checkpoint_path.empty()) {
+    std::printf("checkpoint written to %s\n", opts.checkpoint_path.c_str());
+  }
+  double best = -1.0;
+  std::string best_key;
+  for (const auto& e : result.sim.evals) {
+    if (e.reward > best) {
+      best = e.reward;
+      best_key = e.arch_key;
+    }
+  }
+  if (!best_key.empty()) {
+    std::printf("best reward %.4f at architecture key: %s\n", best,
+                best_key.c_str());
+  }
+  return 0;
+}
+
 int cmd_search(const Args& args) {
   const auto evaluations =
       static_cast<std::size_t>(args.get_long("evaluations", 500));
@@ -289,49 +399,34 @@ int cmd_search(const Args& args) {
     return 2;
   }
 
-  const bool train_mode = args.get_long("train", 0) != 0;
-  const auto epochs = static_cast<std::size_t>(args.get_long("epochs", 10));
-
   const searchspace::StackedLSTMSpace space;
-  // --train 1: the paper's actual campaign loop — every candidate is
-  // built and genuinely trained on the synthetic POD-LSTM pipeline, and
-  // the reward is its validation R^2 after the epoch budget. The
-  // pipeline must outlive the evaluator (it owns the window tensors).
-  std::unique_ptr<core::PODLSTMPipeline> pipeline;
-  std::unique_ptr<hpc::ArchitectureEvaluator> oracle;
-  if (train_mode) {
-    pipeline = std::make_unique<core::PODLSTMPipeline>(
-        core::PipelineConfig::from_env());
-    pipeline->prepare();
-    const auto& split = pipeline->split();
-    oracle = std::make_unique<core::TrainingEvaluator>(
-        space, split.train.x, split.train.y, split.val.x, split.val.y,
-        nn::TrainConfig{.epochs = epochs, .batch_size = 64});
-  } else {
-    oracle = std::make_unique<core::SurrogateEvaluator>(space);
-  }
-  auto drive = [&](search::SearchMethod& m) {
-    return workers > 1 ? core::run_local_search_parallel(
-                             m, *oracle, evaluations, workers, seed, options)
-                       : core::run_local_search(m, *oracle, evaluations, seed,
-                                                options);
-  };
-  core::LocalSearchResult result;
-  if (method == "rs") {
-    search::RandomSearch rs(space, seed);
-    result = drive(rs);
-  } else if (method == "ae") {
-    search::AgingEvolution ae(space, {.population_size = 100,
-                                      .sample_size = 10, .seed = seed});
-    result = drive(ae);
-  } else if (method == "ppo") {
-    search::PPOSearch ppo(space, {.seed = seed});
-    result = drive(ppo);
-  } else {
+  const std::unique_ptr<search::SearchMethod> search_method =
+      make_method(method, space, seed);
+  if (!search_method) {
     std::fprintf(stderr, "unknown --method '%s' (ae|rs|ppo)\n",
                  method.c_str());
     return 2;
   }
+
+  // --master 1: distributed campaign over TCP; evaluations run in
+  // `geonas_cli worker` processes, not here.
+  if (args.get_long("master", 0) != 0) {
+    return cmd_search_master(args, *search_method, options);
+  }
+
+  const bool train_mode = args.get_long("train", 0) != 0;
+  // --train 1: the paper's actual campaign loop — every candidate is
+  // built and genuinely trained on the synthetic POD-LSTM pipeline, and
+  // the reward is its validation R^2 after the epoch budget.
+  std::unique_ptr<core::PODLSTMPipeline> pipeline;
+  const std::unique_ptr<hpc::ArchitectureEvaluator> oracle =
+      make_oracle(args, space, pipeline);
+  const core::LocalSearchResult result =
+      workers > 1 ? core::run_local_search_parallel(*search_method, *oracle,
+                                                    evaluations, workers,
+                                                    seed, options)
+                  : core::run_local_search(*search_method, *oracle,
+                                           evaluations, seed, options);
   std::printf("%zu evaluations, best %s %.4f\n", result.history.size(),
               train_mode ? "trained validation R2" : "surrogate reward",
               result.best_reward);
@@ -350,6 +445,37 @@ int cmd_search(const Args& args) {
   }
   std::printf("best architecture key: %s\n%s", result.best.key().c_str(),
               space.describe(result.best).c_str());
+  return 0;
+}
+
+/// `worker`: joins a distributed campaign, evaluates architectures the
+/// master assigns (surrogate or --train 1 real training), and exits
+/// when the master shuts the campaign down or disappears.
+int cmd_worker(const Args& args) {
+  hpc::net::WorkerOptions options;
+  options.port = static_cast<std::uint16_t>(args.get_long("port", 0));
+  if (options.port == 0) {
+    std::fprintf(stderr, "worker requires --port PORT (from the master's "
+                         "startup banner)\n");
+    return 2;
+  }
+  options.host = args.get("host", "127.0.0.1");
+  options.name = args.get("name", "worker");
+  options.connect_attempts =
+      static_cast<int>(args.get_long("connect-attempts", 40));
+
+  const searchspace::StackedLSTMSpace space;
+  std::unique_ptr<core::PODLSTMPipeline> pipeline;
+  const std::unique_ptr<hpc::ArchitectureEvaluator> oracle =
+      make_oracle(args, space, pipeline);
+
+  std::printf("worker '%s' connecting to %s:%u...\n", options.name.c_str(),
+              options.host.c_str(), static_cast<unsigned>(options.port));
+  const hpc::net::WorkerStats stats = hpc::net::run_worker(*oracle, options);
+  std::printf("worker '%s' done: %zu evaluations (%s)\n",
+              options.name.c_str(), stats.evaluations,
+              stats.shutdown_received ? "campaign complete"
+                                      : "master disconnected");
   return 0;
 }
 
@@ -507,7 +633,7 @@ int cmd_serve(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: geonas_cli <generate|pod|search|train|serve> "
+               "usage: geonas_cli <generate|pod|search|worker|train|serve> "
                "[--option value]...\n(see the header comment of "
                "tools/geonas_cli.cpp for the full option list)\n");
 }
@@ -526,6 +652,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "pod") return cmd_pod(args);
     if (command == "search") return cmd_search(args);
+    if (command == "worker") return cmd_worker(args);
     if (command == "train") return cmd_train(args);
     if (command == "serve") return cmd_serve(args);
     usage();

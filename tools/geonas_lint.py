@@ -71,6 +71,18 @@ Rules (see DESIGN.md "Correctness tooling"):
                        cannot carry the attribute (stack-captured locals)
                        carry reasoned suppressions naming that state.
 
+  raw-socket-outside-net
+                       BSD socket headers (<sys/socket.h>, <netinet/*>,
+                       <arpa/inet.h>, <poll.h>, <netdb.h>, <sys/un.h>) or
+                       raw socket syscalls (::socket/::bind/::connect/
+                       ::recv/::send/::poll/...) in src/ outside
+                       src/hpc/net/ — all wire I/O goes through the
+                       net::Socket/TcpListener/poll_sockets wrappers so
+                       EINTR retries, SIGPIPE suppression, and
+                       nonblocking semantics are handled exactly once.
+                       Tests and tools use the wrappers too, but are not
+                       linted (they may exercise failure modes directly).
+
   float-eq-in-tests    EXPECT_EQ/ASSERT_EQ with a floating-point literal
                        as a top-level macro argument in tests/ — compare
                        with EXPECT_NEAR / EXPECT_DOUBLE_EQ, or suppress
@@ -126,6 +138,14 @@ HOT_PATH_ALLOC_RE = re.compile(
     r"\bnew\b|\bmalloc\s*\("
     r"|\.(?:push_back|emplace_back|resize|reserve|assign)\s*\(")
 CHRONO_RE = re.compile(r"std::chrono\b|#\s*include\s*<chrono>")
+# BSD socket surface: headers plus the global-namespace syscalls. The ::
+# prefix keeps method calls like conn.bind(...) from matching.
+SOCKET_HEADER_RE = re.compile(
+    r"#\s*include\s*<(sys/socket\.h|netinet/[\w.]+|arpa/inet\.h"
+    r"|poll\.h|netdb\.h|sys/un\.h)>")
+SOCKET_CALL_RE = re.compile(
+    r"(?<![\w>])::(socket|bind|listen|accept4?|connect|recv|send|sendto"
+    r"|recvfrom|poll|getsockname|setsockopt|shutdown)\s*\(")
 # Declaration of a mutex-family or condition-variable member/local. The
 # \s+ after the type keeps core::MutexLock (a scoped guard, not a
 # capability) from matching.
@@ -271,6 +291,7 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
     in_src = rel_str.startswith("src/")
     in_tests = rel_str.startswith("tests/")
     in_hpc = rel_str.startswith("src/hpc/")
+    in_net = rel_str.startswith("src/hpc/net/")
     in_obs = rel_str.startswith("src/obs/")
     in_nn = rel_str.startswith("src/nn/")
     is_reporting = rel_str.startswith("src/core/reporting.")
@@ -360,6 +381,14 @@ def lint_file(path: Path, repo: Path) -> list[Finding]:
                        "core/thread_annotations.hpp — waits release a "
                        "capability; include the annotations header and "
                        "annotate the paired mutex")
+
+        if in_src and not in_net:
+            m = SOCKET_HEADER_RE.search(code) or SOCKET_CALL_RE.search(code)
+            if m:
+                report("raw-socket-outside-net",
+                       f"'{m.group(0).strip()}' outside src/hpc/net/ — wire "
+                       "I/O goes through net::Socket / net::TcpListener / "
+                       "net::poll_sockets")
 
         if in_src and not in_obs:
             m = CHRONO_RE.search(code)

@@ -134,9 +134,10 @@ if [[ $quick -eq 1 ]]; then
   # streaming over one cache mutex). Serve* covers the inference engine's
   # MPSC queue/stream handoff (multi-producer backpressure + drain);
   # Prepack* covers packed-panel consumption from pool workers (the
-  # panels are shared read-only across GEMM worker threads).
+  # panels are shared read-only across GEMM worker threads); Net* runs
+  # the master poll loop against concurrent in-process worker threads.
   run_flavor tsan \
-    '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs|Memoizer|Serve|Prepack)'
+    '^(Determinism|Vmath|ParallelFor|ThreadPool|Obs|Memoizer|Serve|Prepack|Net)'
   run_analyze_smoke
 else
   run_flavor tsan
